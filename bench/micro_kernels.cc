@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks for the kernels everything else is built
+// on: dense matmul, the GNN gather/segment-sum pair, sparse-dense products,
+// PPR, BFS/subgraph extraction, and a full KUCNet forward pass.
+
+#include <benchmark/benchmark.h>
+
+#include "core/kucnet.h"
+#include "data/synthetic.h"
+#include "graph/compgraph.h"
+#include "graph/subgraph.h"
+#include "ppr/ppr.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+#include "tensor/sparse_ops.h"
+#include "tensor/tape.h"
+
+namespace kucnet {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, n, 1.0, rng);
+  Matrix b = Matrix::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GatherSegmentSum(benchmark::State& state) {
+  const int64_t edges = state.range(0);
+  const int64_t nodes = edges / 8;
+  const int64_t dim = 32;
+  Rng rng(2);
+  Matrix h = Matrix::RandomNormal(nodes, dim, 1.0, rng);
+  std::vector<int64_t> src(edges), dst(edges);
+  for (int64_t e = 0; e < edges; ++e) {
+    src[e] = rng.UniformInt(nodes);
+    dst[e] = rng.UniformInt(nodes);
+  }
+  for (auto _ : state) {
+    Tape tape;
+    Var x = tape.Constant(h);
+    Var gathered = tape.Gather(x, src);
+    benchmark::DoNotOptimize(tape.SegmentSum(gathered, dst, nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * edges * dim);
+}
+BENCHMARK(BM_GatherSegmentSum)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t nnz = n * 8;
+  Rng rng(3);
+  std::vector<SparseEntry> entries;
+  for (int64_t k = 0; k < nnz; ++k) {
+    entries.push_back({rng.UniformInt(n), rng.UniformInt(n), 1.0});
+  }
+  SparseMatrix a = SparseMatrix::FromEntries(n, n, std::move(entries));
+  Matrix x = Matrix::RandomNormal(n, 32, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 32);
+}
+BENCHMARK(BM_SpMM)->Arg(1 << 10)->Arg(1 << 13);
+
+struct GraphFixture {
+  GraphFixture()
+      : dataset([] {
+          Rng rng(1);
+          return TraditionalSplit(
+              GenerateSynthetic(SynthLastFmConfig()).raw, 0.2, rng);
+        }()),
+        ckg(dataset.BuildCkg()) {}
+  Dataset dataset;
+  Ckg ckg;
+};
+
+GraphFixture& SharedGraph() {
+  static GraphFixture* fixture = new GraphFixture;
+  return *fixture;
+}
+
+void BM_PprForwardPush(benchmark::State& state) {
+  const GraphFixture& f = SharedGraph();
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PprForwardPush(f.ckg, f.ckg.UserNode(user % f.ckg.num_users())));
+    ++user;
+  }
+}
+BENCHMARK(BM_PprForwardPush);
+
+void BM_BfsDistances(benchmark::State& state) {
+  const GraphFixture& f = SharedGraph();
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BfsDistances(f.ckg, f.ckg.UserNode(user % f.ckg.num_users()), 3));
+    ++user;
+  }
+}
+BENCHMARK(BM_BfsDistances);
+
+void BM_BuildUserCompGraph(benchmark::State& state) {
+  const GraphFixture& f = SharedGraph();
+  static PprTable* ppr = new PprTable(PprTable::Compute(f.ckg));
+  CompGraphOptions opts;
+  opts.depth = 3;
+  opts.max_edges_per_node = state.range(0);
+  opts.prune = opts.max_edges_per_node > 0 ? PruneMode::kPpr : PruneMode::kNone;
+  CompGraphBuilder builder(&f.ckg, opts);
+  int64_t user = 0;
+  for (auto _ : state) {
+    const int64_t u = user % f.ckg.num_users();
+    const NodeScoreFn score = ppr->ScoreFn(u);
+    benchmark::DoNotOptimize(
+        builder.Build(f.ckg.UserNode(u),
+                      opts.prune == PruneMode::kPpr ? &score : nullptr));
+    ++user;
+  }
+}
+BENCHMARK(BM_BuildUserCompGraph)->Arg(0)->Arg(30);
+
+void BM_KucnetForward(benchmark::State& state) {
+  const GraphFixture& f = SharedGraph();
+  static PprTable* ppr = new PprTable(PprTable::Compute(f.ckg));
+  KucnetOptions opts;
+  opts.sample_k = state.range(0);
+  static Kucnet* model = nullptr;
+  // One model per K value would leak across Args; rebuild when K changes.
+  static int64_t current_k = -1;
+  if (current_k != opts.sample_k) {
+    delete model;
+    model = new Kucnet(&f.dataset, &f.ckg, ppr, opts);
+    current_k = opts.sample_k;
+  }
+  int64_t user = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->ScoreItems(user % f.ckg.num_users()));
+    ++user;
+  }
+}
+BENCHMARK(BM_KucnetForward)->Arg(10)->Arg(30);
+
+}  // namespace
+}  // namespace kucnet
+
+BENCHMARK_MAIN();

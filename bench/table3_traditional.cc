@@ -1,0 +1,59 @@
+// Reproduces Table III: traditional top-20 recommendation on the three
+// synthetic counterparts of Last-FM / Amazon-Book / Alibaba-iFashion.
+// Every baseline of Sec. V-B1 plus KUCNet is trained and evaluated with the
+// all-ranking protocol; the paper's reported numbers are printed alongside.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace kucnet::bench {
+namespace {
+
+void RunDataset(const std::string& config_name) {
+  Workload workload = MakeWorkload(config_name, SplitKind::kTraditional);
+  PrintHeader("Table III / " + config_name + " (traditional): " +
+              workload.dataset.Summary());
+  PrintRowHeader();
+
+  std::vector<std::string> models = TraditionalBaselineNames();
+  models.push_back("KUCNet");
+  const PaperColumn paper = PaperTable3(config_name);
+  for (const std::string& name : models) {
+    if (!ModelEnabled(name)) continue;
+    RunOptions opts;
+    opts.kucnet.sample_k = 30;
+    const RunResult result = RunModel(name, workload, opts);
+    const auto it = paper.find(name);
+    PrintRow(name, result.eval,
+             it != paper.end() ? it->second : PaperValue{});
+  }
+}
+
+void Main(int argc, char** argv) {
+  std::printf("Reproduction of Table III (traditional recommendation).\n");
+  std::printf(
+      "Shape to verify: KUCNet wins on the Last-FM/Amazon-Book analogues "
+      "(dense informative KG); on the iFashion analogue (shallow noisy KG) "
+      "CF/embedding methods are competitive and KUCNet is NOT best.\n");
+  for (const char* config :
+       {"synth-lastfm", "synth-amazon-book", "synth-ifashion"}) {
+    // Optional argv filter: run only the named dataset(s).
+    if (argc > 1) {
+      bool requested = false;
+      for (int a = 1; a < argc; ++a) {
+        if (config == std::string(argv[a])) requested = true;
+      }
+      if (!requested) continue;
+    }
+    RunDataset(config);
+  }
+}
+
+}  // namespace
+}  // namespace kucnet::bench
+
+int main(int argc, char** argv) {
+  kucnet::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table IV: recommendation with new items. One fifth of the
+// items lose every interaction (train and test); models may only reach them
+// through the KG. Embedding-based methods collapse to ~0; the inductive
+// baselines (PPR, PathSim, RED-GNN) survive; KUCNet leads.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace kucnet::bench {
+namespace {
+
+void RunDataset(const std::string& config_name) {
+  Workload workload = MakeWorkload(config_name, SplitKind::kNewItem);
+  PrintHeader("Table IV / " + config_name + " (new items): " +
+              workload.dataset.Summary());
+  PrintRowHeader();
+
+  std::vector<std::string> models = TraditionalBaselineNames();
+  for (const auto& name : InductiveBaselineNames()) models.push_back(name);
+  models.push_back("KUCNet");
+  const PaperColumn paper = PaperTable4(config_name);
+  for (const std::string& name : models) {
+    if (!ModelEnabled(name)) continue;
+    RunOptions opts;
+    // New-item/new-user settings favour a larger sampling budget K (the
+    // paper's Table VII tunes K higher on the new- datasets) and, per our
+    // sweep, a slightly larger hidden size with tanh and dropout.
+    opts.kucnet.sample_k = 60;
+    opts.kucnet.hidden_dim = 48;
+    opts.kucnet.dropout = 0.1;
+    opts.kucnet.activation = KucnetActivation::kTanh;
+    opts.kucnet.positives_per_user = 6;
+    opts.kucnet.users_per_step = 4;
+    const RunResult result = RunModel(name, workload, opts);
+    const auto it = paper.find(name);
+    PrintRow(name, result.eval,
+             it != paper.end() ? it->second : PaperValue{});
+  }
+}
+
+void Main(int argc, char** argv) {
+  std::printf("Reproduction of Table IV (recommendation with new items).\n");
+  std::printf(
+      "Shape to verify: pure-embedding methods (MF, CKE, KGAT, ...) score "
+      "near zero; KGIN (KG-aggregated item reps) does far better; PPR / "
+      "PathSim / REDGNN are strong; KUCNet is best.\n");
+  for (const char* config :
+       {"synth-lastfm", "synth-amazon-book", "synth-ifashion"}) {
+    if (argc > 1) {
+      bool requested = false;
+      for (int a = 1; a < argc; ++a) {
+        if (config == std::string(argv[a])) requested = true;
+      }
+      if (!requested) continue;
+    }
+    RunDataset(config);
+  }
+}
+
+}  // namespace
+}  // namespace kucnet::bench
+
+int main(int argc, char** argv) {
+  kucnet::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table V: disease-gene prediction on the DisGeNet analogue
+// (diseases = users, genes = items, with disease-disease user-side KG
+// edges), under both the new-item (gene) and new-user (disease) settings.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace kucnet::bench {
+namespace {
+
+void RunSetting(const std::string& setting, SplitKind kind) {
+  Workload workload = MakeWorkload("synth-disgenet", kind);
+  PrintHeader("Table V / synth-disgenet (" + setting + "): " +
+              workload.dataset.Summary());
+  PrintRowHeader();
+
+  // Table V evaluates the same pool as Table IV (R-GCN included).
+  std::vector<std::string> models = TraditionalBaselineNames();
+  for (const auto& name : InductiveBaselineNames()) models.push_back(name);
+  models.push_back("KUCNet");
+  const PaperColumn paper = PaperTable5(setting);
+  for (const std::string& name : models) {
+    if (!ModelEnabled(name)) continue;
+    RunOptions opts;
+    // New-item/new-user settings favour a larger sampling budget K (the
+    // paper's Table VII tunes K higher on the new- datasets) and, per our
+    // sweep, a slightly larger hidden size with tanh and dropout.
+    opts.kucnet.sample_k = 100;
+    opts.kucnet.hidden_dim = 48;
+    opts.kucnet.dropout = 0.1;
+    opts.kucnet.activation = KucnetActivation::kTanh;
+    opts.kucnet.positives_per_user = 6;
+    opts.kucnet.users_per_step = 4;
+    const RunResult result = RunModel(name, workload, opts);
+    const auto it = paper.find(name);
+    PrintRow(name, result.eval,
+             it != paper.end() ? it->second : PaperValue{});
+  }
+}
+
+void Main() {
+  std::printf("Reproduction of Table V (disease gene prediction).\n");
+  std::printf(
+      "Shape to verify: [new item] embedding methods near zero, "
+      "PPR/PathSim/REDGNN strong, KUCNet best. [new user] user-side KG "
+      "(disease-disease) carries the signal: R-GCN/KGAT benefit, "
+      "PathSim/REDGNN strong, KUCNet best.\n");
+  RunSetting("new item", SplitKind::kNewItem);
+  RunSetting("new user", SplitKind::kNewUser);
+}
+
+}  // namespace
+}  // namespace kucnet::bench
+
+int main() {
+  kucnet::bench::Main();
+  return 0;
+}

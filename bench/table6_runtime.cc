@@ -1,0 +1,82 @@
+// Reproduces Table VI: running time of the PPR preprocessing versus KUCNet
+// training and inference. The paper reports minutes on its hardware; we
+// report seconds on ours — the claim to verify is the *ratio*: PPR
+// preprocessing is a small one-time cost relative to training.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/kucnet.h"
+#include "util/timer.h"
+
+namespace kucnet::bench {
+namespace {
+
+struct PaperMinutes {
+  double ppr;
+  double training;
+  double inference;
+};
+
+PaperMinutes PaperRow(const std::string& config_name) {
+  if (config_name == "synth-lastfm") return {8, 204, 15};
+  if (config_name == "synth-amazon-book") return {25, 335, 150};
+  return {46, 304, 42};  // synth-ifashion
+}
+
+void RunDataset(const std::string& config_name) {
+  Workload workload = MakeWorkload(config_name, SplitKind::kTraditional);
+
+  RunOptions opts;
+  opts.kucnet.sample_k = 30;
+  const RunResult result = RunModel("KUCNet", workload, opts);
+
+  // Inference: one full all-ranking evaluation (already timed inside eval).
+  ModelContext ctx;
+  ctx.dataset = &workload.dataset;
+  ctx.ckg = &workload.ckg;
+  ctx.ppr = &workload.ppr;
+  ctx.kucnet = opts.kucnet;
+  auto model = CreateModel("KUCNet", ctx);
+  Rng rng(3);
+  model->TrainEpoch(rng);  // touch parameters once (shape realism)
+  WallTimer timer;
+  const EvalResult eval = EvaluateRanking(*model, workload.dataset);
+  const double inference_seconds = timer.Seconds();
+  (void)eval;
+
+  const PaperMinutes paper = PaperRow(config_name);
+  std::printf("%-20s %12s %12s %14s %14s\n", config_name.c_str(),
+              Fmt(workload.ppr_seconds, 2).c_str(),
+              Fmt(result.train_seconds, 2).c_str(),
+              Fmt(inference_seconds, 2).c_str(),
+              (Fmt(paper.ppr, 0) + "/" + Fmt(paper.training, 0) + "/" +
+               Fmt(paper.inference, 0))
+                  .c_str());
+  std::printf("%-20s %12s %12s %14s   (paper: %s)\n", "  ratio ppr/train",
+              Fmt(workload.ppr_seconds / result.train_seconds, 3).c_str(), "",
+              "", Fmt(paper.ppr / paper.training, 3).c_str());
+}
+
+void Main() {
+  std::printf("Reproduction of Table VI (running time, seconds here vs the "
+              "paper's minutes).\n");
+  std::printf(
+      "Shape to verify: PPR preprocessing is a fraction of training time "
+      "on every dataset (paper ratios 0.04-0.15).\n\n");
+  std::printf("%-20s %12s %12s %14s %14s\n", "dataset", "ppr_s", "train_s",
+              "inference_s", "paper_min(p/t/i)");
+  for (const char* config :
+       {"synth-lastfm", "synth-amazon-book", "synth-ifashion"}) {
+    RunDataset(config);
+  }
+}
+
+}  // namespace
+}  // namespace kucnet::bench
+
+int main() {
+  kucnet::bench::Main();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The paper's Sec. V-D scenario: disease gene prediction as recommendation,
+// with diseases as users and genes as items. One fifth of the diseases are
+// "new" — no known gene associations — and are connected to the rest of the
+// graph only through disease-disease similarity edges in the KG. KUCNet
+// propagates through those user-side edges; a model relying on interaction
+// history cannot.
+//
+// Build & run:  ./build/examples/disease_gene
+
+#include <cstdio>
+
+#include "baselines/pathsim.h"
+#include "core/kucnet.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace kucnet;
+
+  const SyntheticConfig config = SynthDisGeNetConfig();
+  const RawData raw = GenerateSynthetic(config).raw;
+  Rng rng(5);
+  const Dataset dataset = NewUserSplit(raw, 0.2, rng);
+  std::printf("dataset: %s\n", dataset.Summary().c_str());
+  std::printf("(test users are new diseases with no known genes; they keep "
+              "their disease-disease KG edges)\n\n");
+
+  const Ckg ckg = dataset.BuildCkg();
+  const PprTable ppr = PprTable::Compute(ckg);
+
+  KucnetOptions options;
+  options.sample_k = 60;
+  Kucnet kucnet(&dataset, &ckg, &ppr, options);
+  TrainOptions train_options;
+  train_options.epochs = 10;
+  const TrainResult kucnet_result = TrainModel(kucnet, dataset, train_options);
+
+  PathSim pathsim(&dataset, &ckg);
+  const EvalResult pathsim_eval = EvaluateRanking(pathsim, dataset);
+
+  std::printf("predicting genes for new diseases (recall@20 / ndcg@20):\n");
+  std::printf("  PathSim : %.4f / %.4f\n", pathsim_eval.recall,
+              pathsim_eval.ndcg);
+  std::printf("  KUCNet  : %.4f / %.4f\n", kucnet_result.final_eval.recall,
+              kucnet_result.final_eval.ndcg);
+
+  // Predictions for one new disease: like the paper's Fig. 7(d), the path
+  // runs disease -> similar disease -> shared gene.
+  const int64_t disease = dataset.TestUsers().front();
+  const auto scores = kucnet.ScoreItems(disease);
+  const auto top = TopNIndices(scores, 5);
+  const auto truth = dataset.TestItemsByUser()[disease];
+  std::printf("\nnew disease %lld: top-5 predicted genes:", (long long)disease);
+  for (const int64_t gene : top) {
+    const bool hit =
+        std::find(truth.begin(), truth.end(), gene) != truth.end();
+    std::printf(" %lld%s", (long long)gene, hit ? "*" : "");
+  }
+  std::printf("   (* = confirmed association in the held-out test set)\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Command-line interface over the library: generate datasets, train any
+// registered model, evaluate, and checkpoint KUCNet weights.
+//
+//   kucnet_cli generate --config synth-lastfm --split traditional --out DIR
+//   kucnet_cli train    --data DIR --model KUCNet --epochs 8 [--ckpt FILE]
+//   kucnet_cli evaluate --data DIR --model KUCNet --ckpt FILE
+//   kucnet_cli models                       # list registered model names
+//
+// Splits: traditional | new-item | new-user.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "baselines/registry.h"
+#include "core/kucnet.h"
+#include "data/serialize.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+#include "util/logging.h"
+
+namespace kucnet {
+namespace {
+
+/// Parses "--key value" pairs after the subcommand.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int a = 2; a + 1 < argc; a += 2) {
+    std::string key = argv[a];
+    KUC_CHECK(key.rfind("--", 0) == 0) << "expected --flag, got " << key;
+    flags[key.substr(2)] = argv[a + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string config_name = FlagOr(flags, "config", "synth-lastfm");
+  const std::string split = FlagOr(flags, "split", "traditional");
+  const std::string out = FlagOr(flags, "out", ".");
+  const uint64_t seed = std::stoull(FlagOr(flags, "seed", "1"));
+
+  const RawData raw = GenerateSynthetic(SynthConfigByName(config_name)).raw;
+  Rng rng(seed);
+  Dataset dataset;
+  if (split == "traditional") {
+    dataset = TraditionalSplit(raw, 0.2, rng);
+  } else if (split == "new-item") {
+    dataset = NewItemSplit(raw, 0.2, rng);
+  } else if (split == "new-user") {
+    dataset = NewUserSplit(raw, 0.2, rng);
+  } else {
+    KUC_CHECK(false) << "unknown split: " << split;
+  }
+  SaveDataset(dataset, out);
+  std::printf("wrote %s to %s\n", dataset.Summary().c_str(), out.c_str());
+  return 0;
+}
+
+int CmdTrainOrEvaluate(const std::map<std::string, std::string>& flags,
+                       bool train) {
+  const std::string data_dir = FlagOr(flags, "data", ".");
+  const std::string model_name = FlagOr(flags, "model", "KUCNet");
+  const std::string ckpt = FlagOr(flags, "ckpt", "");
+  const int epochs = std::stoi(FlagOr(flags, "epochs", "-1"));
+
+  const Dataset dataset = LoadDataset(data_dir);
+  std::printf("loaded %s\n", dataset.Summary().c_str());
+  const Ckg ckg = dataset.BuildCkg();
+  const PprTable ppr = PprTable::Compute(ckg, PprTableOptions(), &GlobalPool());
+
+  ModelContext ctx;
+  ctx.dataset = &dataset;
+  ctx.ckg = &ckg;
+  ctx.ppr = &ppr;
+  ctx.kucnet.sample_k = std::stoll(FlagOr(flags, "k", "30"));
+  ctx.kucnet.depth = std::stoi(FlagOr(flags, "depth", "3"));
+  auto model = CreateModel(model_name, ctx);
+  auto* kucnet = dynamic_cast<Kucnet*>(model.get());
+
+  if (train) {
+    TrainOptions opts;
+    opts.epochs = epochs >= 0 ? epochs : DefaultEpochs(model_name);
+    opts.verbose = true;
+    const TrainResult result = TrainModel(*model, dataset, opts);
+    std::printf("%s: %s (trained %.1fs)\n", model_name.c_str(),
+                ToString(result.final_eval).c_str(), result.train_seconds);
+    if (!ckpt.empty()) {
+      KUC_CHECK(kucnet != nullptr)
+          << "--ckpt is only supported for KUCNet-family models";
+      kucnet->SaveCheckpoint(ckpt);
+      std::printf("checkpoint written to %s\n", ckpt.c_str());
+    }
+  } else {
+    if (!ckpt.empty()) {
+      KUC_CHECK(kucnet != nullptr)
+          << "--ckpt is only supported for KUCNet-family models";
+      kucnet->LoadCheckpoint(ckpt);
+      std::printf("loaded checkpoint %s\n", ckpt.c_str());
+    }
+    const EvalResult eval = EvaluateRanking(*model, dataset);
+    std::printf("%s: %s\n", model_name.c_str(), ToString(eval).c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf(
+        "usage: kucnet_cli <generate|train|evaluate|models> [--flags]\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "models") {
+    for (const auto& name : AllModelNames()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  const auto flags = ParseFlags(argc, argv);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrainOrEvaluate(flags, /*train=*/true);
+  if (command == "evaluate") return CmdTrainOrEvaluate(flags, /*train=*/false);
+  std::printf("unknown command: %s\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace kucnet
+
+int main(int argc, char** argv) { return kucnet::Run(argc, argv); }

@@ -1,0 +1,124 @@
+#include "baselines/cke.h"
+
+#include "tensor/tape.h"
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+Adam MakeAdam(const EmbeddingModelOptions& options) {
+  AdamOptions a;
+  a.learning_rate = options.learning_rate;
+  a.weight_decay = options.weight_decay;
+  return Adam(a);
+}
+
+}  // namespace
+
+Cke::Cke(const Dataset* dataset, EmbeddingModelOptions options,
+         real_t kg_loss_weight)
+    : dataset_(dataset),
+      options_(options),
+      kg_loss_weight_(kg_loss_weight),
+      sampler_(*dataset),
+      user_emb_("user_emb", Matrix()),
+      item_emb_("item_emb", Matrix()),
+      entity_emb_("entity_emb", Matrix()),
+      rel_emb_("rel_emb", Matrix()),
+      optimizer_(MakeAdam(options)) {
+  Rng rng(options.seed);
+  const real_t scale = 0.1;
+  user_emb_ = Parameter(
+      "user_emb",
+      Matrix::RandomNormal(dataset->num_users, options.dim, scale, rng));
+  item_emb_ = Parameter(
+      "item_emb",
+      Matrix::RandomNormal(dataset->num_items, options.dim, scale, rng));
+  entity_emb_ = Parameter(
+      "entity_emb",
+      Matrix::RandomNormal(dataset->num_kg_nodes, options.dim, scale, rng));
+  rel_emb_ = Parameter(
+      "rel_emb", Matrix::RandomNormal(std::max<int64_t>(
+                                          1, dataset->num_kg_relations),
+                                      options.dim, scale, rng));
+}
+
+int64_t Cke::ParamCount() const {
+  return user_emb_.ParamCount() + item_emb_.ParamCount() +
+         entity_emb_.ParamCount() + rel_emb_.ParamCount();
+}
+
+double Cke::TrainEpoch(Rng& rng) {
+  std::vector<std::array<int64_t, 2>> pairs = dataset_->train;
+  rng.Shuffle(pairs);
+  const std::vector<Parameter*> params = {&user_emb_, &item_emb_,
+                                          &entity_emb_, &rel_emb_};
+  double total_loss = 0.0;
+  int64_t total = 0;
+  for (size_t begin = 0; begin < pairs.size(); begin += options_.batch_size) {
+    const size_t end = std::min(pairs.size(), begin + options_.batch_size);
+    const int64_t batch = static_cast<int64_t>(end - begin);
+    std::vector<int64_t> users, pos, neg;
+    for (size_t k = begin; k < end; ++k) {
+      users.push_back(pairs[k][0]);
+      pos.push_back(pairs[k][1]);
+      neg.push_back(sampler_.Sample(pairs[k][0], rng));
+    }
+    Tape tape;
+    Var u = tape.GatherParam(&user_emb_, users);
+    // Item representation: CF embedding + structural embedding (items are
+    // the first num_items KG nodes).
+    Var i_rep = tape.Add(tape.GatherParam(&item_emb_, pos),
+                         tape.GatherParam(&entity_emb_, pos));
+    Var j_rep = tape.Add(tape.GatherParam(&item_emb_, neg),
+                         tape.GatherParam(&entity_emb_, neg));
+    Var loss = tape.BprLoss(tape.RowDot(u, i_rep), tape.RowDot(u, j_rep));
+
+    // TransE triplet loss on a matched sample of KG triplets: plausibility
+    // of (h, r, t) is -||h + r - t||^2; corrupt tails for negatives.
+    if (!dataset_->kg.empty() && kg_loss_weight_ > 0.0) {
+      std::vector<int64_t> heads, rels, tails, bad_tails;
+      for (int64_t k = 0; k < batch; ++k) {
+        const auto& trip = dataset_->kg[rng.UniformInt(
+            static_cast<int64_t>(dataset_->kg.size()))];
+        heads.push_back(trip[0]);
+        rels.push_back(trip[1]);
+        tails.push_back(trip[2]);
+        bad_tails.push_back(rng.UniformInt(dataset_->num_kg_nodes));
+      }
+      Var h = tape.GatherParam(&entity_emb_, heads);
+      Var r = tape.GatherParam(&rel_emb_, rels);
+      Var t = tape.GatherParam(&entity_emb_, tails);
+      Var t_bad = tape.GatherParam(&entity_emb_, bad_tails);
+      Var good = tape.Sub(tape.Add(h, r), t);
+      Var bad = tape.Sub(tape.Add(h, r), t_bad);
+      // BPR over plausibility scores -(distance^2).
+      Var good_score = tape.ScalarMul(tape.RowSum(tape.Square(good)), -1.0);
+      Var bad_score = tape.ScalarMul(tape.RowSum(tape.Square(bad)), -1.0);
+      Var kg_loss = tape.BprLoss(good_score, bad_score);
+      loss = tape.Add(loss, tape.ScalarMul(kg_loss, kg_loss_weight_));
+    }
+
+    total_loss += tape.value(loss).at(0, 0);
+    total += batch;
+    tape.Backward(loss);
+    optimizer_.Step(params);
+  }
+  return total > 0 ? total_loss / static_cast<double>(total) : 0.0;
+}
+
+std::vector<double> Cke::ScoreItems(int64_t user) const {
+  std::vector<double> scores(dataset_->num_items);
+  const real_t* u = user_emb_.value().row(user);
+  for (int64_t i = 0; i < dataset_->num_items; ++i) {
+    const real_t* cf = item_emb_.value().row(i);
+    const real_t* st = entity_emb_.value().row(i);
+    real_t dot = 0.0;
+    for (int64_t d = 0; d < options_.dim; ++d) dot += u[d] * (cf[d] + st[d]);
+    scores[i] = dot;
+  }
+  return scores;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,48 @@
+#ifndef KUCNET_BASELINES_CKE_H_
+#define KUCNET_BASELINES_CKE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/mf.h"
+#include "data/dataset.h"
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
+#include "train/model.h"
+#include "train/negative_sampler.h"
+
+/// \file
+/// CKE (Zhang et al. 2016), simplified: collaborative filtering embeddings
+/// enhanced by translational KG embeddings. The paper's TransR projection is
+/// reduced to TransE (as is common in re-implementations); the item's final
+/// representation is its CF embedding plus its structural KG embedding, and
+/// the KG is fitted jointly with a margin-style triplet objective.
+
+namespace kucnet {
+
+/// CKE: score(u, i) = u . (i_cf + i_kg), with TransE loss on the KG.
+class Cke : public RankModel {
+ public:
+  Cke(const Dataset* dataset, EmbeddingModelOptions options,
+      real_t kg_loss_weight = 0.5);
+
+  std::string name() const override { return "CKE"; }
+  int64_t ParamCount() const override;
+  double TrainEpoch(Rng& rng) override;
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+ private:
+  const Dataset* dataset_;
+  EmbeddingModelOptions options_;
+  real_t kg_loss_weight_;
+  NegativeSampler sampler_;
+  Parameter user_emb_;    ///< U x d
+  Parameter item_emb_;    ///< I x d (CF part)
+  Parameter entity_emb_;  ///< num_kg_nodes x d (structural part; items first)
+  Parameter rel_emb_;     ///< num_kg_relations x d (TransE translations)
+  Adam optimizer_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_CKE_H_

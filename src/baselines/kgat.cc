@@ -1,0 +1,132 @@
+#include "baselines/kgat.h"
+
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+Adam MakeAdam(const GnnBaselineOptions& options) {
+  AdamOptions a;
+  a.learning_rate = options.learning_rate;
+  a.weight_decay = options.weight_decay;
+  return Adam(a);
+}
+
+std::mutex& CacheMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+Kgat::Kgat(const Dataset* dataset, const Ckg* ckg, GnnBaselineOptions options)
+    : dataset_(dataset),
+      ckg_(ckg),
+      options_(options),
+      sampler_(*dataset),
+      edges_(AllEdges(*ckg)),
+      node_emb_("node_emb", Matrix()),
+      rel_emb_("rel_emb", Matrix()),
+      optimizer_(MakeAdam(options)) {
+  Rng rng(options.seed);
+  node_emb_ = Parameter(
+      "node_emb",
+      Matrix::RandomNormal(ckg->num_nodes(), options.dim, 0.1, rng));
+  rel_emb_ = Parameter(
+      "rel_emb",
+      Matrix::RandomNormal(ckg->num_relations(), options.dim, 0.1, rng));
+  for (int32_t l = 0; l < options.layers; ++l) {
+    layer_w_.emplace_back("w_l" + std::to_string(l),
+                          Matrix::GlorotUniform(options.dim, options.dim,
+                                                rng));
+  }
+}
+
+int64_t Kgat::ParamCount() const {
+  int64_t total = node_emb_.ParamCount() + rel_emb_.ParamCount();
+  for (const auto& w : layer_w_) total += w.ParamCount();
+  return total;
+}
+
+Var Kgat::ComputeNodeReps(Tape& tape) const {
+  Var h = tape.Param(const_cast<Parameter*>(&node_emb_));
+  Var final_rep = h;  // layer aggregation: sum of all layer outputs
+  for (const auto& w : layer_w_) {
+    Var e_src = tape.Gather(h, edges_.src);
+    Var e_dst = tape.Gather(h, edges_.dst);
+    Var e_rel =
+        tape.GatherParam(const_cast<Parameter*>(&rel_emb_), edges_.rel);
+    // pi(h, r, t) = e_t . tanh(e_h + e_r); softmax over incoming edges.
+    Var logits = tape.RowDot(e_dst, tape.Tanh(tape.Add(e_src, e_rel)));
+    Var exp_logits = tape.Exp(logits);
+    Var denom = tape.SegmentSum(exp_logits, edges_.dst, ckg_->num_nodes());
+    Var attention = tape.Hadamard(
+        exp_logits, tape.Reciprocal(tape.Gather(denom, edges_.dst)));
+    Var aggregated = tape.SegmentSum(tape.RowScale(e_src, attention),
+                                     edges_.dst, ckg_->num_nodes());
+    h = tape.LeakyRelu(
+        tape.MatMul(tape.Add(h, aggregated),
+                    tape.Param(const_cast<Parameter*>(&w))),
+        0.2);
+    final_rep = tape.Add(final_rep, h);
+  }
+  return final_rep;
+}
+
+void Kgat::RefreshCache() const {
+  Tape tape;
+  Var reps = ComputeNodeReps(tape);
+  cached_reps_ = tape.value(reps);
+  cache_valid_ = true;
+}
+
+double Kgat::TrainEpoch(Rng& rng) {
+  std::vector<std::array<int64_t, 2>> pairs = dataset_->train;
+  rng.Shuffle(pairs);
+  std::vector<Parameter*> params = {&node_emb_, &rel_emb_};
+  for (auto& w : layer_w_) params.push_back(&w);
+  double total_loss = 0.0;
+  int64_t total = 0;
+  for (size_t begin = 0; begin < pairs.size(); begin += options_.batch_size) {
+    const size_t end = std::min(pairs.size(), begin + options_.batch_size);
+    std::vector<int64_t> users, pos, neg;
+    for (size_t k = begin; k < end; ++k) {
+      users.push_back(ckg_->UserNode(pairs[k][0]));
+      pos.push_back(ckg_->ItemNode(pairs[k][1]));
+      neg.push_back(ckg_->ItemNode(sampler_.Sample(pairs[k][0], rng)));
+    }
+    Tape tape;
+    Var reps = ComputeNodeReps(tape);
+    Var u = tape.Gather(reps, users);
+    Var i = tape.Gather(reps, pos);
+    Var j = tape.Gather(reps, neg);
+    Var loss = tape.BprLoss(tape.RowDot(u, i), tape.RowDot(u, j));
+    total_loss += tape.value(loss).at(0, 0);
+    total += static_cast<int64_t>(users.size());
+    tape.Backward(loss);
+    optimizer_.Step(params);
+  }
+  cache_valid_ = false;
+  return total > 0 ? total_loss / static_cast<double>(total) : 0.0;
+}
+
+std::vector<double> Kgat::ScoreItems(int64_t user) const {
+  {
+    std::lock_guard<std::mutex> lock(CacheMutex());
+    if (!cache_valid_) RefreshCache();
+  }
+  std::vector<double> scores(dataset_->num_items);
+  const real_t* u = cached_reps_.row(ckg_->UserNode(user));
+  for (int64_t i = 0; i < dataset_->num_items; ++i) {
+    const real_t* iv = cached_reps_.row(ckg_->ItemNode(i));
+    real_t dot = 0.0;
+    for (int64_t d = 0; d < options_.dim; ++d) dot += u[d] * iv[d];
+    scores[i] = dot;
+  }
+  return scores;
+}
+
+}  // namespace kucnet

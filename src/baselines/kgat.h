@@ -1,0 +1,57 @@
+#ifndef KUCNET_BASELINES_KGAT_H_
+#define KUCNET_BASELINES_KGAT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/rgcn.h"
+#include "data/dataset.h"
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+#include "train/model.h"
+#include "train/negative_sampler.h"
+
+/// \file
+/// KGAT (Wang et al. 2019), simplified: attentive propagation over the CKG
+/// with node embeddings. Edge attention follows KGAT's knowledge-aware form
+/// pi(h, r, t) = e_t . tanh(e_h + e_r), softmax-normalized over each
+/// destination's incoming edges (we drop the per-relation TransR projection
+/// W_r; see DESIGN.md). Layer outputs are summed into the final
+/// representation, as in KGAT's layer aggregation.
+
+namespace kucnet {
+
+/// KGAT-style attentive CKG GNN; score(u, i) = h_u . h_i.
+class Kgat : public RankModel {
+ public:
+  Kgat(const Dataset* dataset, const Ckg* ckg, GnnBaselineOptions options);
+
+  std::string name() const override { return "KGAT"; }
+  int64_t ParamCount() const override;
+  double TrainEpoch(Rng& rng) override;
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+ private:
+  Var ComputeNodeReps(Tape& tape) const;
+  void RefreshCache() const;
+
+  const Dataset* dataset_;
+  const Ckg* ckg_;
+  GnnBaselineOptions options_;
+  NegativeSampler sampler_;
+  FlatEdges edges_;
+
+  Parameter node_emb_;  ///< num_nodes x d
+  Parameter rel_emb_;   ///< num_relations x d
+  std::vector<Parameter> layer_w_;  ///< d x d per layer
+  Adam optimizer_;
+
+  mutable Matrix cached_reps_;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_KGAT_H_

@@ -1,0 +1,85 @@
+#include "baselines/mf.h"
+
+#include "tensor/tape.h"
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+Adam MakeAdam(const EmbeddingModelOptions& options) {
+  AdamOptions a;
+  a.learning_rate = options.learning_rate;
+  a.weight_decay = options.weight_decay;
+  return Adam(a);
+}
+
+}  // namespace
+
+Mf::Mf(const Dataset* dataset, EmbeddingModelOptions options)
+    : dataset_(dataset),
+      options_(options),
+      sampler_(*dataset),
+      user_emb_("user_emb", Matrix()),
+      item_emb_("item_emb", Matrix()),
+      item_bias_("item_bias", Matrix::Zeros(dataset->num_items, 1)),
+      optimizer_(MakeAdam(options)) {
+  Rng rng(options.seed);
+  const real_t scale = 0.1;
+  user_emb_ = Parameter(
+      "user_emb",
+      Matrix::RandomNormal(dataset->num_users, options.dim, scale, rng));
+  item_emb_ = Parameter(
+      "item_emb",
+      Matrix::RandomNormal(dataset->num_items, options.dim, scale, rng));
+}
+
+int64_t Mf::ParamCount() const {
+  return user_emb_.ParamCount() + item_emb_.ParamCount() +
+         item_bias_.ParamCount();
+}
+
+double Mf::TrainEpoch(Rng& rng) {
+  std::vector<std::array<int64_t, 2>> pairs = dataset_->train;
+  rng.Shuffle(pairs);
+  double total_loss = 0.0;
+  int64_t total = 0;
+  for (size_t begin = 0; begin < pairs.size();
+       begin += options_.batch_size) {
+    const size_t end = std::min(pairs.size(), begin + options_.batch_size);
+    std::vector<int64_t> users, pos, neg;
+    for (size_t k = begin; k < end; ++k) {
+      users.push_back(pairs[k][0]);
+      pos.push_back(pairs[k][1]);
+      neg.push_back(sampler_.Sample(pairs[k][0], rng));
+    }
+    Tape tape;
+    Var u = tape.GatherParam(&user_emb_, users);
+    Var i = tape.GatherParam(&item_emb_, pos);
+    Var j = tape.GatherParam(&item_emb_, neg);
+    Var bi = tape.GatherParam(&item_bias_, pos);
+    Var bj = tape.GatherParam(&item_bias_, neg);
+    Var pos_score = tape.Add(tape.RowDot(u, i), bi);
+    Var neg_score = tape.Add(tape.RowDot(u, j), bj);
+    Var loss = tape.BprLoss(pos_score, neg_score);
+    total_loss += tape.value(loss).at(0, 0);
+    total += static_cast<int64_t>(users.size());
+    tape.Backward(loss);
+    optimizer_.Step({&user_emb_, &item_emb_, &item_bias_});
+  }
+  return total > 0 ? total_loss / static_cast<double>(total) : 0.0;
+}
+
+std::vector<double> Mf::ScoreItems(int64_t user) const {
+  std::vector<double> scores(dataset_->num_items);
+  const real_t* u = user_emb_.value().row(user);
+  for (int64_t i = 0; i < dataset_->num_items; ++i) {
+    const real_t* iv = item_emb_.value().row(i);
+    real_t dot = item_bias_.value().at(i, 0);
+    for (int64_t d = 0; d < options_.dim; ++d) dot += u[d] * iv[d];
+    scores[i] = dot;
+  }
+  return scores;
+}
+
+}  // namespace kucnet

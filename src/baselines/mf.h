@@ -1,0 +1,51 @@
+#ifndef KUCNET_BASELINES_MF_H_
+#define KUCNET_BASELINES_MF_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
+#include "train/model.h"
+#include "train/negative_sampler.h"
+
+/// \file
+/// BPR-MF (Rendle et al. 2009): the matrix-factorization baseline of
+/// Table III. Pure collaborative filtering — user/item embeddings plus an
+/// item bias, trained with the pairwise BPR objective.
+
+namespace kucnet {
+
+/// Hyper-parameters shared by the embedding-family baselines.
+struct EmbeddingModelOptions {
+  int64_t dim = 32;
+  real_t learning_rate = 0.01;
+  real_t weight_decay = 1e-5;
+  int64_t batch_size = 256;
+  uint64_t seed = 17;
+};
+
+/// Matrix factorization with BPR loss. Score(u, i) = u . i + b_i.
+class Mf : public RankModel {
+ public:
+  Mf(const Dataset* dataset, EmbeddingModelOptions options);
+
+  std::string name() const override { return "MF"; }
+  int64_t ParamCount() const override;
+  double TrainEpoch(Rng& rng) override;
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+ private:
+  const Dataset* dataset_;
+  EmbeddingModelOptions options_;
+  NegativeSampler sampler_;
+  Parameter user_emb_;
+  Parameter item_emb_;
+  Parameter item_bias_;
+  Adam optimizer_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_MF_H_

@@ -1,0 +1,114 @@
+#include "baselines/pathsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+/// Default meta-paths (see header).
+std::vector<MetaPath> DefaultPaths(const Dataset& dataset, const Ckg& ckg) {
+  const int64_t interact = Ckg::kInteractRelation;
+  const int64_t inv_interact = ckg.InverseRelation(interact);
+  MetaPathStep any_kg, any_inv_kg;
+  for (int64_t r = 1; r <= ckg.num_kg_relations(); ++r) {
+    any_kg.push_back(r);
+    any_inv_kg.push_back(ckg.InverseRelation(r));
+  }
+  std::vector<MetaPath> paths;
+  // Collaborative: U -> I -> U -> I.
+  paths.push_back({{interact}, {inv_interact}, {interact}});
+  // Attribute: U -> I -> E -> I (both edge directions through the entity).
+  MetaPathStep any_dir = any_kg;
+  any_dir.insert(any_dir.end(), any_inv_kg.begin(), any_inv_kg.end());
+  paths.push_back({{interact}, any_dir, any_dir});
+  if (!dataset.user_kg.empty()) {
+    // Social / disease-disease: U -> U -> I.
+    MetaPathStep user_rels;
+    for (const auto& [h, r, t] : dataset.user_kg) {
+      const int64_t rel = r + 1;  // CKG relation id
+      if (std::find(user_rels.begin(), user_rels.end(), rel) ==
+          user_rels.end()) {
+        user_rels.push_back(rel);
+        user_rels.push_back(ckg.InverseRelation(rel));
+      }
+    }
+    paths.push_back({user_rels, {interact}});
+  }
+  return paths;
+}
+
+}  // namespace
+
+PathSim::PathSim(const Dataset* dataset, const Ckg* ckg,
+                 std::vector<MetaPath> paths)
+    : dataset_(dataset), ckg_(ckg), paths_(std::move(paths)) {
+  KUC_CHECK(dataset != nullptr);
+  KUC_CHECK(ckg != nullptr);
+  if (paths_.empty()) paths_ = DefaultPaths(*dataset, *ckg);
+  // Precompute per-item path degrees: sum of instance counts from every
+  // user. This is the |paths(. -> i)| term of the PathSim normalization.
+  item_path_degree_.assign(paths_.size(),
+                           std::vector<double>(dataset->num_items, 0.0));
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    for (int64_t u = 0; u < dataset->num_users; ++u) {
+      const auto counts = CountPaths(ckg->UserNode(u), paths_[p]);
+      for (int64_t i = 0; i < dataset->num_items; ++i) {
+        item_path_degree_[p][i] += counts[ckg->ItemNode(i)];
+      }
+    }
+  }
+}
+
+double PathSim::TrainEpoch(Rng& rng) {
+  (void)rng;
+  return 0.0;
+}
+
+std::vector<double> PathSim::CountPaths(int64_t source_node,
+                                        const MetaPath& path) const {
+  std::unordered_map<int64_t, double> frontier = {{source_node, 1.0}};
+  for (const MetaPathStep& step : path) {
+    std::unordered_map<int64_t, double> next;
+    for (const auto& [node, count] : frontier) {
+      const auto rels = ckg_->OutRelations(node);
+      const auto dsts = ckg_->OutNeighbors(node);
+      for (size_t k = 0; k < dsts.size(); ++k) {
+        if (std::find(step.begin(), step.end(), rels[k]) != step.end()) {
+          next[dsts[k]] += count;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<double> counts(ckg_->num_nodes(), 0.0);
+  for (const auto& [node, count] : frontier) counts[node] = count;
+  return counts;
+}
+
+std::vector<double> PathSim::ScoreItems(int64_t user) const {
+  std::vector<double> scores(dataset_->num_items, 0.0);
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    const auto counts = CountPaths(ckg_->UserNode(user), paths_[p]);
+    // User-side degree of this path: total instances from this user.
+    double user_degree = 0.0;
+    for (int64_t i = 0; i < dataset_->num_items; ++i) {
+      user_degree += counts[ckg_->ItemNode(i)];
+    }
+    if (user_degree == 0.0) continue;
+    for (int64_t i = 0; i < dataset_->num_items; ++i) {
+      const double c = counts[ckg_->ItemNode(i)];
+      if (c == 0.0) continue;
+      // PathSim-style symmetric normalization: 2c / (deg(u) + deg(i)).
+      scores[i] +=
+          2.0 * c / (user_degree + item_path_degree_[p][i] + 1e-12);
+    }
+  }
+  return scores;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,57 @@
+#ifndef KUCNET_BASELINES_PATHSIM_H_
+#define KUCNET_BASELINES_PATHSIM_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/ckg.h"
+#include "train/model.h"
+
+/// \file
+/// PathSim (Sun et al. 2011) adapted to recommendation (Sec. V-C1):
+/// pre-defined meta-paths from users to items are counted over the CKG, and
+/// path-instance counts are combined under PathSim-style symmetric degree
+/// normalization. Fully heuristic and inductive — new items are reached as
+/// long as a meta-path instance exists.
+
+namespace kucnet {
+
+/// One meta-path step: the set of CKG relation ids a hop may traverse.
+using MetaPathStep = std::vector<int64_t>;
+
+/// A meta-path is a sequence of steps (relation-constrained hops).
+using MetaPath = std::vector<MetaPathStep>;
+
+/// PathSim meta-path recommender.
+class PathSim : public RankModel {
+ public:
+  /// Uses the default meta-paths for the dataset when `paths` is empty:
+  ///   U -interact-> I -inv-interact-> U -interact-> I   (collaborative)
+  ///   U -interact-> I -any KG-> E -any inv KG-> I       (attribute)
+  /// plus, when the dataset has user-side KG edges,
+  ///   U -user-rel-> U -interact-> I (stay)              (social/disease)
+  PathSim(const Dataset* dataset, const Ckg* ckg,
+          std::vector<MetaPath> paths = {});
+
+  std::string name() const override { return "PathSim"; }
+  int64_t ParamCount() const override { return 0; }
+  double TrainEpoch(Rng& rng) override;  ///< no-op, returns 0
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+  /// Path-instance counts from `source` following `path`, over all nodes.
+  std::vector<double> CountPaths(int64_t source_node,
+                                 const MetaPath& path) const;
+
+ private:
+  const Dataset* dataset_;
+  const Ckg* ckg_;
+  std::vector<MetaPath> paths_;
+  /// Per meta-path, per item: total instance count over all users
+  /// (the "degree" used for symmetric normalization).
+  std::vector<std::vector<double>> item_path_degree_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_PATHSIM_H_

@@ -1,0 +1,38 @@
+#ifndef KUCNET_BASELINES_PPR_REC_H_
+#define KUCNET_BASELINES_PPR_REC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ppr/ppr.h"
+#include "train/model.h"
+
+/// \file
+/// The PPR baseline of Sec. V-C1: rank items directly by the user's
+/// Personalized PageRank score over the CKG. Purely structural — no
+/// training, no embeddings — which is exactly why it survives the new-item
+/// setting where embedding methods collapse (Table IV).
+
+namespace kucnet {
+
+/// Heuristic PPR recommender.
+class PprRec : public RankModel {
+ public:
+  /// `ppr` and `ckg` must outlive the model.
+  PprRec(const Dataset* dataset, const Ckg* ckg, const PprTable* ppr);
+
+  std::string name() const override { return "PPR"; }
+  int64_t ParamCount() const override { return 0; }
+  double TrainEpoch(Rng& rng) override;  ///< no-op, returns 0
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+ private:
+  const Dataset* dataset_;
+  const Ckg* ckg_;
+  const PprTable* ppr_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_PPR_REC_H_

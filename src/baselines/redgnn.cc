@@ -1,0 +1,14 @@
+#include "baselines/redgnn.h"
+
+namespace kucnet {
+
+KucnetOptions RedGnn::ToRedGnnOptions(KucnetOptions options) {
+  options.prune = PruneMode::kRandom;     // uniform cap, no PPR
+  options.attention_on_source = false;    // relation-only attention
+  return options;
+}
+
+RedGnn::RedGnn(const Dataset* dataset, const Ckg* ckg, KucnetOptions options)
+    : inner_(dataset, ckg, /*ppr=*/nullptr, ToRedGnnOptions(options)) {}
+
+}  // namespace kucnet

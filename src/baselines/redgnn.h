@@ -1,0 +1,40 @@
+#ifndef KUCNET_BASELINES_REDGNN_H_
+#define KUCNET_BASELINES_REDGNN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/kucnet.h"
+#include "train/model.h"
+
+/// \file
+/// RED-GNN (Zhang & Yao 2022) adapted to recommendation (Sec. V-C1): the
+/// same inductive subgraph message passing family as KUCNet, but — as in the
+/// original KG-completion model — without user-personalized pruning (a
+/// uniform per-node cap instead of PPR top-K) and with relation-conditioned
+/// attention only (the attention logit does not see the propagated user
+/// representation). These are exactly the two axes on which KUCNet improves
+/// over it (Sec. IV-C, Table IX).
+
+namespace kucnet {
+
+/// RED-GNN baseline, implemented on the shared subgraph-GNN kernel.
+class RedGnn : public RankModel {
+ public:
+  RedGnn(const Dataset* dataset, const Ckg* ckg, KucnetOptions options);
+
+  std::string name() const override { return "REDGNN"; }
+  int64_t ParamCount() const override { return inner_.ParamCount(); }
+  double TrainEpoch(Rng& rng) override { return inner_.TrainEpoch(rng); }
+  std::vector<double> ScoreItems(int64_t user) const override {
+    return inner_.ScoreItems(user);
+  }
+
+ private:
+  static KucnetOptions ToRedGnnOptions(KucnetOptions options);
+  Kucnet inner_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_REDGNN_H_

@@ -1,0 +1,52 @@
+#ifndef KUCNET_BASELINES_REGISTRY_H_
+#define KUCNET_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kucnet.h"
+#include "data/dataset.h"
+#include "graph/ckg.h"
+#include "ppr/ppr.h"
+#include "train/model.h"
+
+/// \file
+/// Factory over every model in the library, used by the benchmark harness
+/// to instantiate the rows of Tables III-V by name.
+
+namespace kucnet {
+
+/// Everything a model might need to be constructed. All pointers must
+/// outlive the created model.
+struct ModelContext {
+  const Dataset* dataset = nullptr;
+  const Ckg* ckg = nullptr;
+  const PprTable* ppr = nullptr;  ///< required for "PPR" and "KUCNet"
+  int64_t dim = 32;
+  uint64_t seed = 17;
+  /// Overrides for KUCNet-family models (sample K, depth L, ...).
+  KucnetOptions kucnet;
+};
+
+/// Names accepted by CreateModel, in the paper's table order.
+std::vector<std::string> AllModelNames();
+
+/// The baselines evaluated in the traditional setting (Table III).
+std::vector<std::string> TraditionalBaselineNames();
+
+/// The extra inductive baselines added for new items (Table IV: PPR,
+/// PathSim, REDGNN).
+std::vector<std::string> InductiveBaselineNames();
+
+/// Instantiates a model by display name ("MF", "KGAT", "KUCNet",
+/// "KUCNet-random", "KUCNet-w.o.-Attn", ...). Aborts on unknown names.
+std::unique_ptr<RankModel> CreateModel(const std::string& name,
+                                       const ModelContext& context);
+
+/// Sensible per-model epoch counts for the bench harness (heuristics get 0).
+int DefaultEpochs(const std::string& name);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_REGISTRY_H_

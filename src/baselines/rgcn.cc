@@ -1,0 +1,159 @@
+#include "baselines/rgcn.h"
+
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+Adam MakeAdam(const GnnBaselineOptions& options) {
+  AdamOptions a;
+  a.learning_rate = options.learning_rate;
+  a.weight_decay = options.weight_decay;
+  return Adam(a);
+}
+
+/// Guards lazy cache refresh across concurrent ScoreItems calls.
+std::mutex& CacheMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+Rgcn::Rgcn(const Dataset* dataset, const Ckg* ckg, GnnBaselineOptions options)
+    : dataset_(dataset),
+      ckg_(ckg),
+      options_(options),
+      sampler_(*dataset),
+      node_emb_("node_emb", Matrix()),
+      optimizer_(MakeAdam(options)) {
+  Rng rng(options.seed);
+  node_emb_ = Parameter(
+      "node_emb",
+      Matrix::RandomNormal(ckg->num_nodes(), options.dim, 0.1, rng));
+
+  // Group edges by relation and compute mean normalizers per destination.
+  const FlatEdges all = AllEdges(*ckg);
+  edges_by_relation_.resize(ckg->num_relations());
+  std::vector<std::vector<int64_t>> indeg(
+      ckg->num_relations(), std::vector<int64_t>(ckg->num_nodes(), 0));
+  for (int64_t e = 0; e < all.size(); ++e) {
+    ++indeg[all.rel[e]][all.dst[e]];
+  }
+  for (int64_t e = 0; e < all.size(); ++e) {
+    edges_by_relation_[all.rel[e]].src.push_back(all.src[e]);
+    edges_by_relation_[all.rel[e]].dst.push_back(all.dst[e]);
+  }
+  for (int64_t r = 0; r < ckg->num_relations(); ++r) {
+    auto& group = edges_by_relation_[r];
+    group.norm = Matrix(static_cast<int64_t>(group.src.size()), 1);
+    for (size_t e = 0; e < group.src.size(); ++e) {
+      group.norm.at(static_cast<int64_t>(e), 0) =
+          1.0 / static_cast<real_t>(indeg[r][group.dst[e]]);
+    }
+  }
+
+  layers_.reserve(options.layers);
+  for (int32_t l = 0; l < options.layers; ++l) {
+    LayerParams layer{
+        {},
+        Parameter("w_self_l" + std::to_string(l),
+                  Matrix::GlorotUniform(options.dim, options.dim, rng))};
+    for (int64_t r = 0; r < ckg->num_relations(); ++r) {
+      layer.w_rel.emplace_back(
+          "w_rel" + std::to_string(r) + "_l" + std::to_string(l),
+          Matrix::GlorotUniform(options.dim, options.dim, rng));
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+int64_t Rgcn::ParamCount() const {
+  int64_t total = node_emb_.ParamCount();
+  for (const auto& layer : layers_) {
+    total += layer.w_self.ParamCount();
+    for (const auto& w : layer.w_rel) total += w.ParamCount();
+  }
+  return total;
+}
+
+Var Rgcn::ComputeNodeReps(Tape& tape) const {
+  Var h = tape.Param(const_cast<Parameter*>(&node_emb_));
+  for (const auto& layer : layers_) {
+    Var out = tape.MatMul(h, tape.Param(const_cast<Parameter*>(
+                                 &layer.w_self)));
+    for (size_t r = 0; r < edges_by_relation_.size(); ++r) {
+      const auto& group = edges_by_relation_[r];
+      if (group.src.empty()) continue;
+      Var transformed = tape.MatMul(
+          h, tape.Param(const_cast<Parameter*>(&layer.w_rel[r])));
+      Var messages = tape.RowScale(tape.Gather(transformed, group.src),
+                                   tape.Constant(group.norm));
+      out = tape.Add(out,
+                     tape.SegmentSum(messages, group.dst, ckg_->num_nodes()));
+    }
+    h = tape.Tanh(out);
+  }
+  return h;
+}
+
+void Rgcn::RefreshCache() const {
+  Tape tape;
+  Var reps = ComputeNodeReps(tape);
+  cached_reps_ = tape.value(reps);
+  cache_valid_ = true;
+}
+
+double Rgcn::TrainEpoch(Rng& rng) {
+  std::vector<std::array<int64_t, 2>> pairs = dataset_->train;
+  rng.Shuffle(pairs);
+  std::vector<Parameter*> params = {&node_emb_};
+  for (auto& layer : layers_) {
+    params.push_back(&layer.w_self);
+    for (auto& w : layer.w_rel) params.push_back(&w);
+  }
+  double total_loss = 0.0;
+  int64_t total = 0;
+  for (size_t begin = 0; begin < pairs.size(); begin += options_.batch_size) {
+    const size_t end = std::min(pairs.size(), begin + options_.batch_size);
+    std::vector<int64_t> users, pos, neg;
+    for (size_t k = begin; k < end; ++k) {
+      users.push_back(ckg_->UserNode(pairs[k][0]));
+      pos.push_back(ckg_->ItemNode(pairs[k][1]));
+      neg.push_back(ckg_->ItemNode(sampler_.Sample(pairs[k][0], rng)));
+    }
+    Tape tape;
+    Var reps = ComputeNodeReps(tape);
+    Var u = tape.Gather(reps, users);
+    Var i = tape.Gather(reps, pos);
+    Var j = tape.Gather(reps, neg);
+    Var loss = tape.BprLoss(tape.RowDot(u, i), tape.RowDot(u, j));
+    total_loss += tape.value(loss).at(0, 0);
+    total += static_cast<int64_t>(users.size());
+    tape.Backward(loss);
+    optimizer_.Step(params);
+  }
+  cache_valid_ = false;
+  return total > 0 ? total_loss / static_cast<double>(total) : 0.0;
+}
+
+std::vector<double> Rgcn::ScoreItems(int64_t user) const {
+  {
+    std::lock_guard<std::mutex> lock(CacheMutex());
+    if (!cache_valid_) RefreshCache();
+  }
+  std::vector<double> scores(dataset_->num_items);
+  const real_t* u = cached_reps_.row(ckg_->UserNode(user));
+  for (int64_t i = 0; i < dataset_->num_items; ++i) {
+    const real_t* iv = cached_reps_.row(ckg_->ItemNode(i));
+    real_t dot = 0.0;
+    for (int64_t d = 0; d < options_.dim; ++d) dot += u[d] * iv[d];
+    scores[i] = dot;
+  }
+  return scores;
+}
+
+}  // namespace kucnet

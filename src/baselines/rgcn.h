@@ -1,0 +1,79 @@
+#ifndef KUCNET_BASELINES_RGCN_H_
+#define KUCNET_BASELINES_RGCN_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/mf.h"
+#include "data/dataset.h"
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+#include "train/model.h"
+#include "train/negative_sampler.h"
+
+/// \file
+/// R-GCN (Schlichtkrull et al. 2018) over the CKG: per-relation mean
+/// aggregation with relation-specific weight matrices plus a self
+/// transform, node embeddings as layer-0 input, dot-product scoring.
+/// As the paper notes (Sec. V-B2), R-GCN was designed for KG completion,
+/// not recommendation — it treats the interact relation like any other.
+
+namespace kucnet {
+
+/// Options for the full-graph GNN baselines.
+struct GnnBaselineOptions {
+  int64_t dim = 32;
+  int32_t layers = 2;
+  real_t learning_rate = 0.01;
+  real_t weight_decay = 1e-5;
+  int64_t batch_size = 512;
+  uint64_t seed = 19;
+};
+
+/// Relational GCN with node embeddings; score(u, i) = h_u . h_i.
+class Rgcn : public RankModel {
+ public:
+  Rgcn(const Dataset* dataset, const Ckg* ckg, GnnBaselineOptions options);
+
+  std::string name() const override { return "R-GCN"; }
+  int64_t ParamCount() const override;
+  double TrainEpoch(Rng& rng) override;
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+ private:
+  /// Full-graph forward: node representations after `layers` hops.
+  Var ComputeNodeReps(Tape& tape) const;
+
+  /// Refreshes the cached (no-gradient) node representations for scoring.
+  void RefreshCache() const;
+
+  const Dataset* dataset_;
+  const Ckg* ckg_;
+  GnnBaselineOptions options_;
+  NegativeSampler sampler_;
+
+  /// Edges grouped by relation; per-edge 1/|N_r(dst)| normalizers.
+  struct RelationEdges {
+    std::vector<int64_t> src;
+    std::vector<int64_t> dst;
+    Matrix norm;  ///< E x 1
+  };
+  std::vector<RelationEdges> edges_by_relation_;
+
+  Parameter node_emb_;  ///< num_nodes x d
+  struct LayerParams {
+    std::vector<Parameter> w_rel;  ///< one d x d per relation
+    Parameter w_self;              ///< d x d
+  };
+  std::vector<LayerParams> layers_;
+  Adam optimizer_;
+
+  mutable Matrix cached_reps_;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_RGCN_H_

@@ -1,0 +1,160 @@
+#include "baselines/ripplenet.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+Adam MakeAdam(const EmbeddingModelOptions& options) {
+  AdamOptions a;
+  a.learning_rate = options.learning_rate;
+  a.weight_decay = options.weight_decay;
+  return Adam(a);
+}
+
+}  // namespace
+
+RippleNet::RippleNet(const Dataset* dataset, const Ckg* ckg,
+                     EmbeddingModelOptions options,
+                     int64_t max_triples_per_hop)
+    : dataset_(dataset),
+      options_(options),
+      sampler_(*dataset),
+      entity_emb_("entity_emb", Matrix()),
+      rel_emb_("rel_emb", Matrix()),
+      optimizer_(MakeAdam(options)) {
+  (void)ckg;
+  Rng rng(options.seed);
+  const real_t scale = 0.1;
+  entity_emb_ = Parameter(
+      "entity_emb",
+      Matrix::RandomNormal(dataset->num_kg_nodes, options.dim, scale, rng));
+  rel_emb_ = Parameter(
+      "rel_emb",
+      Matrix::RandomNormal(std::max<int64_t>(1, dataset->num_kg_relations),
+                           options.dim, scale, rng));
+
+  // KG adjacency in KG-local ids (undirected for propagation).
+  std::vector<std::vector<Triple>> by_head(dataset->num_kg_nodes);
+  for (const auto& [h, r, t] : dataset->kg) {
+    by_head[h].push_back({h, r, t});
+    by_head[t].push_back({t, r, h});
+  }
+
+  const auto train_items = dataset->TrainItemsByUser();
+  for (int hop = 0; hop < 2; ++hop) {
+    ripple_sets_[hop].resize(dataset->num_users);
+  }
+  for (int64_t u = 0; u < dataset->num_users; ++u) {
+    // Hop 1: triples whose head is an interacted item.
+    std::vector<Triple> hop1;
+    for (const int64_t i : train_items[u]) {
+      for (const Triple& t : by_head[i]) hop1.push_back(t);
+    }
+    if (static_cast<int64_t>(hop1.size()) > max_triples_per_hop) {
+      rng.Shuffle(hop1);
+      hop1.resize(max_triples_per_hop);
+    }
+    // Hop 2: triples whose head is a tail of hop 1.
+    std::vector<Triple> hop2;
+    std::unordered_set<int64_t> frontier;
+    for (const Triple& t : hop1) frontier.insert(t.tail);
+    for (const int64_t e : frontier) {
+      for (const Triple& t : by_head[e]) hop2.push_back(t);
+    }
+    if (static_cast<int64_t>(hop2.size()) > max_triples_per_hop) {
+      rng.Shuffle(hop2);
+      hop2.resize(max_triples_per_hop);
+    }
+    ripple_sets_[0][u] = std::move(hop1);
+    ripple_sets_[1][u] = std::move(hop2);
+  }
+}
+
+int64_t RippleNet::ParamCount() const {
+  return entity_emb_.ParamCount() + rel_emb_.ParamCount();
+}
+
+Var RippleNet::ScorePairs(Tape& tape, const std::vector<int64_t>& users,
+                          const std::vector<int64_t>& items) const {
+  KUC_CHECK_EQ(users.size(), items.size());
+  auto* ee = const_cast<Parameter*>(&entity_emb_);
+  auto* re = const_cast<Parameter*>(&rel_emb_);
+  const int64_t batch = static_cast<int64_t>(users.size());
+  Var v = tape.GatherParam(ee, items);  // candidate item embeddings (queries)
+
+  Var preference;  // o^1 + o^2
+  bool has_preference = false;
+  for (int hop = 0; hop < 2; ++hop) {
+    std::vector<int64_t> heads, rels, tails, seg;
+    for (size_t k = 0; k < users.size(); ++k) {
+      for (const Triple& t : ripple_sets_[hop][users[k]]) {
+        heads.push_back(t.head);
+        rels.push_back(t.rel);
+        tails.push_back(t.tail);
+        seg.push_back(static_cast<int64_t>(k));
+      }
+    }
+    if (heads.empty()) continue;
+    Var h = tape.GatherParam(ee, heads);
+    Var r = tape.GatherParam(re, rels);
+    Var t = tape.GatherParam(ee, tails);
+    Var query = tape.Gather(v, seg);
+    // Attention p_j = softmax_j(v . (h_j + r_j)) within each example.
+    Var logits = tape.RowDot(query, tape.Add(h, r));
+    Var exp_logits = tape.Exp(logits);
+    Var denom = tape.SegmentSum(exp_logits, seg, batch);
+    Var att = tape.Hadamard(exp_logits,
+                            tape.Reciprocal(tape.Gather(denom, seg)));
+    Var o = tape.SegmentSum(tape.RowScale(t, att), seg, batch);
+    preference = has_preference ? tape.Add(preference, o) : o;
+    has_preference = true;
+  }
+  if (!has_preference) {
+    preference = tape.Constant(Matrix::Zeros(batch, options_.dim));
+  }
+  return tape.RowDot(preference, v);
+}
+
+double RippleNet::TrainEpoch(Rng& rng) {
+  std::vector<std::array<int64_t, 2>> pairs = dataset_->train;
+  rng.Shuffle(pairs);
+  const std::vector<Parameter*> params = {&entity_emb_, &rel_emb_};
+  double total_loss = 0.0;
+  int64_t total = 0;
+  for (size_t begin = 0; begin < pairs.size(); begin += options_.batch_size) {
+    const size_t end = std::min(pairs.size(), begin + options_.batch_size);
+    std::vector<int64_t> users, pos, neg;
+    for (size_t k = begin; k < end; ++k) {
+      users.push_back(pairs[k][0]);
+      pos.push_back(pairs[k][1]);
+      neg.push_back(sampler_.Sample(pairs[k][0], rng));
+    }
+    Tape tape;
+    Var loss = tape.BprLoss(ScorePairs(tape, users, pos),
+                            ScorePairs(tape, users, neg));
+    total_loss += tape.value(loss).at(0, 0);
+    total += static_cast<int64_t>(users.size());
+    tape.Backward(loss);
+    optimizer_.Step(params);
+  }
+  return total > 0 ? total_loss / static_cast<double>(total) : 0.0;
+}
+
+std::vector<double> RippleNet::ScoreItems(int64_t user) const {
+  std::vector<int64_t> users(dataset_->num_items, user);
+  std::vector<int64_t> items(dataset_->num_items);
+  for (int64_t i = 0; i < dataset_->num_items; ++i) items[i] = i;
+  Tape tape;
+  Var s = ScorePairs(tape, users, items);
+  const Matrix& values = tape.value(s);
+  std::vector<double> scores(dataset_->num_items);
+  for (int64_t i = 0; i < dataset_->num_items; ++i) scores[i] = values.at(i, 0);
+  return scores;
+}
+
+}  // namespace kucnet

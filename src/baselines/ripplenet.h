@@ -1,0 +1,62 @@
+#ifndef KUCNET_BASELINES_RIPPLENET_H_
+#define KUCNET_BASELINES_RIPPLENET_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/mf.h"
+#include "data/dataset.h"
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+#include "train/model.h"
+#include "train/negative_sampler.h"
+
+/// \file
+/// RippleNet (Wang et al. 2018), simplified: the user's preferences
+/// propagate along KG triples anchored at their interacted items. For each
+/// hop, attention over the ripple triples is computed against the candidate
+/// item embedding (query), producing a preference vector o^k; the score is
+/// (o^1 + o^2) . v. The per-triple relation matrix R is reduced to an
+/// additive relation embedding (see DESIGN.md).
+
+namespace kucnet {
+
+/// RippleNet-style preference propagation; two hops, capped ripple sets.
+class RippleNet : public RankModel {
+ public:
+  RippleNet(const Dataset* dataset, const Ckg* ckg,
+            EmbeddingModelOptions options, int64_t max_triples_per_hop = 32);
+
+  std::string name() const override { return "RippleNet"; }
+  int64_t ParamCount() const override;
+  double TrainEpoch(Rng& rng) override;
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+ private:
+  struct Triple {
+    int64_t head;
+    int64_t rel;
+    int64_t tail;
+  };
+
+  /// Scores (users[k], items[k]) pairs.
+  Var ScorePairs(Tape& tape, const std::vector<int64_t>& users,
+                 const std::vector<int64_t>& items) const;
+
+  const Dataset* dataset_;
+  EmbeddingModelOptions options_;
+  NegativeSampler sampler_;
+  /// ripple_sets_[hop][user] = capped triple list.
+  std::array<std::vector<std::vector<Triple>>, 2> ripple_sets_;
+
+  Parameter entity_emb_;  ///< num_kg_nodes x d
+  Parameter rel_emb_;     ///< num_kg_relations x d
+  Adam optimizer_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_BASELINES_RIPPLENET_H_

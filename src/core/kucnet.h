@@ -1,0 +1,156 @@
+#ifndef KUCNET_CORE_KUCNET_H_
+#define KUCNET_CORE_KUCNET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/compgraph.h"
+#include "ppr/ppr.h"
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+#include "train/model.h"
+#include "train/negative_sampler.h"
+
+/// \file
+/// KUCNet: the Knowledge-enhanced User-Centric subgraph Network (Sec. IV).
+///
+/// For each user, a pruned user-centric computation graph (Alg. 1) is built
+/// over the CKG; L layers of attention-weighted relational message passing
+/// (Eq. 5-6) propagate a representation from the user to every reachable
+/// node; a linear readout (Eq. 7) scores every candidate item at once
+/// (Proposition 1). No node embeddings exist, so the model is inductive:
+/// new items and new users are scored through the structure around them.
+
+namespace kucnet {
+
+/// The activation delta of Eq. (5).
+enum class KucnetActivation { kIdentity, kTanh, kRelu };
+
+/// Hyper-parameters (paper ranges in Sec. V-A3).
+struct KucnetOptions {
+  int64_t hidden_dim = 32;      ///< d
+  int64_t attention_dim = 5;    ///< d_alpha
+  int32_t depth = 3;            ///< L
+  int64_t sample_k = 30;        ///< K (0 = no pruning)
+  PruneMode prune = PruneMode::kPpr;
+  bool use_attention = true;    ///< false = KUCNet-w.o.-Attn (Table IX)
+  /// When false, the attention logit uses only the relation embedding (no
+  /// W_as h_src term) — RED-GNN-style relation-conditioned attention.
+  bool attention_on_source = true;
+  KucnetActivation activation = KucnetActivation::kRelu;
+  real_t learning_rate = 5e-3;
+  real_t weight_decay = 1e-5;
+  real_t dropout = 0.0;
+  /// Positive pairs drawn per user per epoch (each with one negative).
+  int64_t positives_per_user = 4;
+  /// Users per optimizer step.
+  int64_t users_per_step = 8;
+  /// Hide the sampled positive (u, i) edges while training on them, so the
+  /// model cannot shortcut through the edge it is asked to predict.
+  bool exclude_target_edges = true;
+  uint64_t seed = 13;
+};
+
+/// One scored edge of a forward pass, for interpretability (Sec. V-F).
+struct AttributedEdge {
+  int32_t layer;  ///< 1-based hop
+  int64_t src;    ///< global node id
+  int64_t rel;    ///< CKG relation id (may be the self-loop)
+  int64_t dst;    ///< global node id
+  double attention;  ///< alpha in [0, 1]
+};
+
+/// Everything a forward pass produces.
+struct KucnetForward {
+  UserCompGraph graph;
+  std::vector<double> item_scores;         ///< size num_items; 0 if unreachable
+  std::vector<AttributedEdge> edges;       ///< all edges with attention weights
+};
+
+/// The KUCNet model (also covers the paper's ablation variants via options;
+/// see Sec. V-G and Table IX).
+class Kucnet : public RankModel {
+ public:
+  /// `ppr` may be null unless options.prune == kPpr. All pointers must
+  /// outlive the model.
+  Kucnet(const Dataset* dataset, const Ckg* ckg, const PprTable* ppr,
+         KucnetOptions options);
+
+  std::string name() const override;
+  int64_t ParamCount() const override;
+  double TrainEpoch(Rng& rng) override;
+  std::vector<double> ScoreItems(int64_t user) const override;
+
+  /// Full forward pass on the user's pruned graph, with attention weights
+  /// (used by the explanation tooling and Fig. 6).
+  KucnetForward Forward(int64_t user) const;
+
+  /// Scores a single (user, item) pair on its *individual* U-I computation
+  /// graph C_{u,i|L} — the naive KUCNet-UI costing of Fig. 6. Returns the
+  /// score and the number of edges computed on.
+  std::pair<double, int64_t> ScorePairOnUiGraph(int64_t user,
+                                                int64_t item) const;
+
+  /// Builds the BPR loss for explicit (positive, negative) item pairs on the
+  /// user's deterministic pruned graph (no dropout, no target-edge
+  /// exclusion). Used by the gradient-check tests and custom training loops.
+  /// Returns an invalid Var when no positive is reachable.
+  Var BuildLoss(Tape& tape, int64_t user, const std::vector<int64_t>& pos,
+                const std::vector<int64_t>& neg);
+
+  const KucnetOptions& options() const { return options_; }
+
+  /// All trainable parameters (layer weights, attention, relation
+  /// embeddings, readout).
+  std::vector<Parameter*> Params();
+
+  /// Writes the trained weights to `path` (see tensor/serialize.h).
+  void SaveCheckpoint(const std::string& path);
+
+  /// Restores weights saved by SaveCheckpoint from a model with identical
+  /// options; aborts on shape/name mismatch.
+  void LoadCheckpoint(const std::string& path);
+
+ private:
+  struct LayerParams {
+    Parameter w;        ///< d x d  (W^l)
+    Parameter rel_emb;  ///< (num_relations + 1) x d  (h_r^l, + self-loop)
+    Parameter attn_s;   ///< d x d_alpha  (W^l_{alpha s})
+    Parameter attn_r;   ///< d x d_alpha  (W^l_{alpha r})
+    Parameter attn_v;   ///< d_alpha x 1  (w^l_alpha)
+  };
+
+  /// Runs L layers of Eq. (5)-(6) over `graph` on `tape`; returns the final
+  /// layer representations (nodes x d). Records attention weights into
+  /// `attention_out` (one vector per layer) when non-null.
+  Var RunMessagePassing(Tape& tape, const UserCompGraph& graph, bool training,
+                        Rng* rng,
+                        std::vector<std::vector<double>>* attention_out) const;
+
+  /// Builds the pruned computation graph for a user.
+  UserCompGraph BuildGraph(int64_t user, Rng* rng,
+                           const std::vector<ExcludedPair>& excluded) const;
+
+  Var Activate(Tape& tape, Var x) const;
+
+  const Dataset* dataset_;
+  const Ckg* ckg_;
+  const PprTable* ppr_;
+  KucnetOptions options_;
+  CompGraphBuilder builder_;
+  NegativeSampler sampler_;
+  std::vector<std::vector<int64_t>> train_items_;
+
+  std::vector<LayerParams> layers_;
+  Parameter attn_bias_;  ///< 1 x d_alpha (b_alpha, shared across layers)
+  Parameter readout_;    ///< d x 1 (w of Eq. 7)
+  Adam optimizer_;
+  mutable Rng dropout_rng_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_CORE_KUCNET_H_

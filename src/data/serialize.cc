@@ -1,0 +1,45 @@
+#include "data/serialize.h"
+
+#include <fstream>
+
+#include "util/io.h"
+#include "util/logging.h"
+
+namespace kucnet {
+
+void SaveDataset(const Dataset& dataset, const std::string& dir) {
+  WritePairs(dir + "/train.txt", dataset.train);
+  WritePairs(dir + "/test.txt", dataset.test);
+  WriteTriplets(dir + "/kg_final.txt", dataset.kg);
+  if (!dataset.user_kg.empty()) {
+    WriteTriplets(dir + "/user_kg.txt", dataset.user_kg);
+  }
+  std::ofstream meta(dir + "/meta.txt");
+  KUC_CHECK(meta.good()) << "cannot write " << dir << "/meta.txt";
+  meta << "# name kind num_users num_items num_kg_nodes num_kg_relations\n";
+  meta << dataset.name << ' ' << static_cast<int>(dataset.kind) << ' '
+       << dataset.num_users << ' ' << dataset.num_items << ' '
+       << dataset.num_kg_nodes << ' ' << dataset.num_kg_relations << '\n';
+}
+
+Dataset LoadDataset(const std::string& dir) {
+  Dataset d;
+  std::ifstream meta(dir + "/meta.txt");
+  KUC_CHECK(meta.good()) << "cannot read " << dir << "/meta.txt";
+  std::string line;
+  std::getline(meta, line);  // header comment
+  int kind = 0;
+  meta >> d.name >> kind >> d.num_users >> d.num_items >> d.num_kg_nodes >>
+      d.num_kg_relations;
+  KUC_CHECK(meta.good()) << "malformed meta.txt in " << dir;
+  d.kind = static_cast<SplitKind>(kind);
+  d.train = ReadPairs(dir + "/train.txt");
+  d.test = ReadPairs(dir + "/test.txt");
+  d.kg = ReadTriplets(dir + "/kg_final.txt");
+  if (FileExists(dir + "/user_kg.txt")) {
+    d.user_kg = ReadTriplets(dir + "/user_kg.txt");
+  }
+  return d;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,24 @@
+#ifndef KUCNET_DATA_SERIALIZE_H_
+#define KUCNET_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+/// \file
+/// On-disk dataset format, compatible in spirit with the public KGAT/KGIN
+/// releases: plain text `train.txt` / `test.txt` (user item) and
+/// `kg_final.txt` (head rel tail), plus `meta.txt` with the sizes and
+/// `user_kg.txt` when user-side knowledge exists.
+
+namespace kucnet {
+
+/// Writes the dataset into `dir` (must exist).
+void SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Reads a dataset previously written by SaveDataset.
+Dataset LoadDataset(const std::string& dir);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_DATA_SERIALIZE_H_

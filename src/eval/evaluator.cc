@@ -1,0 +1,93 @@
+#include "eval/evaluator.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kucnet {
+
+EvalResult EvaluateRanking(const Ranker& ranker, const Dataset& dataset,
+                           const EvalOptions& options) {
+  WallTimer timer;
+  const auto test_users = dataset.TestUsers();
+  const auto train_by_user = dataset.TrainItemsByUser();
+  const auto test_by_user = dataset.TestItemsByUser();
+
+  // New-item protocol (Sec. V-C): the task is to recommend the held-out
+  // items, so the candidate pool is the new items — every item seen in
+  // training (by any user) is masked for all users. (In the traditional and
+  // new-user settings only the user's own training positives are masked.)
+  std::vector<bool> global_mask(dataset.num_items, false);
+  if (dataset.kind == SplitKind::kNewItem) {
+    for (const auto& [u, i] : dataset.train) global_mask[i] = true;
+  }
+
+  std::vector<double> recalls(test_users.size(), 0.0);
+  std::vector<double> ndcgs(test_users.size(), 0.0);
+
+  auto eval_one = [&](int64_t k) {
+    const int64_t user = test_users[k];
+    const std::vector<double> scores = ranker.ScoreItems(user);
+    KUC_CHECK_EQ(static_cast<int64_t>(scores.size()), dataset.num_items);
+    // Mask the user's training positives (all-ranking protocol), plus the
+    // globally-masked items in the new-item setting.
+    std::vector<bool> mask = global_mask;
+    for (const int64_t item : train_by_user[user]) mask[item] = true;
+    const auto ranked = TopNIndices(scores, options.top_n, &mask);
+    const std::unordered_set<int64_t> test_set(test_by_user[user].begin(),
+                                               test_by_user[user].end());
+    recalls[k] = RecallAtN(ranked, test_set, options.top_n);
+    ndcgs[k] = NdcgAtN(ranked, test_set, options.top_n);
+  };
+
+  if (options.parallel) {
+    ParallelFor(static_cast<int64_t>(test_users.size()), eval_one);
+  } else {
+    for (int64_t k = 0; k < static_cast<int64_t>(test_users.size()); ++k) {
+      eval_one(k);
+    }
+  }
+
+  EvalResult result;
+  result.num_users = static_cast<int64_t>(test_users.size());
+  if (result.num_users > 0) {
+    for (size_t k = 0; k < test_users.size(); ++k) {
+      result.recall += recalls[k];
+      result.ndcg += ndcgs[k];
+    }
+    result.recall /= static_cast<double>(result.num_users);
+    result.ndcg /= static_cast<double>(result.num_users);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<int64_t> RecommendTopN(const Ranker& ranker,
+                                   const Dataset& dataset, int64_t user,
+                                   int64_t n) {
+  KUC_CHECK_GE(user, 0);
+  KUC_CHECK_LT(user, dataset.num_users);
+  const std::vector<double> scores = ranker.ScoreItems(user);
+  KUC_CHECK_EQ(static_cast<int64_t>(scores.size()), dataset.num_items);
+  std::vector<bool> mask(dataset.num_items, false);
+  if (dataset.kind == SplitKind::kNewItem) {
+    for (const auto& [u, i] : dataset.train) mask[i] = true;
+  }
+  for (const auto& [u, i] : dataset.train) {
+    if (u == user) mask[i] = true;
+  }
+  return TopNIndices(scores, n, &mask);
+}
+
+std::string ToString(const EvalResult& result) {
+  std::ostringstream ss;
+  ss.precision(4);
+  ss << std::fixed << "recall=" << result.recall << " ndcg=" << result.ndcg
+     << " (" << result.num_users << " users)";
+  return ss.str();
+}
+
+}  // namespace kucnet

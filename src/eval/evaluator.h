@@ -1,0 +1,60 @@
+#ifndef KUCNET_EVAL_EVALUATOR_H_
+#define KUCNET_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/thread_pool.h"
+
+/// \file
+/// All-ranking evaluation (Sec. V-A2): for each test user, score every item,
+/// exclude the user's training positives, and compute recall@N / ndcg@N
+/// against the user's test items, averaged over test users.
+
+namespace kucnet {
+
+/// Anything that can score all items for a user. `ScoreItems` must be
+/// thread-safe: the evaluator calls it concurrently for different users.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Preference scores for items [0, num_items) from `user`'s perspective.
+  virtual std::vector<double> ScoreItems(int64_t user) const = 0;
+};
+
+/// Evaluation knobs.
+struct EvalOptions {
+  int64_t top_n = 20;
+  /// Runs users in parallel on the global pool when true.
+  bool parallel = true;
+};
+
+/// Aggregate evaluation outcome.
+struct EvalResult {
+  double recall = 0.0;
+  double ndcg = 0.0;
+  int64_t num_users = 0;    ///< test users evaluated
+  double seconds = 0.0;     ///< wall-clock of the whole evaluation
+};
+
+/// Runs the all-ranking protocol of Sec. V-A2 over `dataset.test`.
+EvalResult EvaluateRanking(const Ranker& ranker, const Dataset& dataset,
+                           const EvalOptions& options = EvalOptions());
+
+/// Formats "recall=0.1234 ndcg=0.0567 (n users)".
+std::string ToString(const EvalResult& result);
+
+/// Convenience: the top-n recommendation list for one user, scored by
+/// `ranker` with the user's training positives (and, under the new-item
+/// protocol, all training items) masked — the same masking the evaluator
+/// applies.
+std::vector<int64_t> RecommendTopN(const Ranker& ranker,
+                                   const Dataset& dataset, int64_t user,
+                                   int64_t n);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_EVAL_EVALUATOR_H_

@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+double RecallAtN(const std::vector<int64_t>& ranked,
+                 const std::unordered_set<int64_t>& test, int64_t n) {
+  if (test.empty()) return 0.0;
+  int64_t hits = 0;
+  const int64_t limit = std::min<int64_t>(n, static_cast<int64_t>(ranked.size()));
+  for (int64_t i = 0; i < limit; ++i) {
+    if (test.count(ranked[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+double NdcgAtN(const std::vector<int64_t>& ranked,
+               const std::unordered_set<int64_t>& test, int64_t n) {
+  if (test.empty()) return 0.0;
+  double dcg = 0.0;
+  const int64_t limit = std::min<int64_t>(n, static_cast<int64_t>(ranked.size()));
+  for (int64_t i = 0; i < limit; ++i) {
+    if (test.count(ranked[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);  // rank i+1
+    }
+  }
+  double ideal = 0.0;
+  const int64_t ideal_hits = std::min<int64_t>(static_cast<int64_t>(test.size()), n);
+  for (int64_t i = 0; i < ideal_hits; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+std::vector<int64_t> TopNIndices(const std::vector<double>& scores, int64_t n,
+                                 const std::vector<bool>* mask) {
+  std::vector<int64_t> idx;
+  idx.reserve(scores.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (mask != nullptr && (*mask)[i]) continue;
+    idx.push_back(i);
+  }
+  const int64_t k = std::min<int64_t>(n, static_cast<int64_t>(idx.size()));
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&scores](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,33 @@
+#ifndef KUCNET_EVAL_METRICS_H_
+#define KUCNET_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+/// \file
+/// Top-N ranking metrics exactly as defined in Eq. (15) and (16).
+
+namespace kucnet {
+
+/// recall@N = |R_{1:N} ∩ T| / |T| (Eq. 15). `ranked` is the recommendation
+/// list in rank order (may be longer than N); `test` is the user's test set.
+/// Returns 0 when the test set is empty.
+double RecallAtN(const std::vector<int64_t>& ranked,
+                 const std::unordered_set<int64_t>& test, int64_t n);
+
+/// ndcg@N (Eq. 16): DCG of the list divided by the ideal DCG
+/// (sum_{i=1}^{min(|T|,N)} 1/log2(i+1)). Returns 0 when the test set is
+/// empty.
+double NdcgAtN(const std::vector<int64_t>& ranked,
+               const std::unordered_set<int64_t>& test, int64_t n);
+
+/// Indices of the top-n scores, in descending score order, skipping indices
+/// where `mask` (if non-null) is true. Ties break toward the lower index so
+/// results are deterministic.
+std::vector<int64_t> TopNIndices(const std::vector<double>& scores, int64_t n,
+                                 const std::vector<bool>* mask = nullptr);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+#include "tensor/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+Adam::Slot& Adam::GetSlot(Parameter* p) {
+  auto it = slots_.find(p);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.m = Matrix::Zeros(p->rows(), p->cols());
+    slot.v = Matrix::Zeros(p->rows(), p->cols());
+    it = slots_.emplace(p, std::move(slot)).first;
+  }
+  KUC_CHECK_EQ(it->second.m.rows(), p->rows());
+  return it->second;
+}
+
+void Adam::UpdateRow(Parameter* p, Slot& slot, int64_t row, real_t bias_c1,
+                     real_t bias_c2) {
+  const int64_t d = p->cols();
+  const real_t* g = p->grad().row(row);
+  real_t* m = slot.m.row(row);
+  real_t* v = slot.v.row(row);
+  real_t* w = p->value().row(row);
+  const real_t lr = options_.learning_rate;
+  for (int64_t j = 0; j < d; ++j) {
+    m[j] = options_.beta1 * m[j] + (1.0 - options_.beta1) * g[j];
+    v[j] = options_.beta2 * v[j] + (1.0 - options_.beta2) * g[j] * g[j];
+    const real_t m_hat = m[j] / bias_c1;
+    const real_t v_hat = v[j] / bias_c2;
+    w[j] -= lr * (m_hat / (std::sqrt(v_hat) + options_.epsilon) +
+                  options_.weight_decay * w[j]);
+  }
+}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  ++step_;
+  const real_t bias_c1 = 1.0 - std::pow(options_.beta1, step_);
+  const real_t bias_c2 = 1.0 - std::pow(options_.beta2, step_);
+  for (Parameter* p : params) {
+    if (!p->has_grad()) continue;
+    Slot& slot = GetSlot(p);
+    if (p->all_rows_touched()) {
+      for (int64_t r = 0; r < p->rows(); ++r) {
+        UpdateRow(p, slot, r, bias_c1, bias_c2);
+      }
+    } else {
+      for (int64_t r : p->TouchedRows()) {
+        UpdateRow(p, slot, r, bias_c1, bias_c2);
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace kucnet

@@ -1,0 +1,64 @@
+#ifndef KUCNET_TENSOR_ADAM_H_
+#define KUCNET_TENSOR_ADAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/parameter.h"
+
+/// \file
+/// Adam optimizer (Kingma & Ba, 2015) with decoupled weight decay and lazy
+/// (touched-rows-only) updates for embedding tables, matching the paper's
+/// optimization setup ("optimized by minimizing L with Adam", Sec. IV-D).
+
+namespace kucnet {
+
+/// Optimizer hyper-parameters.
+struct AdamOptions {
+  real_t learning_rate = 1e-3;
+  real_t beta1 = 0.9;
+  real_t beta2 = 0.999;
+  real_t epsilon = 1e-8;
+  /// Decoupled (AdamW-style) weight decay applied to updated rows.
+  real_t weight_decay = 0.0;
+};
+
+/// Adam over a fixed set of parameters. Moment buffers are keyed by the
+/// `Parameter*` identity, so the same optimizer instance must be used for a
+/// parameter throughout training.
+class Adam {
+ public:
+  explicit Adam(AdamOptions options) : options_(options) {}
+
+  Adam(const Adam&) = delete;
+  Adam& operator=(const Adam&) = delete;
+
+  /// Applies one update using the gradients currently accumulated in
+  /// `params`, then zeroes those gradients. Parameters with no gradient are
+  /// skipped (their moments are untouched: lazy Adam).
+  void Step(const std::vector<Parameter*>& params);
+
+  int64_t step_count() const { return step_; }
+  const AdamOptions& options() const { return options_; }
+  void set_learning_rate(real_t lr) { options_.learning_rate = lr; }
+
+ private:
+  struct Slot {
+    Matrix m;
+    Matrix v;
+  };
+
+  Slot& GetSlot(Parameter* p);
+  void UpdateRow(Parameter* p, Slot& slot, int64_t row, real_t bias_c1,
+                 real_t bias_c2);
+
+  AdamOptions options_;
+  int64_t step_ = 0;
+  std::unordered_map<Parameter*, Slot> slots_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_ADAM_H_

@@ -1,0 +1,64 @@
+#include "tensor/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+real_t EvalLoss(const LossFn& fn) {
+  Tape tape;
+  Var loss = fn(tape);
+  return tape.value(loss).at(0, 0);
+}
+
+GradCheckResult CheckGradients(const std::vector<Parameter*>& params,
+                               const LossFn& fn, real_t epsilon,
+                               real_t tolerance,
+                               int64_t max_entries_per_param) {
+  // Analytic pass.
+  std::vector<Matrix> analytic;
+  {
+    Tape tape;
+    Var loss = fn(tape);
+    tape.Backward(loss);
+    analytic.reserve(params.size());
+    for (Parameter* p : params) {
+      analytic.push_back(p->has_grad()
+                             ? p->grad()
+                             : Matrix::Zeros(p->rows(), p->cols()));
+      p->ZeroGrad();
+    }
+  }
+
+  GradCheckResult result;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    const int64_t n = p->value().size();
+    // Deterministic stride-subsample for large tables.
+    const int64_t stride =
+        n <= max_entries_per_param ? 1 : (n + max_entries_per_param - 1) /
+                                             max_entries_per_param;
+    for (int64_t i = 0; i < n; i += stride) {
+      real_t* w = p->value().data() + i;
+      const real_t original = *w;
+      *w = original + epsilon;
+      const real_t f_plus = EvalLoss(fn);
+      *w = original - epsilon;
+      const real_t f_minus = EvalLoss(fn);
+      *w = original;
+      const real_t numeric = (f_plus - f_minus) / (2.0 * epsilon);
+      const real_t a = analytic[pi].data()[i];
+      const real_t abs_err = std::abs(a - numeric);
+      const real_t rel_err = abs_err / std::max<real_t>(1.0, std::abs(numeric));
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+    }
+    p->ZeroGrad();
+  }
+  result.ok = result.max_rel_err <= tolerance;
+  return result;
+}
+
+}  // namespace kucnet

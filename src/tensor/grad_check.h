@@ -1,0 +1,43 @@
+#ifndef KUCNET_TENSOR_GRAD_CHECK_H_
+#define KUCNET_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+
+/// \file
+/// Finite-difference verification of tape gradients.
+///
+/// Every op and every model in this library is validated against central
+/// differences; see tests/tensor_grad_check_test.cc and the per-model tests.
+
+namespace kucnet {
+
+/// Builds the computation on the given tape and returns the scalar loss node.
+/// Must be deterministic in the parameter values (no dropout / sampling).
+using LossFn = std::function<Var(Tape&)>;
+
+/// Outcome of a gradient check.
+struct GradCheckResult {
+  real_t max_abs_err = 0.0;  ///< max |analytic - numeric|
+  real_t max_rel_err = 0.0;  ///< max err relative to max(1, |numeric|)
+  bool ok = false;
+};
+
+/// Runs the loss once forward (no backward); parameters are untouched.
+real_t EvalLoss(const LossFn& fn);
+
+/// Compares tape gradients with central finite differences for every entry
+/// of every parameter (or a deterministic subsample of at most
+/// `max_entries_per_param` entries for large tables). Gradients in the
+/// parameters are zeroed before returning.
+GradCheckResult CheckGradients(const std::vector<Parameter*>& params,
+                               const LossFn& fn, real_t epsilon = 1e-5,
+                               real_t tolerance = 1e-4,
+                               int64_t max_entries_per_param = 200);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_GRAD_CHECK_H_

@@ -1,0 +1,143 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+Matrix::Matrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  KUC_CHECK_GE(rows, 0);
+  KUC_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::Zeros(int64_t rows, int64_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::Filled(int64_t rows, int64_t cols, real_t value) {
+  Matrix m(rows, cols);
+  std::fill(m.data_.begin(), m.data_.end(), value);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(int64_t rows, int64_t cols, real_t stddev,
+                            Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(int64_t rows, int64_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const real_t a = std::sqrt(6.0 / static_cast<real_t>(rows + cols));
+  for (auto& x : m.data_) x = rng.Uniform(-a, a);
+  return m;
+}
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::Add(const Matrix& other) {
+  KUC_CHECK_EQ(rows_, other.rows_);
+  KUC_CHECK_EQ(cols_, other.cols_);
+  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(real_t alpha, const Matrix& other) {
+  KUC_CHECK_EQ(rows_, other.rows_);
+  KUC_CHECK_EQ(cols_, other.cols_);
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(real_t alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+real_t Matrix::Sum() const {
+  real_t s = 0.0;
+  for (const auto& x : data_) s += x;
+  return s;
+}
+
+real_t Matrix::SquaredNorm() const {
+  real_t s = 0.0;
+  for (const auto& x : data_) s += x * x;
+  return s;
+}
+
+bool Matrix::Equals(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         data_ == other.data_;
+}
+
+real_t Matrix::MaxAbsDiff(const Matrix& other) const {
+  KUC_CHECK_EQ(rows_, other.rows_);
+  KUC_CHECK_EQ(cols_, other.cols_);
+  real_t worst = 0.0;
+  for (int64_t i = 0; i < size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  KUC_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  // i-k-j loop order streams through B and C rows sequentially.
+  for (int64_t i = 0; i < n; ++i) {
+    const real_t* arow = a.row(i);
+    real_t* crow = c.row(i);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const real_t av = arow[kk];
+      if (av == 0.0) continue;
+      const real_t* brow = b.row(kk);
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
+  KUC_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  const int64_t k = a.rows(), n = a.cols(), m = b.cols();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const real_t* arow = a.row(kk);
+    const real_t* brow = b.row(kk);
+    for (int64_t i = 0; i < n; ++i) {
+      const real_t av = arow[i];
+      if (av == 0.0) continue;
+      real_t* crow = c.row(i);
+      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
+  KUC_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  const int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (int64_t i = 0; i < n; ++i) {
+    const real_t* arow = a.row(i);
+    real_t* crow = c.row(i);
+    for (int64_t j = 0; j < m; ++j) {
+      const real_t* brow = b.row(j);
+      real_t dot = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      crow[j] += dot;
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+}  // namespace kucnet

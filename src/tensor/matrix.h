@@ -1,0 +1,107 @@
+#ifndef KUCNET_TENSOR_MATRIX_H_
+#define KUCNET_TENSOR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file
+/// Dense row-major matrix of doubles: the value type of the autograd tape.
+///
+/// The models in this library are small (hidden dims 16-64, a few thousand
+/// nodes), so a straightforward cache-friendly implementation with a blocked
+/// matmul is more than fast enough; doubles keep finite-difference gradient
+/// checks tight.
+
+namespace kucnet {
+
+/// Scalar type used throughout the tensor stack.
+using real_t = double;
+
+/// Dense row-major matrix. Copyable and movable; copies are deep.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Uninitialized-to-zero matrix of the given shape.
+  Matrix(int64_t rows, int64_t cols);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// All-zero matrix.
+  static Matrix Zeros(int64_t rows, int64_t cols);
+
+  /// Matrix filled with `value`.
+  static Matrix Filled(int64_t rows, int64_t cols, real_t value);
+
+  /// I.i.d. N(0, stddev^2) entries.
+  static Matrix RandomNormal(int64_t rows, int64_t cols, real_t stddev,
+                             Rng& rng);
+
+  /// Glorot/Xavier-uniform initialization: U(-a, a), a = sqrt(6/(r+c)).
+  static Matrix GlorotUniform(int64_t rows, int64_t cols, Rng& rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  real_t& at(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  real_t at(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  real_t* data() { return data_.data(); }
+  const real_t* data() const { return data_.data(); }
+
+  real_t* row(int64_t r) { return data_.data() + r * cols_; }
+  const real_t* row(int64_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every entry to zero.
+  void SetZero();
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+
+  /// this += alpha * other (same shape).
+  void Axpy(real_t alpha, const Matrix& other);
+
+  /// this *= alpha.
+  void Scale(real_t alpha);
+
+  /// Sum of all entries.
+  real_t Sum() const;
+
+  /// Frobenius norm squared.
+  real_t SquaredNorm() const;
+
+  /// True if shapes and all entries match exactly.
+  bool Equals(const Matrix& other) const;
+
+  /// Max absolute entry-wise difference; requires same shape.
+  real_t MaxAbsDiff(const Matrix& other) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<real_t> data_;
+};
+
+/// C = A * B. Shapes must agree (A: n x k, B: k x m).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B (A: k x n, B: k x m -> C: n x m), without materializing A^T.
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T (A: n x k, B: m x k -> C: n x m), without materializing B^T.
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b);
+
+/// Explicit transpose.
+Matrix Transpose(const Matrix& a);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_MATRIX_H_

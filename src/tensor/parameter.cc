@@ -1,0 +1,72 @@
+#include "tensor/parameter.h"
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+void Parameter::EnsureGrad() {
+  if (!grad_allocated_) {
+    grad_ = Matrix::Zeros(value_.rows(), value_.cols());
+    row_touched_.assign(value_.rows(), false);
+    grad_allocated_ = true;
+  }
+}
+
+void Parameter::AccumulateDense(const Matrix& g) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  EnsureGrad();
+  grad_.Add(g);
+  all_touched_ = true;
+  any_touched_ = true;
+}
+
+void Parameter::AccumulateRows(const std::vector<int64_t>& rows,
+                               const Matrix& g) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  EnsureGrad();
+  KUC_CHECK_EQ(static_cast<int64_t>(rows.size()), g.rows());
+  KUC_CHECK_EQ(g.cols(), value_.cols());
+  const int64_t d = value_.cols();
+  for (size_t k = 0; k < rows.size(); ++k) {
+    const int64_t r = rows[k];
+    KUC_CHECK_GE(r, 0);
+    KUC_CHECK_LT(r, value_.rows());
+    real_t* dst = grad_.row(r);
+    const real_t* src = g.row(static_cast<int64_t>(k));
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    row_touched_[r] = true;
+  }
+  any_touched_ = any_touched_ || !rows.empty();
+}
+
+const Matrix& Parameter::grad() const {
+  static const Matrix* empty = new Matrix();
+  if (!grad_allocated_) return *empty;
+  return grad_;
+}
+
+std::vector<int64_t> Parameter::TouchedRows() const {
+  std::vector<int64_t> rows;
+  if (!grad_allocated_) return rows;
+  for (int64_t r = 0; r < value_.rows(); ++r) {
+    if (row_touched_[r]) rows.push_back(r);
+  }
+  return rows;
+}
+
+void Parameter::ZeroGrad() {
+  if (grad_allocated_) {
+    grad_.SetZero();
+    row_touched_.assign(value_.rows(), false);
+  }
+  any_touched_ = false;
+  all_touched_ = false;
+}
+
+int64_t TotalParamCount(const std::vector<Parameter*>& params) {
+  int64_t total = 0;
+  for (const Parameter* p : params) total += p->ParamCount();
+  return total;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,89 @@
+#ifndef KUCNET_TENSOR_PARAMETER_H_
+#define KUCNET_TENSOR_PARAMETER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+/// \file
+/// Trainable parameters with dense or row-sparse gradient accumulation.
+///
+/// Embedding tables receive gradients only for the rows touched in a batch;
+/// `Parameter` tracks touched rows so the optimizer can apply lazy (per-row)
+/// Adam updates instead of sweeping the whole table.
+
+namespace kucnet {
+
+/// A named trainable matrix plus its accumulated gradient.
+///
+/// Gradient accumulation is internally synchronized, so multiple tapes may
+/// run Backward() concurrently against the same parameters (used by
+/// KUCNet's parallel training mode). Reads of value() during concurrent
+/// accumulation are safe; optimizer steps must still be externally ordered
+/// with respect to backward passes.
+class Parameter {
+ public:
+  Parameter(std::string name, Matrix value)
+      : name_(std::move(name)),
+        value_(std::move(value)),
+        mu_(std::make_unique<std::mutex>()) {}
+
+  Parameter(const Parameter&) = delete;
+  Parameter& operator=(const Parameter&) = delete;
+  Parameter(Parameter&&) = default;
+  Parameter& operator=(Parameter&&) = default;
+
+  const std::string& name() const { return name_; }
+  Matrix& value() { return value_; }
+  const Matrix& value() const { return value_; }
+  int64_t rows() const { return value_.rows(); }
+  int64_t cols() const { return value_.cols(); }
+
+  /// grad += g (same shape as value). Marks every row touched.
+  void AccumulateDense(const Matrix& g);
+
+  /// grad[rows[k]] += g.row(k) for each k. Marks only those rows touched.
+  void AccumulateRows(const std::vector<int64_t>& rows, const Matrix& g);
+
+  /// True if any gradient has been accumulated since the last ZeroGrad().
+  bool has_grad() const { return grad_allocated_ && any_touched_; }
+
+  /// The accumulated gradient (zero matrix if nothing accumulated).
+  const Matrix& grad() const;
+
+  /// True if every row should be treated as touched.
+  bool all_rows_touched() const { return all_touched_; }
+
+  /// Rows with nonzero accumulated gradient (meaningful when
+  /// !all_rows_touched()). Sorted, deduplicated.
+  std::vector<int64_t> TouchedRows() const;
+
+  /// Clears the gradient and touched-row tracking.
+  void ZeroGrad();
+
+  /// Number of scalar parameters.
+  int64_t ParamCount() const { return value_.size(); }
+
+ private:
+  void EnsureGrad();
+
+  std::string name_;
+  Matrix value_;
+  std::unique_ptr<std::mutex> mu_;  ///< guards grad_ and the touch flags
+  Matrix grad_;
+  std::vector<bool> row_touched_;
+  bool grad_allocated_ = false;
+  bool any_touched_ = false;
+  bool all_touched_ = false;
+};
+
+/// Total scalar count across a set of parameters.
+int64_t TotalParamCount(const std::vector<Parameter*>& params);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_PARAMETER_H_

@@ -1,0 +1,69 @@
+#include "tensor/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+constexpr char kMagic[] = "KUCNET_CKPT_V1";
+
+}  // namespace
+
+void SaveParameters(const std::vector<Parameter*>& params,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  KUC_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << kMagic << '\n' << params.size() << '\n';
+  for (const Parameter* p : params) {
+    KUC_CHECK(p->name().find_first_of(" \n") == std::string::npos)
+        << "parameter name must not contain whitespace: " << p->name();
+    out << p->name() << ' ' << p->rows() << ' ' << p->cols() << '\n';
+  }
+  for (const Parameter* p : params) {
+    out.write(reinterpret_cast<const char*>(p->value().data()),
+              static_cast<std::streamsize>(p->value().size() *
+                                           sizeof(real_t)));
+  }
+  KUC_CHECK(out.good()) << "write failed: " << path;
+}
+
+void LoadParameters(const std::vector<Parameter*>& params,
+                    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  KUC_CHECK(in.good()) << "cannot open " << path;
+  std::string magic;
+  std::getline(in, magic);
+  KUC_CHECK_EQ(magic, kMagic) << path << " is not a KUCNet checkpoint";
+  size_t count = 0;
+  in >> count;
+  KUC_CHECK_EQ(count, params.size())
+      << "checkpoint has a different number of parameters";
+  for (const Parameter* p : params) {
+    std::string name;
+    int64_t rows = 0, cols = 0;
+    in >> name >> rows >> cols;
+    KUC_CHECK_EQ(name, p->name()) << "parameter order/name mismatch";
+    KUC_CHECK_EQ(rows, p->rows()) << "shape mismatch for " << name;
+    KUC_CHECK_EQ(cols, p->cols()) << "shape mismatch for " << name;
+  }
+  in.ignore();  // trailing newline before the binary payload
+  for (Parameter* p : params) {
+    in.read(reinterpret_cast<char*>(p->value().data()),
+            static_cast<std::streamsize>(p->value().size() * sizeof(real_t)));
+    KUC_CHECK(in.good()) << "truncated checkpoint: " << path;
+  }
+}
+
+bool IsCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::string magic;
+  std::getline(in, magic);
+  return magic == kMagic;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,33 @@
+#ifndef KUCNET_TENSOR_SERIALIZE_H_
+#define KUCNET_TENSOR_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/parameter.h"
+
+/// \file
+/// Checkpointing: save and restore a model's parameters.
+///
+/// Format: a small text header (magic, parameter count, then one
+/// `name rows cols` line per parameter) followed by raw little-endian
+/// doubles in header order. Loading verifies names and shapes so a
+/// checkpoint cannot be applied to a mismatched model.
+
+namespace kucnet {
+
+/// Writes all parameters to `path`. Aborts on IO failure.
+void SaveParameters(const std::vector<Parameter*>& params,
+                    const std::string& path);
+
+/// Restores parameter values from `path`. The parameter list must match the
+/// saved one in order, names, and shapes; aborts otherwise.
+void LoadParameters(const std::vector<Parameter*>& params,
+                    const std::string& path);
+
+/// True if `path` holds a parameter checkpoint (magic matches).
+bool IsCheckpoint(const std::string& path);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_SERIALIZE_H_

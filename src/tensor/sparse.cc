@@ -1,0 +1,119 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+SparseMatrix::SparseMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  KUC_CHECK_GE(rows, 0);
+  KUC_CHECK_GE(cols, 0);
+}
+
+SparseMatrix SparseMatrix::FromEntries(int64_t rows, int64_t cols,
+                                       std::vector<SparseEntry> entries) {
+  SparseMatrix m(rows, cols);
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Merge duplicates.
+  size_t out = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    KUC_CHECK_GE(entries[i].row, 0);
+    KUC_CHECK_LT(entries[i].row, rows);
+    KUC_CHECK_GE(entries[i].col, 0);
+    KUC_CHECK_LT(entries[i].col, cols);
+    if (out > 0 && entries[out - 1].row == entries[i].row &&
+        entries[out - 1].col == entries[i].col) {
+      entries[out - 1].value += entries[i].value;
+    } else {
+      entries[out++] = entries[i];
+    }
+  }
+  entries.resize(out);
+  m.col_idx_.reserve(out);
+  m.values_.reserve(out);
+  for (const auto& e : entries) {
+    ++m.row_ptr_[e.row + 1];
+    m.col_idx_.push_back(e.col);
+    m.values_.push_back(e.value);
+  }
+  for (int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  KUC_CHECK_EQ(x.rows(), cols_);
+  Matrix y(rows_, x.cols());
+  const int64_t d = x.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    real_t* dst = y.row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const real_t v = values_[k];
+      const real_t* src = x.row(col_idx_[k]);
+      for (int64_t j = 0; j < d; ++j) dst[j] += v * src[j];
+    }
+  }
+  return y;
+}
+
+std::vector<real_t> SparseMatrix::Multiply(const std::vector<real_t>& x) const {
+  KUC_CHECK_EQ(static_cast<int64_t>(x.size()), cols_);
+  std::vector<real_t> y(rows_, 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    real_t acc = 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<SparseEntry> entries;
+  entries.reserve(nnz());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      entries.push_back({col_idx_[k], r, values_[k]});
+    }
+  }
+  return FromEntries(cols_, rows_, std::move(entries));
+}
+
+SparseMatrix SparseMatrix::RowNormalized() const {
+  SparseMatrix m = *this;
+  for (int64_t r = 0; r < rows_; ++r) {
+    real_t total = 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      total += values_[k];
+    }
+    if (total == 0.0) continue;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m.values_[k] /= total;
+    }
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::ColumnNormalized() const {
+  std::vector<real_t> col_sum(cols_, 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      col_sum[col_idx_[k]] += values_[k];
+    }
+  }
+  SparseMatrix m = *this;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const real_t s = col_sum[col_idx_[k]];
+      if (s != 0.0) m.values_[k] /= s;
+    }
+  }
+  return m;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,70 @@
+#ifndef KUCNET_TENSOR_SPARSE_H_
+#define KUCNET_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+/// \file
+/// CSR sparse matrices with constant (non-learned) values.
+///
+/// Used for graph adjacency/normalization matrices: full-graph GNN baselines
+/// propagate node features with `SpMM`, and Personalized PageRank iterates
+/// the column-normalized CKG adjacency (Eq. 13).
+
+namespace kucnet {
+
+/// A single nonzero entry, used when building a sparse matrix.
+struct SparseEntry {
+  int64_t row;
+  int64_t col;
+  real_t value;
+};
+
+/// Immutable CSR sparse matrix of doubles.
+class SparseMatrix {
+ public:
+  /// Empty matrix of the given shape.
+  SparseMatrix(int64_t rows, int64_t cols);
+
+  /// Builds from a (possibly unsorted) entry list; duplicate (row, col)
+  /// entries are summed.
+  static SparseMatrix FromEntries(int64_t rows, int64_t cols,
+                                  std::vector<SparseEntry> entries);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<real_t>& values() const { return values_; }
+
+  /// Y = this * X  (this: n x m, X: m x d -> Y: n x d).
+  Matrix Multiply(const Matrix& x) const;
+
+  /// y = this * x for a dense vector (m) -> (n). Vectors are std::vector.
+  std::vector<real_t> Multiply(const std::vector<real_t>& x) const;
+
+  /// Transposed copy.
+  SparseMatrix Transposed() const;
+
+  /// Row-normalized copy: each nonzero row sums to 1.
+  SparseMatrix RowNormalized() const;
+
+  /// Column-normalized copy: each nonzero column sums to 1. This is the `M`
+  /// of Eq. (13) when applied to an adjacency matrix.
+  SparseMatrix ColumnNormalized() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_SPARSE_H_

@@ -1,0 +1,26 @@
+#include "tensor/sparse_ops.h"
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+Var SpMM(Tape& tape, const SparseMatrix& a, Var x) {
+  KUC_CHECK_EQ(tape.value(x).rows(), a.cols());
+  const int64_t nnz = a.nnz();
+  std::vector<int64_t> row_of(nnz);
+  Matrix vals(nnz, 1);
+  {
+    int64_t k = 0;
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      for (int64_t e = a.row_ptr()[r]; e < a.row_ptr()[r + 1]; ++e, ++k) {
+        row_of[k] = r;
+        vals.at(k, 0) = a.values()[e];
+      }
+    }
+  }
+  Var gathered = tape.Gather(x, a.col_idx());
+  Var scaled = tape.RowScale(gathered, tape.Constant(std::move(vals)));
+  return tape.SegmentSum(scaled, std::move(row_of), a.rows());
+}
+
+}  // namespace kucnet

@@ -1,0 +1,19 @@
+#ifndef KUCNET_TENSOR_SPARSE_OPS_H_
+#define KUCNET_TENSOR_SPARSE_OPS_H_
+
+#include "tensor/sparse.h"
+#include "tensor/tape.h"
+
+/// \file
+/// Autograd bridge for sparse-dense products with constant sparse operands.
+
+namespace kucnet {
+
+/// Y = A * X with constant sparse A (n x m) and differentiable X (m x d).
+/// Implemented as gather -> row-scale -> segment-sum on the tape, so the
+/// backward pass (dX = A^T dY) falls out of the primitive ops.
+Var SpMM(Tape& tape, const SparseMatrix& a, Var x);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_SPARSE_OPS_H_

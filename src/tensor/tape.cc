@@ -1,0 +1,519 @@
+#include "tensor/tape.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+Var Tape::NewNode(Matrix value, bool needs_grad,
+                  std::function<void(Tape&)> backward) {
+  Node n;
+  n.value = std::move(value);
+  n.needs_grad = needs_grad;
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int32_t>(nodes_.size() - 1)};
+}
+
+Tape::Node& Tape::node(Var v) {
+  KUC_CHECK(v.valid());
+  KUC_CHECK_LT(v.id, static_cast<int32_t>(nodes_.size()));
+  return nodes_[v.id];
+}
+
+const Tape::Node& Tape::node(Var v) const {
+  KUC_CHECK(v.valid());
+  KUC_CHECK_LT(v.id, static_cast<int32_t>(nodes_.size()));
+  return nodes_[v.id];
+}
+
+const Matrix& Tape::value(Var v) const { return node(v).value; }
+const Matrix& Tape::grad(Var v) const { return node(v).grad; }
+
+// ---- Leaves ----------------------------------------------------------------
+
+Var Tape::Constant(Matrix value) {
+  return NewNode(std::move(value), /*needs_grad=*/false, nullptr);
+}
+
+Var Tape::Param(Parameter* p) {
+  KUC_CHECK(p != nullptr);
+  Matrix value = p->value();
+  Var out = NewNode(std::move(value), /*needs_grad=*/true, nullptr);
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, p](Tape& t) {
+    p->AccumulateDense(t.nodes_[id].grad);
+  };
+  return out;
+}
+
+Var Tape::GatherParam(Parameter* p, std::vector<int64_t> rows) {
+  KUC_CHECK(p != nullptr);
+  const int64_t d = p->cols();
+  Matrix value(static_cast<int64_t>(rows.size()), d);
+  for (size_t k = 0; k < rows.size(); ++k) {
+    KUC_CHECK_GE(rows[k], 0);
+    KUC_CHECK_LT(rows[k], p->rows());
+    const real_t* src = p->value().row(rows[k]);
+    real_t* dst = value.row(static_cast<int64_t>(k));
+    for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  Var out = NewNode(std::move(value), /*needs_grad=*/true, nullptr);
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, p, rows = std::move(rows)](Tape& t) {
+    p->AccumulateRows(rows, t.nodes_[id].grad);
+  };
+  return out;
+}
+
+// ---- Linear algebra --------------------------------------------------------
+
+Var Tape::MatMul(Var a, Var b) {
+  Matrix y = kucnet::MatMul(value(a), value(b));
+  const bool ng = NeedsGrad(a) || NeedsGrad(b);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, b](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    if (t.NeedsGrad(a)) {
+      t.node(a).grad.Add(MatMulTransposedB(dy, t.value(b)));
+    }
+    if (t.NeedsGrad(b)) {
+      t.node(b).grad.Add(MatMulTransposedA(t.value(a), dy));
+    }
+  };
+  return out;
+}
+
+Var Tape::Add(Var a, Var b) {
+  KUC_CHECK_EQ(value(a).rows(), value(b).rows());
+  KUC_CHECK_EQ(value(a).cols(), value(b).cols());
+  Matrix y = value(a);
+  y.Add(value(b));
+  const bool ng = NeedsGrad(a) || NeedsGrad(b);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, b](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    if (t.NeedsGrad(a)) t.node(a).grad.Add(dy);
+    if (t.NeedsGrad(b)) t.node(b).grad.Add(dy);
+  };
+  return out;
+}
+
+Var Tape::Sub(Var a, Var b) {
+  KUC_CHECK_EQ(value(a).rows(), value(b).rows());
+  KUC_CHECK_EQ(value(a).cols(), value(b).cols());
+  Matrix y = value(a);
+  y.Axpy(-1.0, value(b));
+  const bool ng = NeedsGrad(a) || NeedsGrad(b);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, b](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    if (t.NeedsGrad(a)) t.node(a).grad.Add(dy);
+    if (t.NeedsGrad(b)) t.node(b).grad.Axpy(-1.0, dy);
+  };
+  return out;
+}
+
+Var Tape::Hadamard(Var a, Var b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  KUC_CHECK_EQ(av.rows(), bv.rows());
+  KUC_CHECK_EQ(av.cols(), bv.cols());
+  Matrix y(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) y.data()[i] = av.data()[i] * bv.data()[i];
+  const bool ng = NeedsGrad(a) || NeedsGrad(b);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, b](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    if (t.NeedsGrad(a)) {
+      Matrix& da = t.node(a).grad;
+      const Matrix& bv2 = t.value(b);
+      for (int64_t i = 0; i < dy.size(); ++i) {
+        da.data()[i] += dy.data()[i] * bv2.data()[i];
+      }
+    }
+    if (t.NeedsGrad(b)) {
+      Matrix& db = t.node(b).grad;
+      const Matrix& av2 = t.value(a);
+      for (int64_t i = 0; i < dy.size(); ++i) {
+        db.data()[i] += dy.data()[i] * av2.data()[i];
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::ScalarMul(Var a, real_t c) {
+  Matrix y = value(a);
+  y.Scale(c);
+  const bool ng = NeedsGrad(a);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, c](Tape& t) {
+    t.node(a).grad.Axpy(c, t.nodes_[id].grad);
+  };
+  return out;
+}
+
+Var Tape::AddRowBroadcast(Var a, Var row) {
+  const Matrix& av = value(a);
+  const Matrix& rv = value(row);
+  KUC_CHECK_EQ(rv.rows(), 1);
+  KUC_CHECK_EQ(av.cols(), rv.cols());
+  Matrix y = av;
+  for (int64_t i = 0; i < y.rows(); ++i) {
+    real_t* dst = y.row(i);
+    const real_t* src = rv.row(0);
+    for (int64_t j = 0; j < y.cols(); ++j) dst[j] += src[j];
+  }
+  const bool ng = NeedsGrad(a) || NeedsGrad(row);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, row](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    if (t.NeedsGrad(a)) t.node(a).grad.Add(dy);
+    if (t.NeedsGrad(row)) {
+      Matrix& dr = t.node(row).grad;
+      for (int64_t i = 0; i < dy.rows(); ++i) {
+        const real_t* src = dy.row(i);
+        real_t* dst = dr.row(0);
+        for (int64_t j = 0; j < dy.cols(); ++j) dst[j] += src[j];
+      }
+    }
+  };
+  return out;
+}
+
+// ---- Elementwise nonlinearities ---------------------------------------------
+
+Var Tape::UnaryElementwise(Var a, const std::function<real_t(real_t)>& f,
+                           const std::function<real_t(real_t, real_t)>& df) {
+  const Matrix& av = value(a);
+  Matrix y(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) y.data()[i] = f(av.data()[i]);
+  const bool ng = NeedsGrad(a);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, df](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    const Matrix& x = t.value(a);
+    const Matrix& yv = t.nodes_[id].value;
+    Matrix& da = t.node(a).grad;
+    for (int64_t i = 0; i < dy.size(); ++i) {
+      da.data()[i] += dy.data()[i] * df(x.data()[i], yv.data()[i]);
+    }
+  };
+  return out;
+}
+
+Var Tape::Relu(Var a) {
+  return UnaryElementwise(
+      a, [](real_t x) { return x > 0.0 ? x : 0.0; },
+      [](real_t x, real_t) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var Tape::LeakyRelu(Var a, real_t slope) {
+  return UnaryElementwise(
+      a, [slope](real_t x) { return x > 0.0 ? x : slope * x; },
+      [slope](real_t x, real_t) { return x > 0.0 ? 1.0 : slope; });
+}
+
+Var Tape::Tanh(Var a) {
+  return UnaryElementwise(a, [](real_t x) { return std::tanh(x); },
+                          [](real_t, real_t y) { return 1.0 - y * y; });
+}
+
+Var Tape::Sigmoid(Var a) {
+  return UnaryElementwise(
+      a,
+      [](real_t x) {
+        return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                        : std::exp(x) / (1.0 + std::exp(x));
+      },
+      [](real_t, real_t y) { return y * (1.0 - y); });
+}
+
+Var Tape::Exp(Var a) {
+  return UnaryElementwise(a, [](real_t x) { return std::exp(x); },
+                          [](real_t, real_t y) { return y; });
+}
+
+Var Tape::Softplus(Var a) {
+  return UnaryElementwise(
+      a,
+      [](real_t x) {
+        // Stable: max(x, 0) + log1p(exp(-|x|)).
+        return (x > 0.0 ? x : 0.0) + std::log1p(std::exp(-std::abs(x)));
+      },
+      [](real_t x, real_t) {
+        return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                        : std::exp(x) / (1.0 + std::exp(x));
+      });
+}
+
+Var Tape::Reciprocal(Var a) {
+  return UnaryElementwise(a, [](real_t x) { return 1.0 / x; },
+                          [](real_t, real_t y) { return -y * y; });
+}
+
+Var Tape::Square(Var a) {
+  return UnaryElementwise(a, [](real_t x) { return x * x; },
+                          [](real_t x, real_t) { return 2.0 * x; });
+}
+
+Var Tape::Dropout(Var a, real_t rate, bool training, Rng& rng) {
+  if (!training || rate <= 0.0) return a;
+  KUC_CHECK_LT(rate, 1.0);
+  const Matrix& av = value(a);
+  const real_t keep = 1.0 - rate;
+  auto mask = std::make_shared<std::vector<real_t>>(av.size());
+  Matrix y(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    const real_t m = rng.Bernoulli(keep) ? 1.0 / keep : 0.0;
+    (*mask)[i] = m;
+    y.data()[i] = av.data()[i] * m;
+  }
+  const bool ng = NeedsGrad(a);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, mask](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    Matrix& da = t.node(a).grad;
+    for (int64_t i = 0; i < dy.size(); ++i) {
+      da.data()[i] += dy.data()[i] * (*mask)[i];
+    }
+  };
+  return out;
+}
+
+// ---- Indexing / aggregation --------------------------------------------------
+
+Var Tape::Gather(Var a, std::vector<int64_t> idx) {
+  const Matrix& av = value(a);
+  const int64_t d = av.cols();
+  Matrix y(static_cast<int64_t>(idx.size()), d);
+  for (size_t k = 0; k < idx.size(); ++k) {
+    KUC_CHECK_GE(idx[k], 0);
+    KUC_CHECK_LT(idx[k], av.rows());
+    const real_t* src = av.row(idx[k]);
+    real_t* dst = y.row(static_cast<int64_t>(k));
+    for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  const bool ng = NeedsGrad(a);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, idx = std::move(idx)](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    Matrix& da = t.node(a).grad;
+    const int64_t dd = dy.cols();
+    for (size_t k = 0; k < idx.size(); ++k) {
+      real_t* dst = da.row(idx[k]);
+      const real_t* src = dy.row(static_cast<int64_t>(k));
+      for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
+    }
+  };
+  return out;
+}
+
+Var Tape::SegmentSum(Var a, std::vector<int64_t> seg, int64_t num_segments) {
+  const Matrix& av = value(a);
+  KUC_CHECK_EQ(static_cast<int64_t>(seg.size()), av.rows());
+  const int64_t d = av.cols();
+  Matrix y(num_segments, d);
+  for (size_t k = 0; k < seg.size(); ++k) {
+    KUC_CHECK_GE(seg[k], 0);
+    KUC_CHECK_LT(seg[k], num_segments);
+    real_t* dst = y.row(seg[k]);
+    const real_t* src = av.row(static_cast<int64_t>(k));
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  const bool ng = NeedsGrad(a);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, seg = std::move(seg)](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    Matrix& da = t.node(a).grad;
+    const int64_t dd = dy.cols();
+    for (size_t k = 0; k < seg.size(); ++k) {
+      const real_t* src = dy.row(seg[k]);
+      real_t* dst = da.row(static_cast<int64_t>(k));
+      for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
+    }
+  };
+  return out;
+}
+
+Var Tape::RowScale(Var a, Var s) {
+  const Matrix& av = value(a);
+  const Matrix& sv = value(s);
+  KUC_CHECK_EQ(sv.cols(), 1);
+  KUC_CHECK_EQ(sv.rows(), av.rows());
+  Matrix y = av;
+  for (int64_t i = 0; i < y.rows(); ++i) {
+    const real_t c = sv.at(i, 0);
+    real_t* dst = y.row(i);
+    for (int64_t j = 0; j < y.cols(); ++j) dst[j] *= c;
+  }
+  const bool ng = NeedsGrad(a) || NeedsGrad(s);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, s](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    const Matrix& av2 = t.value(a);
+    const Matrix& sv2 = t.value(s);
+    if (t.NeedsGrad(a)) {
+      Matrix& da = t.node(a).grad;
+      for (int64_t i = 0; i < dy.rows(); ++i) {
+        const real_t c = sv2.at(i, 0);
+        const real_t* src = dy.row(i);
+        real_t* dst = da.row(i);
+        for (int64_t j = 0; j < dy.cols(); ++j) dst[j] += c * src[j];
+      }
+    }
+    if (t.NeedsGrad(s)) {
+      Matrix& ds = t.node(s).grad;
+      for (int64_t i = 0; i < dy.rows(); ++i) {
+        const real_t* gy = dy.row(i);
+        const real_t* xa = av2.row(i);
+        real_t dot = 0.0;
+        for (int64_t j = 0; j < dy.cols(); ++j) dot += gy[j] * xa[j];
+        ds.at(i, 0) += dot;
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::RowDot(Var a, Var b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  KUC_CHECK_EQ(av.rows(), bv.rows());
+  KUC_CHECK_EQ(av.cols(), bv.cols());
+  Matrix y(av.rows(), 1);
+  for (int64_t i = 0; i < av.rows(); ++i) {
+    const real_t* ra = av.row(i);
+    const real_t* rb = bv.row(i);
+    real_t dot = 0.0;
+    for (int64_t j = 0; j < av.cols(); ++j) dot += ra[j] * rb[j];
+    y.at(i, 0) = dot;
+  }
+  const bool ng = NeedsGrad(a) || NeedsGrad(b);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a, b](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    const Matrix& av2 = t.value(a);
+    const Matrix& bv2 = t.value(b);
+    if (t.NeedsGrad(a)) {
+      Matrix& da = t.node(a).grad;
+      for (int64_t i = 0; i < av2.rows(); ++i) {
+        const real_t g = dy.at(i, 0);
+        const real_t* rb = bv2.row(i);
+        real_t* dst = da.row(i);
+        for (int64_t j = 0; j < av2.cols(); ++j) dst[j] += g * rb[j];
+      }
+    }
+    if (t.NeedsGrad(b)) {
+      Matrix& db = t.node(b).grad;
+      for (int64_t i = 0; i < bv2.rows(); ++i) {
+        const real_t g = dy.at(i, 0);
+        const real_t* ra = av2.row(i);
+        real_t* dst = db.row(i);
+        for (int64_t j = 0; j < bv2.cols(); ++j) dst[j] += g * ra[j];
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::RowSum(Var a) {
+  const Matrix& av = value(a);
+  Matrix y(av.rows(), 1);
+  for (int64_t i = 0; i < av.rows(); ++i) {
+    const real_t* src = av.row(i);
+    real_t s = 0.0;
+    for (int64_t j = 0; j < av.cols(); ++j) s += src[j];
+    y.at(i, 0) = s;
+  }
+  const bool ng = NeedsGrad(a);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a](Tape& t) {
+    const Matrix& dy = t.nodes_[id].grad;
+    Matrix& da = t.node(a).grad;
+    for (int64_t i = 0; i < da.rows(); ++i) {
+      const real_t g = dy.at(i, 0);
+      real_t* dst = da.row(i);
+      for (int64_t j = 0; j < da.cols(); ++j) dst[j] += g;
+    }
+  };
+  return out;
+}
+
+Var Tape::Sum(Var a) {
+  Matrix y(1, 1);
+  y.at(0, 0) = value(a).Sum();
+  const bool ng = NeedsGrad(a);
+  Var out = NewNode(std::move(y), ng, nullptr);
+  if (!ng) return out;
+  const int32_t id = out.id;
+  nodes_[id].backward = [id, a](Tape& t) {
+    const real_t g = t.nodes_[id].grad.at(0, 0);
+    Matrix& da = t.node(a).grad;
+    for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += g;
+  };
+  return out;
+}
+
+Var Tape::Mean(Var a) {
+  const int64_t n = value(a).size();
+  KUC_CHECK_GT(n, 0);
+  return ScalarMul(Sum(a), 1.0 / static_cast<real_t>(n));
+}
+
+Var Tape::BprLoss(Var pos, Var neg) {
+  KUC_CHECK_EQ(value(pos).cols(), 1);
+  KUC_CHECK_EQ(value(neg).cols(), 1);
+  return Sum(Softplus(Sub(neg, pos)));
+}
+
+// ---- Execution ----------------------------------------------------------------
+
+void Tape::Backward(Var loss) {
+  Node& top = node(loss);
+  KUC_CHECK_EQ(top.value.rows(), 1);
+  KUC_CHECK_EQ(top.value.cols(), 1);
+  // Allocate gradient buffers for all grad-requiring nodes.
+  for (auto& n : nodes_) {
+    if (n.needs_grad) n.grad = Matrix::Zeros(n.value.rows(), n.value.cols());
+  }
+  if (!top.needs_grad) return;  // Loss does not depend on any parameter.
+  top.grad.at(0, 0) = 1.0;
+  // Nodes were appended in topological order; visit in reverse.
+  for (int64_t i = static_cast<int64_t>(nodes_.size()) - 1; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (n.needs_grad && n.backward) n.backward(*this);
+  }
+}
+
+}  // namespace kucnet

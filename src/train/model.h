@@ -1,0 +1,32 @@
+#ifndef KUCNET_TRAIN_MODEL_H_
+#define KUCNET_TRAIN_MODEL_H_
+
+#include <string>
+
+#include "eval/evaluator.h"
+#include "util/rng.h"
+
+/// \file
+/// The interface every recommender in this library implements.
+
+namespace kucnet {
+
+/// A trainable ranking model. Implementations hold a reference to the
+/// dataset/CKG they were constructed with.
+class RankModel : public Ranker {
+ public:
+  /// Short display name ("MF", "KGAT", "KUCNet", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of trainable scalars (Fig. 5).
+  virtual int64_t ParamCount() const = 0;
+
+  /// Runs one optimization epoch over the training interactions with BPR
+  /// loss (Eq. 14); returns the mean per-pair loss. Heuristic models with no
+  /// trainable parameters return 0 and may make this a no-op.
+  virtual double TrainEpoch(Rng& rng) = 0;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TRAIN_MODEL_H_

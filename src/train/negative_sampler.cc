@@ -1,0 +1,28 @@
+#include "train/negative_sampler.h"
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+NegativeSampler::NegativeSampler(const Dataset& dataset)
+    : num_items_(dataset.num_items), positives_(dataset.num_users) {
+  for (const auto& [u, i] : dataset.train) positives_[u].insert(i);
+}
+
+int64_t NegativeSampler::Sample(int64_t user, Rng& rng) const {
+  KUC_CHECK_GE(user, 0);
+  KUC_CHECK_LT(user, static_cast<int64_t>(positives_.size()));
+  const auto& pos = positives_[user];
+  KUC_CHECK_LT(static_cast<int64_t>(pos.size()), num_items_)
+      << "user " << user << " interacted with every item";
+  for (;;) {
+    const int64_t j = rng.UniformInt(num_items_);
+    if (!pos.count(j)) return j;
+  }
+}
+
+bool NegativeSampler::IsPositive(int64_t user, int64_t item) const {
+  return positives_[user].count(item) > 0;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,37 @@
+#ifndef KUCNET_TRAIN_NEGATIVE_SAMPLER_H_
+#define KUCNET_TRAIN_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+/// \file
+/// Uniform negative item sampling for the BPR objective (Eq. 14): for each
+/// observed (u, i), draw j uniformly from items the user has not interacted
+/// with.
+
+namespace kucnet {
+
+/// Precomputes per-user positive sets for O(1) rejection sampling.
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(const Dataset& dataset);
+
+  /// A uniformly random item j with (user, j) not in the training set.
+  /// Aborts if the user has interacted with every item.
+  int64_t Sample(int64_t user, Rng& rng) const;
+
+  /// True iff (user, item) is a training positive.
+  bool IsPositive(int64_t user, int64_t item) const;
+
+ private:
+  int64_t num_items_;
+  std::vector<std::unordered_set<int64_t>> positives_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TRAIN_NEGATIVE_SAMPLER_H_

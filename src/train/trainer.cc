@@ -1,0 +1,52 @@
+#include "train/trainer.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kucnet {
+
+TrainResult TrainModel(RankModel& model, const Dataset& dataset,
+                       const TrainOptions& options) {
+  Rng rng(options.seed);
+  TrainResult result;
+  EvalOptions eval_opts;
+  eval_opts.top_n = options.top_n;
+  double train_seconds = 0.0;
+
+  if (options.epochs <= 0) {
+    // Heuristic model: nothing to train, just evaluate.
+    result.final_eval = EvaluateRanking(model, dataset, eval_opts);
+    return result;
+  }
+
+  for (int epoch = 1; epoch <= options.epochs; ++epoch) {
+    WallTimer epoch_timer;
+    const double loss = model.TrainEpoch(rng);
+    train_seconds += epoch_timer.Seconds();
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.loss = loss;
+    record.seconds_elapsed = train_seconds;
+    const bool is_last = epoch == options.epochs;
+    if (is_last ||
+        (options.eval_every > 0 && epoch % options.eval_every == 0)) {
+      const EvalResult eval = EvaluateRanking(model, dataset, eval_opts);
+      record.recall = eval.recall;
+      record.ndcg = eval.ndcg;
+      if (is_last) result.final_eval = eval;
+    }
+    if (options.verbose) {
+      KUC_LOG(Info) << model.name() << " epoch " << epoch << " loss=" << loss
+                    << (record.recall >= 0
+                            ? " recall@" + std::to_string(options.top_n) +
+                                  "=" + std::to_string(record.recall)
+                            : "");
+    }
+    result.curve.push_back(record);
+  }
+  result.train_seconds = train_seconds;
+  return result;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,51 @@
+#ifndef KUCNET_TRAIN_TRAINER_H_
+#define KUCNET_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "train/model.h"
+
+/// \file
+/// Epoch loop with optional per-epoch evaluation — the machinery behind the
+/// learning curves of Fig. 4 and the training-time column of Table VI.
+
+namespace kucnet {
+
+/// Knobs of the training loop.
+struct TrainOptions {
+  int epochs = 10;
+  /// Evaluate on the test split every `eval_every` epochs (0 = never).
+  int eval_every = 0;
+  int64_t top_n = 20;
+  bool verbose = false;
+  uint64_t seed = 7;
+};
+
+/// One point on a learning curve.
+struct EpochRecord {
+  int epoch = 0;
+  double loss = 0.0;
+  double seconds_elapsed = 0.0;  ///< cumulative training wall-clock
+  /// Filled when this epoch was evaluated, else -1.
+  double recall = -1.0;
+  double ndcg = -1.0;
+};
+
+/// Full outcome of a training run.
+struct TrainResult {
+  std::vector<EpochRecord> curve;
+  double train_seconds = 0.0;  ///< excludes evaluation time
+  EvalResult final_eval;
+};
+
+/// Trains `model` on `dataset.train` and (optionally) tracks test metrics.
+/// Always runs one final evaluation after the last epoch.
+TrainResult TrainModel(RankModel& model, const Dataset& dataset,
+                       const TrainOptions& options = TrainOptions());
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TRAIN_TRAINER_H_

@@ -1,0 +1,83 @@
+#include "util/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+std::vector<std::vector<int64_t>> ReadIntTable(const std::string& path,
+                                               int width) {
+  std::ifstream in(path);
+  KUC_CHECK(in.good()) << "cannot open " << path;
+  std::vector<std::vector<int64_t>> rows;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::vector<int64_t> row;
+    row.reserve(width);
+    int64_t value = 0;
+    while (ss >> value) row.push_back(value);
+    if (row.empty()) continue;
+    KUC_CHECK_EQ(static_cast<int>(row.size()), width)
+        << path << ":" << line_no;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void WriteIntTable(const std::string& path,
+                   const std::vector<std::vector<int64_t>>& rows) {
+  std::ofstream out(path);
+  KUC_CHECK(out.good()) << "cannot open " << path << " for writing";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ' ';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+std::vector<std::array<int64_t, 2>> ReadPairs(const std::string& path) {
+  std::vector<std::array<int64_t, 2>> pairs;
+  for (const auto& row : ReadIntTable(path, 2)) {
+    pairs.push_back({row[0], row[1]});
+  }
+  return pairs;
+}
+
+std::vector<std::array<int64_t, 3>> ReadTriplets(const std::string& path) {
+  std::vector<std::array<int64_t, 3>> triplets;
+  for (const auto& row : ReadIntTable(path, 3)) {
+    triplets.push_back({row[0], row[1], row[2]});
+  }
+  return triplets;
+}
+
+void WritePairs(const std::string& path,
+                const std::vector<std::array<int64_t, 2>>& pairs) {
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(pairs.size());
+  for (const auto& p : pairs) rows.push_back({p[0], p[1]});
+  WriteIntTable(path, rows);
+}
+
+void WriteTriplets(const std::string& path,
+                   const std::vector<std::array<int64_t, 3>>& triplets) {
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(triplets.size());
+  for (const auto& t : triplets) rows.push_back({t[0], t[1], t[2]});
+  WriteIntTable(path, rows);
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+}  // namespace kucnet

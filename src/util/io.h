@@ -1,0 +1,45 @@
+#ifndef KUCNET_UTIL_IO_H_
+#define KUCNET_UTIL_IO_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Plain-text (whitespace-separated) I/O for interaction lists and KG
+/// triplet files, matching the format used by the public KGAT/KGIN/KUCNet
+/// dataset releases: one `head relation tail` (or `user item`) row per line.
+
+namespace kucnet {
+
+/// Reads rows of exactly `width` integers per line; skips blank lines and
+/// lines starting with '#'. Aborts on malformed input (this library treats
+/// its own data files as trusted).
+std::vector<std::vector<int64_t>> ReadIntTable(const std::string& path,
+                                               int width);
+
+/// Writes rows of integers, one line per row, space-separated.
+void WriteIntTable(const std::string& path,
+                   const std::vector<std::vector<int64_t>>& rows);
+
+/// Reads `user item` pairs.
+std::vector<std::array<int64_t, 2>> ReadPairs(const std::string& path);
+
+/// Reads `head relation tail` triplets.
+std::vector<std::array<int64_t, 3>> ReadTriplets(const std::string& path);
+
+/// Writes `user item` pairs.
+void WritePairs(const std::string& path,
+                const std::vector<std::array<int64_t, 2>>& pairs);
+
+/// Writes `head relation tail` triplets.
+void WriteTriplets(const std::string& path,
+                   const std::vector<std::array<int64_t, 3>>& triplets);
+
+/// True if the file exists and is readable.
+bool FileExists(const std::string& path);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_UTIL_IO_H_

@@ -1,0 +1,95 @@
+#ifndef KUCNET_UTIL_LOGGING_H_
+#define KUCNET_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal logging and invariant-checking facility.
+///
+/// The project follows the Google C++ style guide and does not use
+/// exceptions; violated invariants terminate the process with a message
+/// identifying the failing expression and source location.
+
+namespace kucnet {
+
+/// Severity levels for `KUC_LOG`.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Returns the process-wide minimum level below which messages are dropped.
+LogLevel& MinLogLevel();
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  ~FatalMessage();  // Aborts the process after emitting the message.
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the global minimum severity; messages below it are suppressed.
+void SetMinLogLevel(LogLevel level);
+
+}  // namespace kucnet
+
+#define KUC_LOG(level)                                                   \
+  ::kucnet::internal_logging::LogMessage(::kucnet::LogLevel::k##level,   \
+                                         __FILE__, __LINE__)             \
+      .stream()
+
+/// Aborts with a diagnostic when `cond` is false. Additional context may be
+/// streamed: `KUC_CHECK(n > 0) << "n=" << n;`
+#define KUC_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                       \
+         : ::kucnet::internal_logging::FatalVoidify() &                  \
+               ::kucnet::internal_logging::FatalMessage(__FILE__,        \
+                                                        __LINE__, #cond) \
+                   .stream()
+
+#define KUC_CHECK_EQ(a, b) KUC_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+#define KUC_CHECK_NE(a, b) KUC_CHECK((a) != (b)) << " [" << (a) << " vs " << (b) << "] "
+#define KUC_CHECK_LT(a, b) KUC_CHECK((a) < (b)) << " [" << (a) << " vs " << (b) << "] "
+#define KUC_CHECK_LE(a, b) KUC_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define KUC_CHECK_GT(a, b) KUC_CHECK((a) > (b)) << " [" << (a) << " vs " << (b) << "] "
+#define KUC_CHECK_GE(a, b) KUC_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+
+namespace kucnet::internal_logging {
+
+/// Helper that swallows the ostream produced by the ternary in KUC_CHECK so
+/// the whole expression has type void in both branches.
+struct FatalVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace kucnet::internal_logging
+
+#endif  // KUCNET_UTIL_LOGGING_H_

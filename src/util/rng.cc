@@ -1,0 +1,96 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+uint64_t Rng::Next64() {
+  // splitmix64 (public-domain reference implementation).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t n) {
+  KUC_CHECK_GT(n, 0);
+  // Rejection-free modulo is fine here: n is tiny relative to 2^64, so the
+  // bias is far below anything observable in these workloads.
+  return static_cast<int64_t>(Next64() % static_cast<uint64_t>(n));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  KUC_CHECK(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  KUC_CHECK_GT(total, 0.0);
+  double x = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  KUC_CHECK_GE(n, k);
+  KUC_CHECK_GE(k, 0);
+  std::vector<int64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense regime: shuffle a full index vector and take a prefix.
+    std::vector<int64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse regime: rejection sampling into a set.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(k) * 2);
+  while (static_cast<int64_t>(out.size()) < k) {
+    const int64_t x = UniformInt(n);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  const uint64_t child_seed = Next64() ^ (salt * 0xd1342543de82ef95ULL + 1);
+  return Rng(child_seed);
+}
+
+}  // namespace kucnet

@@ -1,0 +1,75 @@
+#ifndef KUCNET_UTIL_RNG_H_
+#define KUCNET_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the library (synthetic data generation,
+/// negative sampling, parameter initialization, dropout) draw from `Rng` so
+/// that every experiment is reproducible from a single seed.
+
+namespace kucnet {
+
+/// A small, fast, deterministic generator (splitmix64 core).
+///
+/// Copyable; copying forks the stream deterministically. Not thread-safe:
+/// use one instance per thread (see `Rng::Fork`).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  /// Standard normal variate (Box-Muller).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`
+  /// (all non-negative, not all zero).
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+      const int64_t j = UniformInt(i + 1);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// Samples k distinct values from [0, n) (k <= n), in random order.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Derives an independent child generator; deterministic in (state, salt).
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_UTIL_RNG_H_

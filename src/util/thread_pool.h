@@ -1,0 +1,65 @@
+#ifndef KUCNET_UTIL_THREAD_POOL_H_
+#define KUCNET_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A small fixed-size thread pool plus a blocking ParallelFor helper.
+///
+/// Used to parallelize embarrassingly parallel stages: per-user PPR
+/// preprocessing, all-ranking evaluation, and subgraph extraction.
+
+namespace kucnet {
+
+/// Fixed-size worker pool. Tasks are `std::function<void()>`; `Wait()` blocks
+/// until all submitted tasks have completed.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across the pool, blocking until done.
+/// Iterations are distributed in contiguous chunks for cache friendliness.
+/// `fn` must be safe to call concurrently from multiple threads.
+void ParallelFor(ThreadPool& pool, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+/// Convenience overload using a process-wide shared pool.
+void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+/// Returns the process-wide shared pool (lazily created).
+ThreadPool& GlobalPool();
+
+}  // namespace kucnet
+
+#endif  // KUCNET_UTIL_THREAD_POOL_H_

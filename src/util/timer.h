@@ -1,0 +1,34 @@
+#ifndef KUCNET_UTIL_TIMER_H_
+#define KUCNET_UTIL_TIMER_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timing used by the benchmark harness and learning curves.
+
+namespace kucnet {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_UTIL_TIMER_H_

@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/adam.h"
+#include "tensor/matrix.h"
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+#include "util/rng.h"
+
+namespace kucnet {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize ||w - target||^2 from a random start.
+  Rng rng(1);
+  Parameter w("w", Matrix::RandomNormal(3, 4, 1.0, rng));
+  Matrix target = Matrix::RandomNormal(3, 4, 1.0, rng);
+  AdamOptions opts;
+  opts.learning_rate = 0.05;
+  Adam adam(opts);
+  for (int step = 0; step < 500; ++step) {
+    Tape tape;
+    Var x = tape.Param(&w);
+    Var diff = tape.Sub(x, tape.Constant(target));
+    Var loss = tape.Sum(tape.Square(diff));
+    tape.Backward(loss);
+    adam.Step({&w});
+  }
+  EXPECT_LT(w.value().MaxAbsDiff(target), 1e-2);
+  EXPECT_EQ(adam.step_count(), 500);
+}
+
+TEST(AdamTest, LazyUpdateLeavesUntouchedRowsAlone) {
+  Rng rng(2);
+  Parameter emb("emb", Matrix::RandomNormal(10, 4, 1.0, rng));
+  const Matrix before = emb.value();
+  AdamOptions opts;
+  opts.learning_rate = 0.1;
+  Adam adam(opts);
+  // Only rows 2 and 5 are gathered.
+  Tape tape;
+  Var g = tape.GatherParam(&emb, {2, 5});
+  Var loss = tape.Sum(tape.Square(g));
+  tape.Backward(loss);
+  adam.Step({&emb});
+  for (int64_t r = 0; r < 10; ++r) {
+    const bool touched = (r == 2 || r == 5);
+    bool changed = false;
+    for (int64_t j = 0; j < 4; ++j) {
+      if (emb.value().at(r, j) != before.at(r, j)) changed = true;
+    }
+    EXPECT_EQ(changed, touched) << "row " << r;
+  }
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Parameter w("w", Matrix::Filled(2, 2, 1.0));
+  AdamOptions opts;
+  opts.learning_rate = 0.01;
+  opts.weight_decay = 0.5;
+  Adam adam(opts);
+  // Zero loss gradient; only decay acts. Accumulate an explicit zero grad so
+  // the parameter is marked touched.
+  w.AccumulateDense(Matrix::Zeros(2, 2));
+  adam.Step({&w});
+  EXPECT_LT(w.value().at(0, 0), 1.0);
+  EXPECT_GT(w.value().at(0, 0), 0.99);  // lr * decay = 0.005 off
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Parameter w("w", Matrix::Filled(2, 2, 1.0));
+  AdamOptions opts;
+  Adam adam(opts);
+  adam.Step({&w});
+  EXPECT_EQ(w.value().at(0, 0), 1.0);
+}
+
+TEST(AdamTest, GradZeroedAfterStep) {
+  Parameter w("w", Matrix::Filled(2, 2, 1.0));
+  w.AccumulateDense(Matrix::Filled(2, 2, 1.0));
+  EXPECT_TRUE(w.has_grad());
+  Adam adam(AdamOptions{});
+  adam.Step({&w});
+  EXPECT_FALSE(w.has_grad());
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, |delta| of the first Adam step is ~lr regardless of
+  // gradient scale.
+  Parameter w("w", Matrix::Filled(1, 1, 0.0));
+  w.AccumulateDense(Matrix::Filled(1, 1, 123.456));
+  AdamOptions opts;
+  opts.learning_rate = 0.01;
+  Adam adam(opts);
+  adam.Step({&w});
+  EXPECT_NEAR(w.value().at(0, 0), -0.01, 1e-6);
+}
+
+TEST(ParameterTest, TouchedRowsSortedUnique) {
+  Parameter emb("emb", Matrix::Zeros(6, 2));
+  Matrix g(3, 2);
+  emb.AccumulateRows({4, 1, 4}, g);
+  auto rows = emb.TouchedRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 1);
+  EXPECT_EQ(rows[1], 4);
+  EXPECT_FALSE(emb.all_rows_touched());
+  emb.AccumulateDense(Matrix::Zeros(6, 2));
+  EXPECT_TRUE(emb.all_rows_touched());
+}
+
+TEST(ParameterTest, AccumulateRowsAddsValues) {
+  Parameter emb("emb", Matrix::Zeros(4, 2));
+  Matrix g(2, 2);
+  g.at(0, 0) = 1.0;
+  g.at(1, 0) = 2.0;
+  emb.AccumulateRows({3, 3}, g);
+  EXPECT_EQ(emb.grad().at(3, 0), 3.0);
+  EXPECT_EQ(emb.grad().at(0, 0), 0.0);
+}
+
+TEST(ParameterTest, ParamCount) {
+  Parameter a("a", Matrix::Zeros(3, 4));
+  Parameter b("b", Matrix::Zeros(2, 5));
+  EXPECT_EQ(a.ParamCount(), 12);
+  EXPECT_EQ(TotalParamCount({&a, &b}), 22);
+}
+
+}  // namespace
+}  // namespace kucnet

@@ -1,0 +1,140 @@
+// Behavioral contracts for the baseline family, beyond the smoke test:
+// trainable models must actually learn (loss decreases and test recall beats
+// chance on an easy dataset), and the new-item inductivity split must
+// separate the embedding class from the KG-aggregating / structural class.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+namespace kucnet {
+namespace {
+
+SyntheticConfig EasyConfig(uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.num_users = 50;
+  cfg.num_items = 80;
+  cfg.num_topics = 4;
+  cfg.interactions_per_user = 10;
+  cfg.entities_per_topic = 5;
+  cfg.num_shared_entities = 8;
+  cfg.kg_noise = 0.05;
+  cfg.entity_entity_edges_per_topic = 6;
+  return cfg;
+}
+
+struct LearnEnv {
+  LearnEnv()
+      : dataset([] {
+          Rng rng(17);
+          return TraditionalSplit(GenerateSynthetic(EasyConfig(51)).raw, 0.25,
+                                  rng);
+        }()),
+        ckg(dataset.BuildCkg()),
+        ppr(PprTable::Compute(ckg)) {}
+  Dataset dataset;
+  Ckg ckg;
+  PprTable ppr;
+};
+
+const LearnEnv& SharedLearnEnv() {
+  static const LearnEnv* env = new LearnEnv;
+  return *env;
+}
+
+class BaselineLearnsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineLearnsTest, LossDecreasesAndBeatsChance) {
+  const LearnEnv& env = SharedLearnEnv();
+  ModelContext ctx;
+  ctx.dataset = &env.dataset;
+  ctx.ckg = &env.ckg;
+  ctx.ppr = &env.ppr;
+  ctx.dim = 16;
+  ctx.kucnet.hidden_dim = 16;
+  ctx.kucnet.attention_dim = 3;
+  ctx.kucnet.sample_k = 12;
+  auto model = CreateModel(GetParam(), ctx);
+
+  TrainOptions opts;
+  opts.epochs = GetParam() == "KUCNet" ? 6 : 15;
+  const TrainResult result = TrainModel(*model, env.dataset, opts);
+  ASSERT_FALSE(result.curve.empty());
+  // Mean loss over the last third is below the first epoch's loss.
+  const double first = result.curve.front().loss;
+  double late = 0.0;
+  int late_count = 0;
+  for (size_t e = result.curve.size() * 2 / 3; e < result.curve.size(); ++e) {
+    late += result.curve[e].loss;
+    ++late_count;
+  }
+  late /= late_count;
+  EXPECT_LT(late, first) << GetParam() << ": no learning signal";
+
+  // Chance recall@20 over 80 items is 0.25; demand a clear margin.
+  EXPECT_GT(result.final_eval.recall, 0.3)
+      << GetParam() << ": " << ToString(result.final_eval);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrainableModels, BaselineLearnsTest,
+    ::testing::Values("MF", "FM", "NFM", "CKE", "KGIN", "CKAN", "KGNN-LS",
+                      "RippleNet", "R-GCN", "KGAT", "REDGNN", "KUCNet"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(InductivityContrastTest, NewItemSplitSeparatesModelClasses) {
+  // A larger catalogue keeps the new-item chance floor low: 20 / (~110 new
+  // items) ~ 0.18.
+  SyntheticConfig cfg = EasyConfig(52);
+  cfg.num_users = 80;
+  cfg.num_items = 550;
+  Rng rng(4);
+  const Dataset dataset =
+      NewItemSplit(GenerateSynthetic(cfg).raw, 0.2, rng);
+  const Ckg ckg = dataset.BuildCkg();
+  const PprTable ppr = PprTable::Compute(ckg);
+  ModelContext ctx;
+  ctx.dataset = &dataset;
+  ctx.ckg = &ckg;
+  ctx.ppr = &ppr;
+  ctx.dim = 16;
+  ctx.kucnet.hidden_dim = 16;
+  ctx.kucnet.attention_dim = 3;
+  ctx.kucnet.sample_k = 60;  // new items need the larger K (paper Table VII)
+
+  auto run = [&](const std::string& name, int epochs) {
+    auto model = CreateModel(name, ctx);
+    TrainOptions opts;
+    opts.epochs = epochs;
+    return TrainModel(*model, dataset, opts).final_eval.recall;
+  };
+
+  const double mf = run("MF", 15);
+  const double kgin = run("KGIN", 15);
+  const double ppr_rec = run("PPR", 0);
+  const double kucnet = run("KUCNet", 8);
+
+  // The paper's Table IV class separation: pure embeddings ~ chance; the
+  // KG-aggregating and structural/inductive classes clearly above. (At this
+  // tiny training size KUCNet's margin is modest; the bench harness shows
+  // the full-size separation.)
+  EXPECT_GT(kgin, 1.5 * mf) << "KGIN's KG aggregation must help on new items";
+  EXPECT_GT(ppr_rec, 1.5 * mf);
+  EXPECT_GT(kucnet, mf) << "KUCNet " << kucnet << " vs MF " << mf;
+}
+
+}  // namespace
+}  // namespace kucnet

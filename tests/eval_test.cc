@@ -1,0 +1,186 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+namespace kucnet {
+namespace {
+
+TEST(MetricsTest, RecallHandComputed) {
+  const std::vector<int64_t> ranked = {5, 3, 9, 1};
+  const std::unordered_set<int64_t> test = {3, 7, 1};
+  // Top-2 hits {3}: 1/3. Top-4 hits {3, 1}: 2/3.
+  EXPECT_NEAR(RecallAtN(ranked, test, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(RecallAtN(ranked, test, 4), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(RecallAtN(ranked, test, 100), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, RecallEdgeCases) {
+  EXPECT_EQ(RecallAtN({}, {1, 2}, 5), 0.0);
+  EXPECT_EQ(RecallAtN({1, 2}, {}, 5), 0.0);
+  EXPECT_EQ(RecallAtN({1, 2}, {1, 2}, 2), 1.0);
+}
+
+TEST(MetricsTest, NdcgHandComputed) {
+  // ranked = [a, b, c], test = {b}: DCG = 1/log2(3); ideal = 1/log2(2).
+  const std::vector<int64_t> ranked = {10, 20, 30};
+  const std::unordered_set<int64_t> test = {20};
+  const double expected = (1.0 / std::log2(3.0)) / (1.0 / std::log2(2.0));
+  EXPECT_NEAR(NdcgAtN(ranked, test, 3), expected, 1e-12);
+}
+
+TEST(MetricsTest, NdcgPerfectRankingIsOne) {
+  const std::vector<int64_t> ranked = {1, 2, 3, 4};
+  const std::unordered_set<int64_t> test = {1, 2};
+  EXPECT_NEAR(NdcgAtN(ranked, test, 4), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, NdcgRewardsEarlierHits) {
+  const std::unordered_set<int64_t> test = {7};
+  const double early = NdcgAtN({7, 1, 2}, test, 3);
+  const double late = NdcgAtN({1, 2, 7}, test, 3);
+  EXPECT_GT(early, late);
+  EXPECT_GT(late, 0.0);
+}
+
+TEST(MetricsTest, NdcgIdealTruncatesAtN) {
+  // |T| = 5 but N = 2: ideal uses only two terms.
+  const std::unordered_set<int64_t> test = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(NdcgAtN({1, 2}, test, 2), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, MonotoneInN) {
+  const std::vector<int64_t> ranked = {4, 8, 15, 16, 23, 42};
+  const std::unordered_set<int64_t> test = {15, 42, 99};
+  double prev_recall = -1.0;
+  for (int64_t n = 1; n <= 6; ++n) {
+    const double r = RecallAtN(ranked, test, n);
+    EXPECT_GE(r, prev_recall);
+    prev_recall = r;
+  }
+}
+
+TEST(MetricsTest, TopNIndicesOrdersAndMasks) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.9, 0.2};
+  auto top = TopNIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // tie with 3, lower index wins
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+  std::vector<bool> mask = {false, true, false, false, false};
+  auto masked = TopNIndices(scores, 3, &mask);
+  EXPECT_EQ(masked[0], 3);
+  // n larger than candidates.
+  auto all = TopNIndices(scores, 100);
+  EXPECT_EQ(all.size(), 5u);
+}
+
+// A ranker that scores item i as -i: ranks items in id order.
+class IdOrderRanker : public Ranker {
+ public:
+  explicit IdOrderRanker(int64_t num_items) : num_items_(num_items) {}
+  std::vector<double> ScoreItems(int64_t) const override {
+    std::vector<double> s(num_items_);
+    for (int64_t i = 0; i < num_items_; ++i) s[i] = -static_cast<double>(i);
+    return s;
+  }
+
+ private:
+  int64_t num_items_;
+};
+
+// A ranker that knows the test set (oracle): perfect metrics.
+class OracleRanker : public Ranker {
+ public:
+  OracleRanker(const Dataset& d) : d_(d), test_(d.TestItemsByUser()) {}
+  std::vector<double> ScoreItems(int64_t user) const override {
+    std::vector<double> s(d_.num_items, 0.0);
+    for (const int64_t i : test_[user]) s[i] = 1.0;
+    return s;
+  }
+
+ private:
+  const Dataset& d_;
+  std::vector<std::vector<int64_t>> test_;
+};
+
+Dataset SmallDataset() {
+  SyntheticConfig cfg;
+  cfg.seed = 77;
+  cfg.num_users = 30;
+  cfg.num_items = 50;
+  cfg.num_topics = 5;
+  cfg.interactions_per_user = 8;
+  Rng rng(1);
+  return TraditionalSplit(GenerateSynthetic(cfg).raw, 0.25, rng);
+}
+
+TEST(EvaluatorTest, OracleGetsPerfectScores) {
+  Dataset d = SmallDataset();
+  OracleRanker oracle(d);
+  EvalResult r = EvaluateRanking(oracle, d);
+  EXPECT_NEAR(r.recall, 1.0, 1e-12);
+  EXPECT_NEAR(r.ndcg, 1.0, 1e-12);
+  EXPECT_EQ(r.num_users, static_cast<int64_t>(d.TestUsers().size()));
+}
+
+TEST(EvaluatorTest, SerialMatchesParallel) {
+  Dataset d = SmallDataset();
+  IdOrderRanker ranker(d.num_items);
+  EvalOptions serial_opts;
+  serial_opts.parallel = false;
+  EvalOptions parallel_opts;
+  parallel_opts.parallel = true;
+  EvalResult a = EvaluateRanking(ranker, d, serial_opts);
+  EvalResult b = EvaluateRanking(ranker, d, parallel_opts);
+  EXPECT_NEAR(a.recall, b.recall, 1e-12);
+  EXPECT_NEAR(a.ndcg, b.ndcg, 1e-12);
+}
+
+TEST(EvaluatorTest, TrainingPositivesAreMasked) {
+  // A ranker that puts all its score on training positives would cheat; the
+  // evaluator must exclude them so its recall is 0.
+  // Many items so that chance-level recall@20 is small.
+  SyntheticConfig cfg;
+  cfg.seed = 78;
+  cfg.num_users = 30;
+  cfg.num_items = 600;
+  cfg.num_topics = 5;
+  cfg.interactions_per_user = 10;
+  Rng rng(2);
+  Dataset d = TraditionalSplit(GenerateSynthetic(cfg).raw, 0.25, rng);
+  class TrainOracle : public Ranker {
+   public:
+    explicit TrainOracle(const Dataset& d)
+        : d_(d), train_(d.TrainItemsByUser()) {}
+    std::vector<double> ScoreItems(int64_t user) const override {
+      std::vector<double> s(d_.num_items, 0.0);
+      for (const int64_t i : train_[user]) s[i] = 1.0;
+      return s;
+    }
+    const Dataset& d_;
+    std::vector<std::vector<int64_t>> train_;
+  };
+  TrainOracle cheat(d);
+  EvalResult r = EvaluateRanking(cheat, d);
+  // All mass was on masked items; remaining ranking is arbitrary ties over
+  // zero-score items, so recall should be near chance (20/600), far below 1.
+  EXPECT_LT(r.recall, 0.3);
+}
+
+TEST(EvaluatorTest, ToStringFormat) {
+  EvalResult r;
+  r.recall = 0.12345;
+  r.ndcg = 0.0567;
+  r.num_users = 42;
+  const std::string s = ToString(r);
+  EXPECT_NE(s.find("recall=0.1235"), std::string::npos);  // fixed, 4 digits
+  EXPECT_NE(s.find("42 users"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kucnet

@@ -1,0 +1,121 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace kucnet {
+namespace {
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      real_t s = 0.0;
+      for (int64_t k = 0; k < a.cols(); ++k) s += a.at(i, k) * b.at(k, j);
+      c.at(i, j) = s;
+    }
+  }
+  return c;
+}
+
+TEST(MatrixTest, ConstructorsAndAccessors) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.at(2, 3), 0.0);
+  m.at(1, 2) = 5.5;
+  EXPECT_EQ(m.at(1, 2), 5.5);
+  EXPECT_EQ(m.row(1)[2], 5.5);
+
+  Matrix empty;
+  EXPECT_TRUE(empty.empty());
+
+  Matrix filled = Matrix::Filled(2, 2, 3.0);
+  EXPECT_EQ(filled.Sum(), 12.0);
+}
+
+TEST(MatrixTest, AddAxpyScale) {
+  Matrix a = Matrix::Filled(2, 3, 1.0);
+  Matrix b = Matrix::Filled(2, 3, 2.0);
+  a.Add(b);
+  EXPECT_EQ(a.at(0, 0), 3.0);
+  a.Axpy(0.5, b);
+  EXPECT_EQ(a.at(1, 2), 4.0);
+  a.Scale(2.0);
+  EXPECT_EQ(a.at(0, 1), 8.0);
+  EXPECT_EQ(a.SquaredNorm(), 6 * 64.0);
+}
+
+TEST(MatrixTest, MatMulMatchesNaive) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t n = 1 + rng.UniformInt(8);
+    const int64_t k = 1 + rng.UniformInt(8);
+    const int64_t m = 1 + rng.UniformInt(8);
+    Matrix a = Matrix::RandomNormal(n, k, 1.0, rng);
+    Matrix b = Matrix::RandomNormal(k, m, 1.0, rng);
+    EXPECT_LT(MatMul(a, b).MaxAbsDiff(NaiveMatMul(a, b)), 1e-12);
+  }
+}
+
+TEST(MatrixTest, TransposedVariantsMatchExplicit) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomNormal(5, 7, 1.0, rng);
+  Matrix b = Matrix::RandomNormal(5, 4, 1.0, rng);
+  // A^T * B
+  EXPECT_LT(MatMulTransposedA(a, b).MaxAbsDiff(MatMul(Transpose(a), b)),
+            1e-12);
+  Matrix c = Matrix::RandomNormal(3, 7, 1.0, rng);
+  // A * C^T where A: 5x7, C: 3x7
+  EXPECT_LT(MatMulTransposedB(a, c).MaxAbsDiff(MatMul(a, Transpose(c))),
+            1e-12);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomNormal(4, 6, 1.0, rng);
+  EXPECT_TRUE(Transpose(Transpose(a)).Equals(a));
+}
+
+TEST(MatrixTest, GlorotUniformBounds) {
+  Rng rng(4);
+  const int64_t r = 30, c = 20;
+  Matrix m = Matrix::GlorotUniform(r, c, rng);
+  const real_t bound = std::sqrt(6.0 / (r + c));
+  for (int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), bound);
+  }
+  // Not degenerate.
+  EXPECT_GT(m.SquaredNorm(), 0.0);
+}
+
+TEST(MatrixTest, RandomNormalStddev) {
+  Rng rng(5);
+  Matrix m = Matrix::RandomNormal(100, 100, 0.5, rng);
+  const real_t var = m.SquaredNorm() / m.size();
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a = Matrix::Filled(2, 2, 1.0);
+  Matrix b = Matrix::Filled(2, 2, 1.0);
+  b.at(1, 1) = 1.5;
+  EXPECT_EQ(a.MaxAbsDiff(b), 0.5);
+  EXPECT_FALSE(a.Equals(b));
+  b.at(1, 1) = 1.0;
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(MatrixTest, MatMulShapes) {
+  Matrix a(2, 3), b(3, 5);
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 5);
+}
+
+}  // namespace
+}  // namespace kucnet

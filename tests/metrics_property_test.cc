@@ -1,0 +1,117 @@
+// Property tests for the ranking metrics: randomized rankings and test sets
+// must satisfy the metric axioms for every (seed, list size, test size, N)
+// combination in the sweep.
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace kucnet {
+namespace {
+
+struct Case {
+  uint64_t seed;
+  int64_t universe;
+  int64_t test_size;
+  int64_t n;
+};
+
+class MetricsPropertyTest : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam().seed);
+    ranked_.resize(GetParam().universe);
+    for (int64_t i = 0; i < GetParam().universe; ++i) ranked_[i] = i;
+    rng.Shuffle(ranked_);
+    for (const int64_t t :
+         rng.SampleWithoutReplacement(GetParam().universe,
+                                      GetParam().test_size)) {
+      test_.insert(t);
+    }
+  }
+
+  std::vector<int64_t> ranked_;
+  std::unordered_set<int64_t> test_;
+};
+
+TEST_P(MetricsPropertyTest, BoundedInUnitInterval) {
+  const double recall = RecallAtN(ranked_, test_, GetParam().n);
+  const double ndcg = NdcgAtN(ranked_, test_, GetParam().n);
+  EXPECT_GE(recall, 0.0);
+  EXPECT_LE(recall, 1.0);
+  EXPECT_GE(ndcg, 0.0);
+  EXPECT_LE(ndcg, 1.0 + 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, MonotoneInN) {
+  double prev_recall = 0.0;
+  for (int64_t n = 1; n <= GetParam().universe; n *= 2) {
+    const double r = RecallAtN(ranked_, test_, n);
+    EXPECT_GE(r, prev_recall - 1e-12);
+    prev_recall = r;
+  }
+  // Full-list recall is 1 (every test item is somewhere in the ranking).
+  EXPECT_NEAR(RecallAtN(ranked_, test_, GetParam().universe), 1.0, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, IdealRankingMaximizesBoth) {
+  // Move all test items to the front: recall@|T| and ndcg@N become maximal.
+  std::vector<int64_t> ideal;
+  for (const int64_t t : test_) ideal.push_back(t);
+  for (const int64_t r : ranked_) {
+    if (!test_.count(r)) ideal.push_back(r);
+  }
+  EXPECT_NEAR(NdcgAtN(ideal, test_, GetParam().n), 1.0, 1e-12);
+  const double best_recall = RecallAtN(ideal, test_, GetParam().n);
+  EXPECT_GE(best_recall + 1e-12, RecallAtN(ranked_, test_, GetParam().n));
+}
+
+TEST_P(MetricsPropertyTest, SwappingAHitEarlierNeverHurtsNdcg) {
+  // Find a hit after a miss and swap them: ndcg must not decrease.
+  std::vector<int64_t> ranked = ranked_;
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    if (test_.count(ranked[i]) && !test_.count(ranked[i - 1])) {
+      const double before = NdcgAtN(ranked, test_, GetParam().n);
+      std::swap(ranked[i], ranked[i - 1]);
+      const double after = NdcgAtN(ranked, test_, GetParam().n);
+      EXPECT_GE(after + 1e-12, before);
+      break;
+    }
+  }
+}
+
+TEST_P(MetricsPropertyTest, TopNIndicesConsistentWithMetrics) {
+  // Build scores that induce exactly the ranked_ order; TopNIndices must
+  // reproduce its prefix.
+  std::vector<double> scores(GetParam().universe);
+  for (size_t rank = 0; rank < ranked_.size(); ++rank) {
+    scores[ranked_[rank]] = static_cast<double>(ranked_.size() - rank);
+  }
+  const auto top = TopNIndices(scores, GetParam().n);
+  const int64_t expect =
+      std::min<int64_t>(GetParam().n, GetParam().universe);
+  ASSERT_EQ(static_cast<int64_t>(top.size()), expect);
+  for (int64_t i = 0; i < expect; ++i) {
+    EXPECT_EQ(top[i], ranked_[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricsPropertyTest,
+    ::testing::Values(Case{1, 50, 5, 10}, Case{2, 50, 1, 20},
+                      Case{3, 200, 30, 20}, Case{4, 10, 10, 5},
+                      Case{5, 100, 2, 1}, Case{6, 500, 50, 20},
+                      Case{7, 33, 7, 33}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_u" +
+             std::to_string(info.param.universe) + "_t" +
+             std::to_string(info.param.test_size) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace kucnet

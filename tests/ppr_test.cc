@@ -1,0 +1,149 @@
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/ckg.h"
+#include "ppr/ppr.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace kucnet {
+namespace {
+
+// Connected random CKG without parallel (multi-relation) edges, so the push
+// walk and the deduplicated adjacency walk coincide exactly.
+Ckg SimpleRandomCkg(uint64_t seed, int64_t users = 5, int64_t items = 12,
+                    int64_t extra = 6) {
+  Rng rng(seed);
+  std::vector<std::array<int64_t, 2>> inter;
+  // A spanning chain of interactions keeps the graph connected.
+  for (int64_t u = 0; u < users; ++u) {
+    inter.push_back({u, u % items});
+    inter.push_back({u, (u + 1) % items});
+  }
+  for (int k = 0; k < 10; ++k) {
+    inter.push_back({rng.UniformInt(users), rng.UniformInt(items)});
+  }
+  std::vector<std::array<int64_t, 3>> kg;
+  const int64_t kg_nodes = items + extra;
+  for (int64_t v = items; v < kg_nodes; ++v) {
+    kg.push_back({rng.UniformInt(items), 0, v});  // each entity linked
+  }
+  for (int k = 0; k < 10; ++k) {
+    const int64_t h = rng.UniformInt(kg_nodes);
+    int64_t t = rng.UniformInt(kg_nodes);
+    if (t == h) t = (t + 1) % kg_nodes;
+    kg.push_back({h, 0, t});
+  }
+  // Single relation id 0 throughout: (h, 0, t) duplicates collapse in Build.
+  return Ckg::Build(users, items, kg_nodes, 1, inter, kg);
+}
+
+TEST(PprTest, PowerIterationIsAProbabilityVector) {
+  Ckg g = SimpleRandomCkg(1);
+  SparseMatrix m = g.AdjacencyMatrix().ColumnNormalized();
+  const auto r = PprPowerIteration(m, g.UserNode(0), 0.15, 50);
+  real_t total = std::accumulate(r.begin(), r.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (const real_t x : r) EXPECT_GE(x, 0.0);
+}
+
+TEST(PprTest, RestartMassConcentratesAtSource) {
+  Ckg g = SimpleRandomCkg(2);
+  SparseMatrix m = g.AdjacencyMatrix().ColumnNormalized();
+  const int64_t src = g.UserNode(1);
+  const auto r = PprPowerIteration(m, src, 0.15, 50);
+  // The source must hold at least the restart probability.
+  EXPECT_GE(r[src], 0.15);
+  // And be the argmax in this small graph.
+  EXPECT_EQ(std::max_element(r.begin(), r.end()) - r.begin(), src);
+}
+
+TEST(PprTest, HigherAlphaMeansMoreMassAtSource) {
+  Ckg g = SimpleRandomCkg(3);
+  SparseMatrix m = g.AdjacencyMatrix().ColumnNormalized();
+  const int64_t src = g.UserNode(0);
+  const auto r_low = PprPowerIteration(m, src, 0.1, 50);
+  const auto r_high = PprPowerIteration(m, src, 0.5, 50);
+  EXPECT_GT(r_high[src], r_low[src]);
+}
+
+TEST(PprTest, ForwardPushApproximatesPowerIteration) {
+  Ckg g = SimpleRandomCkg(4);
+  SparseMatrix m = g.AdjacencyMatrix().ColumnNormalized();
+  const int64_t src = g.UserNode(2);
+  const auto exact = PprPowerIteration(m, src, 0.15, 200);
+  const auto push = PprForwardPush(g, src, 0.15, 1e-9);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    const auto it = push.find(v);
+    const real_t approx = it == push.end() ? 0.0 : it->second;
+    EXPECT_NEAR(approx, exact[v], 1e-4) << "node " << v;
+  }
+}
+
+TEST(PprTest, PushUndershootBound) {
+  // Push estimates never exceed the exact PPR (residuals are nonnegative).
+  Ckg g = SimpleRandomCkg(5);
+  SparseMatrix m = g.AdjacencyMatrix().ColumnNormalized();
+  const int64_t src = g.UserNode(0);
+  const auto exact = PprPowerIteration(m, src, 0.15, 300);
+  const auto push = PprForwardPush(g, src, 0.15, 1e-4);
+  for (const auto& [node, value] : push) {
+    EXPECT_LE(value, exact[node] + 1e-9) << "node " << node;
+    EXPECT_GE(value, 0.0);
+  }
+}
+
+TEST(PprTest, PushMassAtMostOne) {
+  Ckg g = SimpleRandomCkg(6);
+  const auto push = PprForwardPush(g, g.UserNode(1), 0.15, 1e-8);
+  real_t total = 0.0;
+  for (const auto& [node, value] : push) total += value;
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.9);  // epsilon small enough to capture most mass
+}
+
+TEST(PprTableTest, SerialMatchesParallel) {
+  Ckg g = SimpleRandomCkg(7);
+  PprTableOptions opts;
+  opts.epsilon = 1e-7;
+  PprTable serial = PprTable::Compute(g, opts, nullptr);
+  ThreadPool pool(4);
+  PprTable parallel = PprTable::Compute(g, opts, &pool);
+  ASSERT_EQ(serial.num_users(), parallel.num_users());
+  for (int64_t u = 0; u < serial.num_users(); ++u) {
+    const auto& a = serial.Vector(u);
+    const auto& b = parallel.Vector(u);
+    ASSERT_EQ(a.size(), b.size()) << "user " << u;
+    for (const auto& [node, value] : a) {
+      EXPECT_NEAR(value, b.at(node), 1e-12);
+    }
+  }
+  EXPECT_GE(serial.compute_seconds(), 0.0);
+}
+
+TEST(PprTableTest, ScoreFnMatchesScore) {
+  Ckg g = SimpleRandomCkg(8);
+  PprTable table = PprTable::Compute(g);
+  auto fn = table.ScoreFn(0);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(fn(v), table.Score(0, v));
+  }
+  // Unranked nodes score 0 (node id outside any vector entry).
+  EXPECT_EQ(table.Score(0, g.num_nodes() - 1),
+            table.ScoreFn(0)(g.num_nodes() - 1));
+}
+
+TEST(PprTableTest, UsersNeighborhoodRanksAboveFarNodes) {
+  // The user's own interacted items should outrank a node three hops away.
+  Ckg g = SimpleRandomCkg(9);
+  PprTable table = PprTable::Compute(g);
+  const auto items = g.ItemsOfUser(0);
+  ASSERT_FALSE(items.empty());
+  const real_t near_score = table.Score(0, g.ItemNode(items[0]));
+  EXPECT_GT(near_score, 0.0);
+}
+
+}  // namespace
+}  // namespace kucnet

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "tensor/grad_check.h"
+#include "tensor/sparse.h"
+#include "tensor/sparse_ops.h"
+#include "util/rng.h"
+
+namespace kucnet {
+namespace {
+
+SparseMatrix SmallMatrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  return SparseMatrix::FromEntries(
+      3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}});
+}
+
+TEST(SparseTest, FromEntriesBuildsCsr) {
+  SparseMatrix m = SmallMatrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.row_ptr()[0], 0);
+  EXPECT_EQ(m.row_ptr()[1], 2);
+  EXPECT_EQ(m.row_ptr()[2], 2);  // empty row
+  EXPECT_EQ(m.row_ptr()[3], 4);
+}
+
+TEST(SparseTest, DuplicateEntriesSummed) {
+  SparseMatrix m = SparseMatrix::FromEntries(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, 1.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.values()[0], 3.5);
+}
+
+TEST(SparseTest, MatrixVectorMultiply) {
+  SparseMatrix m = SmallMatrix();
+  std::vector<real_t> x = {1.0, 2.0, 3.0};
+  auto y = m.Multiply(x);
+  EXPECT_EQ(y[0], 7.0);   // 1*1 + 2*3
+  EXPECT_EQ(y[1], 0.0);
+  EXPECT_EQ(y[2], 11.0);  // 3*1 + 4*2
+}
+
+TEST(SparseTest, DenseMultiplyMatchesManual) {
+  SparseMatrix m = SmallMatrix();
+  Matrix x(3, 2);
+  x.at(0, 0) = 1;
+  x.at(1, 0) = 2;
+  x.at(2, 0) = 3;
+  x.at(0, 1) = -1;
+  x.at(1, 1) = -2;
+  x.at(2, 1) = -3;
+  Matrix y = m.Multiply(x);
+  EXPECT_EQ(y.at(0, 0), 7.0);
+  EXPECT_EQ(y.at(2, 1), -11.0);
+  EXPECT_EQ(y.at(1, 0), 0.0);
+}
+
+TEST(SparseTest, TransposedRoundTrip) {
+  SparseMatrix m = SmallMatrix();
+  SparseMatrix tt = m.Transposed().Transposed();
+  EXPECT_EQ(tt.rows(), m.rows());
+  EXPECT_EQ(tt.nnz(), m.nnz());
+  // A^T x computed two ways.
+  std::vector<real_t> x = {1.0, 1.0, 1.0};
+  auto y1 = m.Transposed().Multiply(x);
+  EXPECT_EQ(y1[0], 4.0);  // col 0 of A: 1 + 3
+  EXPECT_EQ(y1[1], 4.0);
+  EXPECT_EQ(y1[2], 2.0);
+}
+
+TEST(SparseTest, RowNormalization) {
+  SparseMatrix m = SmallMatrix().RowNormalized();
+  std::vector<real_t> ones = {1.0, 1.0, 1.0};
+  auto y = m.Multiply(ones);
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_EQ(y[1], 0.0);
+  EXPECT_NEAR(y[2], 1.0, 1e-12);
+}
+
+TEST(SparseTest, ColumnNormalization) {
+  SparseMatrix m = SmallMatrix().ColumnNormalized();
+  // Column sums of the normalized matrix must be 1 (where nonzero).
+  SparseMatrix mt = m.Transposed();
+  std::vector<real_t> ones = {1.0, 1.0, 1.0};
+  auto col_sums = mt.Multiply(ones);
+  EXPECT_NEAR(col_sums[0], 1.0, 1e-12);
+  EXPECT_NEAR(col_sums[1], 1.0, 1e-12);
+  EXPECT_NEAR(col_sums[2], 1.0, 1e-12);
+}
+
+TEST(SparseTest, SpMMForwardMatchesDense) {
+  Rng rng(1);
+  SparseMatrix a = SparseMatrix::FromEntries(
+      4, 5,
+      {{0, 1, 2.0}, {1, 0, -1.0}, {1, 4, 3.0}, {3, 2, 0.5}, {3, 3, 1.5}});
+  Matrix x = Matrix::RandomNormal(5, 3, 1.0, rng);
+  Matrix expected = a.Multiply(x);
+  Tape tape;
+  Var y = SpMM(tape, a, tape.Constant(x));
+  EXPECT_LT(tape.value(y).MaxAbsDiff(expected), 1e-12);
+}
+
+TEST(SparseTest, SpMMGradient) {
+  Rng rng(2);
+  SparseMatrix a = SparseMatrix::FromEntries(
+      4, 4, {{0, 1, 2.0}, {1, 0, -1.0}, {2, 2, 3.0}, {3, 1, 0.5}, {3, 3, 1.0}});
+  Parameter x("x", Matrix::RandomNormal(4, 3, 1.0, rng));
+  auto fn = [&](Tape& t) {
+    Var y = SpMM(t, a, t.Param(&x));
+    return t.Sum(t.Square(y));
+  };
+  auto r = CheckGradients({&x}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+TEST(SparseTest, EmptyMatrix) {
+  SparseMatrix m(0, 0);
+  EXPECT_EQ(m.nnz(), 0);
+  SparseMatrix m2(3, 3);
+  std::vector<real_t> x = {1, 2, 3};
+  auto y = m2.Multiply(x);
+  EXPECT_EQ(y, std::vector<real_t>({0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace kucnet

@@ -1,0 +1,355 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/grad_check.h"
+#include "tensor/matrix.h"
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+#include "util/rng.h"
+
+namespace kucnet {
+namespace {
+
+Parameter MakeParam(const std::string& name, int64_t r, int64_t c,
+                    uint64_t seed) {
+  Rng rng(seed);
+  return Parameter(name, Matrix::RandomNormal(r, c, 0.7, rng));
+}
+
+// ---- Forward-value unit tests ----------------------------------------------
+
+TEST(TapeForwardTest, ConstantAndValue) {
+  Tape tape;
+  Matrix m = Matrix::Filled(2, 2, 3.0);
+  Var v = tape.Constant(m);
+  EXPECT_TRUE(tape.value(v).Equals(m));
+}
+
+TEST(TapeForwardTest, AddSubHadamard) {
+  Tape tape;
+  Var a = tape.Constant(Matrix::Filled(2, 2, 3.0));
+  Var b = tape.Constant(Matrix::Filled(2, 2, 2.0));
+  EXPECT_EQ(tape.value(tape.Add(a, b)).at(0, 0), 5.0);
+  EXPECT_EQ(tape.value(tape.Sub(a, b)).at(1, 1), 1.0);
+  EXPECT_EQ(tape.value(tape.Hadamard(a, b)).at(0, 1), 6.0);
+  EXPECT_EQ(tape.value(tape.ScalarMul(a, -2.0)).at(0, 0), -6.0);
+}
+
+TEST(TapeForwardTest, Activations) {
+  Tape tape;
+  Matrix x(1, 4);
+  x.at(0, 0) = -2.0;
+  x.at(0, 1) = 0.0;
+  x.at(0, 2) = 1.0;
+  x.at(0, 3) = 3.0;
+  Var v = tape.Constant(x);
+  const Matrix& relu = tape.value(tape.Relu(v));
+  EXPECT_EQ(relu.at(0, 0), 0.0);
+  EXPECT_EQ(relu.at(0, 3), 3.0);
+  const Matrix& lrelu = tape.value(tape.LeakyRelu(v, 0.1));
+  EXPECT_NEAR(lrelu.at(0, 0), -0.2, 1e-12);
+  const Matrix& th = tape.value(tape.Tanh(v));
+  EXPECT_NEAR(th.at(0, 2), std::tanh(1.0), 1e-12);
+  const Matrix& sg = tape.value(tape.Sigmoid(v));
+  EXPECT_NEAR(sg.at(0, 1), 0.5, 1e-12);
+  const Matrix& sp = tape.value(tape.Softplus(v));
+  EXPECT_NEAR(sp.at(0, 1), std::log(2.0), 1e-12);
+  // Softplus is stable at large |x|.
+  Tape tape2;
+  Matrix big(1, 2);
+  big.at(0, 0) = 800.0;
+  big.at(0, 1) = -800.0;
+  const Matrix& sp2 = tape2.value(tape2.Softplus(tape2.Constant(big)));
+  EXPECT_NEAR(sp2.at(0, 0), 800.0, 1e-9);
+  EXPECT_NEAR(sp2.at(0, 1), 0.0, 1e-9);
+}
+
+TEST(TapeForwardTest, GatherAndSegmentSum) {
+  Tape tape;
+  Matrix x(3, 2);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 2; ++j) x.at(i, j) = 10.0 * i + j;
+  Var v = tape.Constant(x);
+  Var g = tape.Gather(v, {2, 0, 2});
+  EXPECT_EQ(tape.value(g).rows(), 3);
+  EXPECT_EQ(tape.value(g).at(0, 1), 21.0);
+  EXPECT_EQ(tape.value(g).at(1, 0), 0.0);
+
+  Var s = tape.SegmentSum(g, {1, 1, 0}, 3);
+  EXPECT_EQ(tape.value(s).rows(), 3);
+  EXPECT_EQ(tape.value(s).at(0, 0), 20.0);          // row 2 of x
+  EXPECT_EQ(tape.value(s).at(1, 0), 20.0 + 0.0);    // rows 2 and 0
+  EXPECT_EQ(tape.value(s).at(2, 0), 0.0);           // empty segment
+}
+
+TEST(TapeForwardTest, RowOpsAndSums) {
+  Tape tape;
+  Matrix x(2, 3);
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 2;
+  x.at(0, 2) = 3;
+  x.at(1, 0) = 4;
+  x.at(1, 1) = 5;
+  x.at(1, 2) = 6;
+  Var v = tape.Constant(x);
+  Matrix s(2, 1);
+  s.at(0, 0) = 2.0;
+  s.at(1, 0) = -1.0;
+  Var scaled = tape.RowScale(v, tape.Constant(s));
+  EXPECT_EQ(tape.value(scaled).at(0, 2), 6.0);
+  EXPECT_EQ(tape.value(scaled).at(1, 0), -4.0);
+
+  Var rd = tape.RowDot(v, v);
+  EXPECT_EQ(tape.value(rd).at(0, 0), 14.0);
+  EXPECT_EQ(tape.value(rd).at(1, 0), 77.0);
+
+  Var rs = tape.RowSum(v);
+  EXPECT_EQ(tape.value(rs).at(0, 0), 6.0);
+  EXPECT_EQ(tape.value(rs).at(1, 0), 15.0);
+
+  EXPECT_EQ(tape.value(tape.Sum(v)).at(0, 0), 21.0);
+  EXPECT_NEAR(tape.value(tape.Mean(v)).at(0, 0), 3.5, 1e-12);
+
+  Matrix row(1, 3);
+  row.at(0, 0) = 10;
+  row.at(0, 1) = 20;
+  row.at(0, 2) = 30;
+  Var br = tape.AddRowBroadcast(v, tape.Constant(row));
+  EXPECT_EQ(tape.value(br).at(1, 2), 36.0);
+}
+
+TEST(TapeForwardTest, DropoutModes) {
+  Rng rng(1);
+  Tape tape;
+  Var v = tape.Constant(Matrix::Filled(10, 10, 1.0));
+  // Not training: identity (same node).
+  Var same = tape.Dropout(v, 0.5, /*training=*/false, rng);
+  EXPECT_EQ(same.id, v.id);
+  // rate 0: identity.
+  Var same2 = tape.Dropout(v, 0.0, /*training=*/true, rng);
+  EXPECT_EQ(same2.id, v.id);
+  // Training: entries are 0 or 1/keep.
+  Var dropped = tape.Dropout(v, 0.5, /*training=*/true, rng);
+  int zeros = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    const real_t x = tape.value(dropped).data()[i];
+    EXPECT_TRUE(x == 0.0 || std::abs(x - 2.0) < 1e-12);
+    zeros += (x == 0.0);
+  }
+  EXPECT_GT(zeros, 20);
+  EXPECT_LT(zeros, 80);
+}
+
+TEST(TapeForwardTest, BprLossValue) {
+  Tape tape;
+  Matrix pos(2, 1), neg(2, 1);
+  pos.at(0, 0) = 2.0;
+  neg.at(0, 0) = 0.0;
+  pos.at(1, 0) = -1.0;
+  neg.at(1, 0) = 1.0;
+  Var loss = tape.BprLoss(tape.Constant(pos), tape.Constant(neg));
+  const real_t expected = std::log1p(std::exp(-2.0)) + std::log1p(std::exp(2.0));
+  EXPECT_NEAR(tape.value(loss).at(0, 0), expected, 1e-12);
+}
+
+// ---- Gradient checks for every op -------------------------------------------
+
+TEST(TapeGradTest, MatMulChain) {
+  Parameter w1 = MakeParam("w1", 4, 5, 11);
+  Parameter w2 = MakeParam("w2", 5, 3, 12);
+  auto fn = [&](Tape& t) {
+    Var a = t.Param(&w1);
+    Var b = t.Param(&w2);
+    return t.Sum(t.Tanh(t.MatMul(a, b)));
+  };
+  auto r = CheckGradients({&w1, &w2}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+TEST(TapeGradTest, AddSubScalarMulBroadcast) {
+  Parameter a = MakeParam("a", 3, 4, 21);
+  Parameter b = MakeParam("b", 3, 4, 22);
+  Parameter row = MakeParam("row", 1, 4, 23);
+  auto fn = [&](Tape& t) {
+    Var x = t.Add(t.Param(&a), t.ScalarMul(t.Param(&b), -0.5));
+    Var y = t.Sub(x, t.Param(&b));
+    Var z = t.AddRowBroadcast(y, t.Param(&row));
+    return t.Sum(t.Square(z));
+  };
+  auto r = CheckGradients({&a, &b, &row}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+TEST(TapeGradTest, HadamardSharedInput) {
+  Parameter a = MakeParam("a", 3, 3, 31);
+  auto fn = [&](Tape& t) {
+    Var x = t.Param(&a);
+    return t.Sum(t.Hadamard(x, x));  // d/dx x*x = 2x through two paths
+  };
+  auto r = CheckGradients({&a}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+class ActivationGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActivationGradTest, MatchesFiniteDifference) {
+  Parameter a = MakeParam("a", 4, 4, 41 + GetParam());
+  // Shift values away from relu kink to keep finite differences clean.
+  for (int64_t i = 0; i < a.value().size(); ++i) {
+    if (std::abs(a.value().data()[i]) < 0.05) a.value().data()[i] += 0.1;
+  }
+  const int which = GetParam();
+  auto fn = [&, which](Tape& t) {
+    Var x = t.Param(&a);
+    Var y;
+    switch (which) {
+      case 0: y = t.Relu(x); break;
+      case 1: y = t.LeakyRelu(x, 0.2); break;
+      case 2: y = t.Tanh(x); break;
+      case 3: y = t.Sigmoid(x); break;
+      case 4: y = t.Exp(x); break;
+      case 5: y = t.Softplus(x); break;
+      case 6: y = t.Square(x); break;
+      default: {
+        // Reciprocal on a well-conditioned positive input: 1 / (x^2 + 1).
+        Var denom = t.AddRowBroadcast(
+            t.Square(x), t.Constant(Matrix::Filled(1, 4, 1.0)));
+        y = t.Reciprocal(denom);
+        break;
+      }
+    }
+    return t.Sum(t.Hadamard(y, y));
+  };
+  auto r = CheckGradients({&a}, fn, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << "activation " << which << " rel_err=" << r.max_rel_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradTest,
+                         ::testing::Range(0, 8));
+
+TEST(TapeGradTest, GatherSegmentSumRoundTrip) {
+  Parameter emb = MakeParam("emb", 6, 3, 51);
+  std::vector<int64_t> idx = {0, 2, 2, 5, 1};
+  std::vector<int64_t> seg = {0, 1, 0, 2, 2};
+  auto fn = [&](Tape& t) {
+    Var x = t.Param(&emb);
+    Var g = t.Gather(x, idx);
+    Var s = t.SegmentSum(g, seg, 4);
+    return t.Sum(t.Tanh(s));
+  };
+  auto r = CheckGradients({&emb}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+TEST(TapeGradTest, GatherParamSparseLeaf) {
+  Parameter emb = MakeParam("emb", 8, 4, 61);
+  auto fn = [&](Tape& t) {
+    Var g = t.GatherParam(&emb, {1, 3, 3, 7});
+    return t.Sum(t.Sigmoid(g));
+  };
+  auto r = CheckGradients({&emb}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+  // Rows that were never gathered must have zero analytic gradient: verified
+  // implicitly by finite differences (numeric grad is 0 there too).
+}
+
+TEST(TapeGradTest, RowScaleRowDotRowSum) {
+  Parameter a = MakeParam("a", 5, 3, 71);
+  Parameter b = MakeParam("b", 5, 3, 72);
+  Parameter s = MakeParam("s", 5, 1, 73);
+  auto fn = [&](Tape& t) {
+    Var x = t.RowScale(t.Param(&a), t.Param(&s));
+    Var d = t.RowDot(x, t.Param(&b));
+    Var r = t.RowSum(t.Tanh(x));
+    return t.Add(t.Sum(t.Square(d)), t.Sum(r));
+  };
+  auto r = CheckGradients({&a, &b, &s}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+TEST(TapeGradTest, BprLossGradient) {
+  Parameter u = MakeParam("u", 4, 6, 81);
+  Parameter i = MakeParam("i", 4, 6, 82);
+  Parameter j = MakeParam("j", 4, 6, 83);
+  auto fn = [&](Tape& t) {
+    Var pos = t.RowDot(t.Param(&u), t.Param(&i));
+    Var neg = t.RowDot(t.Param(&u), t.Param(&j));
+    return t.BprLoss(pos, neg);
+  };
+  auto r = CheckGradients({&u, &i, &j}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+TEST(TapeGradTest, SoftmaxOverSegments) {
+  // Attention-style per-segment softmax: exp / segment-sum(exp) gathered back.
+  Parameter logits = MakeParam("logits", 6, 1, 91);
+  Parameter vals = MakeParam("vals", 6, 3, 92);
+  std::vector<int64_t> seg = {0, 0, 1, 1, 1, 2};
+  auto fn = [&](Tape& t) {
+    Var e = t.Exp(t.Param(&logits));
+    Var denom = t.SegmentSum(e, seg, 3);
+    Var denom_per_edge = t.Gather(denom, seg);
+    Var w = t.Hadamard(e, t.Reciprocal(denom_per_edge));
+    Var weighted = t.RowScale(t.Param(&vals), w);
+    Var out = t.SegmentSum(weighted, seg, 3);
+    return t.Sum(t.Square(out));
+  };
+  auto r = CheckGradients({&logits, &vals}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+TEST(TapeGradTest, ConstantGetsNoGradient) {
+  Parameter a = MakeParam("a", 2, 2, 101);
+  Tape tape;
+  Var c = tape.Constant(Matrix::Filled(2, 2, 1.0));
+  Var x = tape.Param(&a);
+  Var loss = tape.Sum(tape.Hadamard(c, x));
+  tape.Backward(loss);
+  EXPECT_TRUE(a.has_grad());
+  // Gradient wrt x is the constant.
+  EXPECT_NEAR(a.grad().at(0, 0), 1.0, 1e-12);
+  a.ZeroGrad();
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(TapeGradTest, LossWithoutParamsIsNoop) {
+  Tape tape;
+  Var c = tape.Constant(Matrix::Filled(1, 1, 2.0));
+  tape.Backward(c);  // must not crash
+  SUCCEED();
+}
+
+TEST(TapeGradTest, DropoutBackpropagatesMask) {
+  Parameter a = MakeParam("a", 10, 10, 111);
+  Rng rng(3);
+  Tape tape;
+  Var x = tape.Param(&a);
+  Var y = tape.Dropout(x, 0.5, /*training=*/true, rng);
+  Var loss = tape.Sum(y);
+  tape.Backward(loss);
+  // Gradient is exactly the mask (0 or 2).
+  int zeros = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    const real_t g = a.grad().data()[i];
+    EXPECT_TRUE(g == 0.0 || std::abs(g - 2.0) < 1e-12);
+    zeros += (g == 0.0);
+  }
+  EXPECT_GT(zeros, 20);
+  a.ZeroGrad();
+}
+
+TEST(TapeGradTest, GradAccumulatesAcrossUses) {
+  // The same parameter used twice accumulates both paths.
+  Parameter a = MakeParam("a", 2, 2, 121);
+  auto fn = [&](Tape& t) {
+    Var x = t.Param(&a);
+    Var y = t.GatherParam(&a, {0, 1});
+    return t.Add(t.Sum(x), t.Sum(y));
+  };
+  auto r = CheckGradients({&a}, fn);
+  EXPECT_TRUE(r.ok) << "rel_err=" << r.max_rel_err;
+}
+
+}  // namespace
+}  // namespace kucnet
