@@ -223,4 +223,21 @@ void PrintRow(const std::string& model, const EvalResult& measured,
               paper.ndcg >= 0 ? Fmt(paper.ndcg).c_str() : "-");
 }
 
+void WriteKernelBenchJson(const std::string& path,
+                          const std::vector<KernelBenchResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  KUC_CHECK(f != nullptr) << "cannot open " << path << " for writing";
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelBenchResult& r = results[i];
+    std::fprintf(f,
+                 "  {\"kernel\": \"%s\", \"size\": \"%s\", \"threads\": %d, "
+                 "\"ns_per_op\": %.1f, \"speedup\": %.3f}%s\n",
+                 r.kernel.c_str(), r.size.c_str(), r.threads, r.ns_per_op,
+                 r.speedup, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 }  // namespace kucnet::bench

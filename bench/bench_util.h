@@ -92,6 +92,22 @@ std::string Fmt(double value, int precision = 4);
 /// re-running a single row of a table).
 bool ModelEnabled(const std::string& name);
 
+// ---- Kernel benchmark output -----------------------------------------------
+
+/// One measured configuration of one kernel (micro_kernels --threads_compare).
+struct KernelBenchResult {
+  std::string kernel;    ///< e.g. "matmul"
+  std::string size;      ///< human-readable problem size, e.g. "512x512x512"
+  int threads = 1;       ///< pool size the measurement ran under
+  double ns_per_op = 0;  ///< best-of-reps wall time per operation
+  double speedup = 1.0;  ///< serial ns_per_op / this ns_per_op
+};
+
+/// Writes `results` to `path` as a machine-readable JSON array (one object
+/// per entry with keys kernel/size/threads/ns_per_op/speedup).
+void WriteKernelBenchJson(const std::string& path,
+                          const std::vector<KernelBenchResult>& results);
+
 }  // namespace kucnet::bench
 
 #endif  // KUCNET_BENCH_BENCH_UTIL_H_

@@ -1,18 +1,34 @@
 // google-benchmark microbenchmarks for the kernels everything else is built
 // on: dense matmul, the GNN gather/segment-sum pair, sparse-dense products,
 // PPR, BFS/subgraph extraction, and a full KUCNet forward pass.
+//
+// Invoked with --threads_compare [out.json [threads]], the binary instead
+// times each threaded kernel serially (1-worker pool) and with a multi-worker
+// pool, verifies the two produce bitwise-identical results, and writes a
+// machine-readable BENCH_kernels.json baseline (kernel, size, threads,
+// ns_per_op, speedup).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
 #include "core/kucnet.h"
 #include "data/synthetic.h"
 #include "graph/compgraph.h"
 #include "graph/subgraph.h"
 #include "ppr/ppr.h"
+#include "tensor/adam.h"
 #include "tensor/matrix.h"
 #include "tensor/sparse.h"
 #include "tensor/sparse_ops.h"
 #include "tensor/tape.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace kucnet {
 namespace {
@@ -147,7 +163,141 @@ void BM_KucnetForward(benchmark::State& state) {
 }
 BENCHMARK(BM_KucnetForward)->Arg(10)->Arg(30);
 
+// ---- Serial-vs-threaded comparison mode (--threads_compare) -----------------
+
+/// Best-of-`reps` wall time of `fn`, in nanoseconds (one warmup run first).
+template <typename Fn>
+double BestNs(int reps, const Fn& fn) {
+  fn();  // warmup
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    const double ns = timer.Seconds() * 1e9;
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Times `fn` under a 1-worker pool and a `threads`-worker pool, checks the
+/// returned matrices are bitwise identical, and appends both rows.
+template <typename Fn>
+void CompareKernel(const std::string& kernel, const std::string& size,
+                   int threads, int reps, const Fn& fn,
+                   std::vector<bench::KernelBenchResult>* out) {
+  SetGlobalPoolThreads(1);
+  const Matrix serial_result = fn();
+  const double serial_ns = BestNs(reps, fn);
+  SetGlobalPoolThreads(threads);
+  const Matrix threaded_result = fn();
+  const double threaded_ns = BestNs(reps, fn);
+  KUC_CHECK(serial_result.Equals(threaded_result))
+      << kernel << " result differs between 1 and " << threads << " threads";
+  out->push_back({kernel, size, 1, serial_ns, 1.0});
+  out->push_back({kernel, size, threads, threaded_ns,
+                  threaded_ns > 0 ? serial_ns / threaded_ns : 0.0});
+  std::printf("%-16s %-14s 1 thread: %10.0f ns   %d threads: %10.0f ns   "
+              "speedup %.2fx\n",
+              kernel.c_str(), size.c_str(), serial_ns, threads, threaded_ns,
+              threaded_ns > 0 ? serial_ns / threaded_ns : 0.0);
+}
+
+int RunThreadsCompare(const std::string& json_path, int threads) {
+  std::printf("kernel comparison: 1 vs %d pool workers "
+              "(hardware_concurrency=%u)\n",
+              threads, std::thread::hardware_concurrency());
+  std::vector<bench::KernelBenchResult> results;
+  Rng rng(7);
+
+  {  // 512x512 dense matmul (acceptance kernel #1).
+    const int64_t n = 512;
+    Matrix a = Matrix::RandomNormal(n, n, 1.0, rng);
+    Matrix b = Matrix::RandomNormal(n, n, 1.0, rng);
+    CompareKernel("matmul", "512x512x512", threads, 5,
+                  [&] { return MatMul(a, b); }, &results);
+    CompareKernel("matmul_tA", "512x512x512", threads, 5,
+                  [&] { return MatMulTransposedA(a, b); }, &results);
+    CompareKernel("matmul_tB", "512x512x512", threads, 5,
+                  [&] { return MatMulTransposedB(a, b); }, &results);
+  }
+
+  {  // 10^6-edge segment-sum, dim 32 (acceptance kernel #2).
+    const int64_t edges = 1000000;
+    const int64_t nodes = edges / 8;
+    const int64_t dim = 32;
+    Matrix h = Matrix::RandomNormal(edges, dim, 1.0, rng);
+    std::vector<int64_t> seg(edges);
+    for (int64_t e = 0; e < edges; ++e) seg[e] = rng.UniformInt(nodes);
+    CompareKernel("segment_sum", "1Mx32", threads, 5,
+                  [&] {
+                    Tape tape;
+                    Var x = tape.Constant(h);
+                    return tape.value(tape.SegmentSum(x, seg, nodes));
+                  },
+                  &results);
+    std::vector<int64_t> idx(edges);
+    for (int64_t e = 0; e < edges; ++e) idx[e] = rng.UniformInt(edges);
+    CompareKernel("gather", "1Mx32", threads, 5,
+                  [&] {
+                    Tape tape;
+                    Var x = tape.Constant(h);
+                    return tape.value(tape.Gather(x, idx));
+                  },
+                  &results);
+  }
+
+  {  // Dense Adam step over a 100k x 32 table.
+    const int64_t rows = 100000, dim = 32;
+    Matrix init = Matrix::RandomNormal(rows, dim, 0.1, rng);
+    Matrix grad = Matrix::RandomNormal(rows, dim, 0.01, rng);
+    CompareKernel("adam_step", "100kx32", threads, 5,
+                  [&] {
+                    Parameter p("table", init);
+                    p.AccumulateDense(grad);
+                    Adam adam{AdamOptions()};
+                    std::vector<Parameter*> params = {&p};
+                    adam.Step(params);
+                    return p.value();
+                  },
+                  &results);
+  }
+
+  {  // End-to-end: one batched KUCNet training epoch on synth-lastfm.
+    SetGlobalPoolThreads(threads);
+    bench::Workload w =
+        bench::MakeWorkload("synth-lastfm", SplitKind::kTraditional);
+    CompareKernel("train_epoch", "synth-lastfm", threads, 2,
+                  [&] {
+                    Kucnet model(&w.dataset, &w.ckg, &w.ppr, KucnetOptions());
+                    Rng epoch_rng(11);
+                    const double loss = model.TrainEpoch(epoch_rng);
+                    Matrix out(1, 1);
+                    out.at(0, 0) = loss;
+                    return out;
+                  },
+                  &results);
+  }
+
+  bench::WriteKernelBenchJson(json_path, results);
+  std::printf("wrote %zu rows to %s\n", results.size(), json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace kucnet
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads_compare") == 0) {
+      const std::string path =
+          i + 1 < argc ? argv[i + 1] : "BENCH_kernels.json";
+      const int threads = i + 2 < argc ? std::atoi(argv[i + 2])
+                                       : kucnet::DefaultThreadCount();
+      return kucnet::RunThreadsCompare(path, threads > 1 ? threads : 4);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,10 +1,12 @@
 #include "core/kucnet.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "graph/subgraph.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace kucnet {
 
@@ -275,6 +277,66 @@ Var Kucnet::BuildLoss(Tape& tape, int64_t user,
                       tape.Gather(all_scores, neg_idx));
 }
 
+double Kucnet::TrainUser(int64_t user, Rng& rng, Tape& tape,
+                         int64_t* pairs_out) {
+  *pairs_out = 0;
+  const auto& positives = train_items_[user];
+  const int64_t n_pos = std::min<int64_t>(
+      options_.positives_per_user, static_cast<int64_t>(positives.size()));
+  std::vector<int64_t> pos_items;
+  for (const int64_t k :
+       rng.SampleWithoutReplacement(static_cast<int64_t>(positives.size()),
+                                    n_pos)) {
+    pos_items.push_back(positives[k]);
+  }
+  std::vector<ExcludedPair> excluded;
+  if (options_.exclude_target_edges) {
+    for (const int64_t i : pos_items) {
+      excluded.push_back({ckg_->UserNode(user), ckg_->ItemNode(i)});
+    }
+  }
+  UserCompGraph graph = BuildGraph(user, &rng, excluded);
+
+  Var h_final =
+      RunMessagePassing(tape, graph, /*training=*/true, &rng, nullptr);
+  Var all_scores = tape.MatMul(h_final, tape.Param(&readout_));
+
+  // Collect positive/negative pairs as gathers over all_scores. An
+  // unreachable negative scores exactly 0 (Alg. 1 sets h = 0), so such
+  // pairs still contribute softplus(0 - pos): the positive must beat the
+  // zero floor that unreachable items sit on at evaluation time.
+  std::vector<int64_t> pos_idx, neg_idx, pos_vs_zero_idx;
+  for (const int64_t i : pos_items) {
+    const int64_t pi = graph.FinalIndexOf(ckg_->ItemNode(i));
+    if (pi < 0) continue;  // unreachable positive: h = 0, no signal
+    const int64_t j = sampler_.Sample(user, rng);
+    const int64_t ni = graph.FinalIndexOf(ckg_->ItemNode(j));
+    if (ni >= 0) {
+      pos_idx.push_back(pi);
+      neg_idx.push_back(ni);
+    } else {
+      pos_vs_zero_idx.push_back(pi);
+    }
+  }
+  if (pos_idx.empty() && pos_vs_zero_idx.empty()) return 0.0;
+  Var loss;
+  if (!pos_idx.empty()) {
+    Var pos_scores = tape.Gather(all_scores, pos_idx);
+    Var neg_scores = tape.Gather(all_scores, neg_idx);
+    loss = tape.BprLoss(pos_scores, neg_scores);  // Eq. (14)
+  }
+  if (!pos_vs_zero_idx.empty()) {
+    Var pos_scores = tape.Gather(all_scores, pos_vs_zero_idx);
+    Var zeros = tape.Constant(
+        Matrix::Zeros(static_cast<int64_t>(pos_vs_zero_idx.size()), 1));
+    Var zero_loss = tape.BprLoss(pos_scores, zeros);
+    loss = loss.valid() ? tape.Add(loss, zero_loss) : zero_loss;
+  }
+  tape.Backward(loss);
+  *pairs_out = static_cast<int64_t>(pos_idx.size() + pos_vs_zero_idx.size());
+  return tape.value(loss).at(0, 0);
+}
+
 double Kucnet::TrainEpoch(Rng& rng) {
   std::vector<int64_t> users;
   for (int64_t u = 0; u < dataset_->num_users; ++u) {
@@ -283,74 +345,47 @@ double Kucnet::TrainEpoch(Rng& rng) {
   rng.Shuffle(users);
   auto params = Params();
 
+  // Each user gets a private Rng seeded from (epoch salt, user id) so the
+  // sampling / dropout streams do not depend on which worker runs which
+  // user — training is bitwise identical at any thread count. The epoch salt
+  // comes from the caller's rng, so epochs (and reruns with another seed)
+  // still see fresh randomness.
+  const uint64_t epoch_salt = rng.Next64();
+
   double total_loss = 0.0;
   int64_t total_pairs = 0;
-  int64_t users_in_step = 0;
-  for (const int64_t user : users) {
-    const auto& positives = train_items_[user];
-    const int64_t n_pos = std::min<int64_t>(
-        options_.positives_per_user, static_cast<int64_t>(positives.size()));
-    std::vector<int64_t> pos_items;
-    for (const int64_t k :
-         rng.SampleWithoutReplacement(static_cast<int64_t>(positives.size()),
-                                      n_pos)) {
-      pos_items.push_back(positives[k]);
+  const int64_t batch =
+      std::max<int64_t>(1, static_cast<int64_t>(options_.users_per_step));
+  const int64_t num_users = static_cast<int64_t>(users.size());
+  for (int64_t begin = 0; begin < num_users; begin += batch) {
+    const int64_t end = std::min(num_users, begin + batch);
+    const int64_t bsize = end - begin;
+    // Phase 1 (parallel): independent forward/backward per user. Gradients
+    // land in per-tape deferred buffers, not the shared parameters.
+    std::vector<std::unique_ptr<Tape>> tapes(bsize);
+    std::vector<double> losses(bsize, 0.0);
+    std::vector<int64_t> pairs(bsize, 0);
+    ParallelFor(bsize, [this, &users, &tapes, &losses, &pairs, begin,
+                        epoch_salt](int64_t b) {
+      const int64_t user = users[begin + b];
+      Rng user_rng(epoch_salt ^
+                   (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(user) + 1)));
+      tapes[b] = std::make_unique<Tape>();
+      tapes[b]->set_deferred_param_grads(true);
+      losses[b] = TrainUser(user, user_rng, *tapes[b], &pairs[b]);
+    });
+    // Phase 2 (serial): flush gradients in batch order so the shared
+    // accumulation order is fixed, then take one optimizer step.
+    int64_t batch_pairs = 0;
+    for (int64_t b = 0; b < bsize; ++b) {
+      if (pairs[b] == 0) continue;
+      tapes[b]->FlushParamGrads();
+      total_loss += losses[b];
+      batch_pairs += pairs[b];
     }
-    std::vector<ExcludedPair> excluded;
-    if (options_.exclude_target_edges) {
-      for (const int64_t i : pos_items) {
-        excluded.push_back({ckg_->UserNode(user), ckg_->ItemNode(i)});
-      }
-    }
-    UserCompGraph graph = BuildGraph(user, &rng, excluded);
-
-    Tape tape;
-    Var h_final =
-        RunMessagePassing(tape, graph, /*training=*/true, &rng, nullptr);
-    Var all_scores = tape.MatMul(h_final, tape.Param(&readout_));
-
-    // Collect positive/negative pairs as gathers over all_scores. An
-    // unreachable negative scores exactly 0 (Alg. 1 sets h = 0), so such
-    // pairs still contribute softplus(0 - pos): the positive must beat the
-    // zero floor that unreachable items sit on at evaluation time.
-    std::vector<int64_t> pos_idx, neg_idx, pos_vs_zero_idx;
-    for (const int64_t i : pos_items) {
-      const int64_t pi = graph.FinalIndexOf(ckg_->ItemNode(i));
-      if (pi < 0) continue;  // unreachable positive: h = 0, no signal
-      const int64_t j = sampler_.Sample(user, rng);
-      const int64_t ni = graph.FinalIndexOf(ckg_->ItemNode(j));
-      if (ni >= 0) {
-        pos_idx.push_back(pi);
-        neg_idx.push_back(ni);
-      } else {
-        pos_vs_zero_idx.push_back(pi);
-      }
-    }
-    if (pos_idx.empty() && pos_vs_zero_idx.empty()) continue;
-    Var loss;
-    if (!pos_idx.empty()) {
-      Var pos_scores = tape.Gather(all_scores, pos_idx);
-      Var neg_scores = tape.Gather(all_scores, neg_idx);
-      loss = tape.BprLoss(pos_scores, neg_scores);  // Eq. (14)
-    }
-    if (!pos_vs_zero_idx.empty()) {
-      Var pos_scores = tape.Gather(all_scores, pos_vs_zero_idx);
-      Var zeros = tape.Constant(
-          Matrix::Zeros(static_cast<int64_t>(pos_vs_zero_idx.size()), 1));
-      Var zero_loss = tape.BprLoss(pos_scores, zeros);
-      loss = loss.valid() ? tape.Add(loss, zero_loss) : zero_loss;
-    }
-    total_loss += tape.value(loss).at(0, 0);
-    total_pairs +=
-        static_cast<int64_t>(pos_idx.size() + pos_vs_zero_idx.size());
-    tape.Backward(loss);
-
-    if (++users_in_step >= options_.users_per_step) {
-      optimizer_.Step(params);
-      users_in_step = 0;
-    }
+    total_pairs += batch_pairs;
+    if (batch_pairs > 0) optimizer_.Step(params);
   }
-  if (users_in_step > 0) optimizer_.Step(params);
   return total_pairs > 0 ? total_loss / static_cast<double>(total_pairs) : 0.0;
 }
 

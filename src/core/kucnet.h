@@ -81,6 +81,14 @@ class Kucnet : public RankModel {
 
   std::string name() const override;
   int64_t ParamCount() const override;
+
+  /// One BPR epoch. Users are processed in batches of
+  /// `options.users_per_step`: each batch runs its per-user forward/backward
+  /// passes concurrently on the global thread pool (gradients deferred to
+  /// per-tape buffers), then the buffers are flushed in a fixed order and one
+  /// optimizer step is taken. Per-user randomness is derived from an epoch
+  /// salt plus the user id, so the result is bitwise identical at any
+  /// KUCNET_NUM_THREADS setting.
   double TrainEpoch(Rng& rng) override;
   std::vector<double> ScoreItems(int64_t user) const override;
 
@@ -133,6 +141,14 @@ class Kucnet : public RankModel {
   /// Builds the pruned computation graph for a user.
   UserCompGraph BuildGraph(int64_t user, Rng* rng,
                            const std::vector<ExcludedPair>& excluded) const;
+
+  /// One user's training contribution: samples positives/negatives from
+  /// `rng`, builds the graph, records forward + backward on `tape`, and
+  /// returns the (unnormalized) loss. `*pairs_out` is the number of scored
+  /// pairs (0 = nothing reachable; tape untouched by Backward). Thread-safe
+  /// when `tape` is in deferred-gradient mode and `rng` is private to the
+  /// caller.
+  double TrainUser(int64_t user, Rng& rng, Tape& tape, int64_t* pairs_out);
 
   Var Activate(Tape& tape, Var x) const;
 

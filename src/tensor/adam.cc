@@ -3,8 +3,21 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace kucnet {
+
+namespace {
+
+/// Minimum row count before a parameter's update loop is farmed out. Row
+/// updates write disjoint state, so the parallel step is bitwise identical to
+/// the serial one at any thread count.
+constexpr int64_t kAdamParallelRows = 256;
+
+/// Rows per ParallelForRanges task.
+constexpr int64_t kAdamRowGrain = 64;
+
+}  // namespace
 
 Adam::Slot& Adam::GetSlot(Parameter* p) {
   auto it = slots_.find(p);
@@ -44,12 +57,34 @@ void Adam::Step(const std::vector<Parameter*>& params) {
     if (!p->has_grad()) continue;
     Slot& slot = GetSlot(p);
     if (p->all_rows_touched()) {
-      for (int64_t r = 0; r < p->rows(); ++r) {
-        UpdateRow(p, slot, r, bias_c1, bias_c2);
+      if (p->rows() >= kAdamParallelRows && EffectiveParallelism() > 1) {
+        ParallelForRanges(p->rows(), kAdamRowGrain,
+                          [this, p, &slot, bias_c1, bias_c2](int64_t lo,
+                                                             int64_t hi) {
+                            for (int64_t r = lo; r < hi; ++r) {
+                              UpdateRow(p, slot, r, bias_c1, bias_c2);
+                            }
+                          });
+      } else {
+        for (int64_t r = 0; r < p->rows(); ++r) {
+          UpdateRow(p, slot, r, bias_c1, bias_c2);
+        }
       }
     } else {
-      for (int64_t r : p->TouchedRows()) {
-        UpdateRow(p, slot, r, bias_c1, bias_c2);
+      const std::vector<int64_t> touched = p->TouchedRows();
+      const int64_t n = static_cast<int64_t>(touched.size());
+      if (n >= kAdamParallelRows && EffectiveParallelism() > 1) {
+        ParallelForRanges(n, kAdamRowGrain,
+                          [this, p, &slot, &touched, bias_c1, bias_c2](
+                              int64_t lo, int64_t hi) {
+                            for (int64_t k = lo; k < hi; ++k) {
+                              UpdateRow(p, slot, touched[k], bias_c1, bias_c2);
+                            }
+                          });
+      } else {
+        for (int64_t r : touched) {
+          UpdateRow(p, slot, r, bias_c1, bias_c2);
+        }
       }
     }
     p->ZeroGrad();

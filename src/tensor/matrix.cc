@@ -4,8 +4,34 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace kucnet {
+
+namespace {
+
+/// Minimum flop count (n*k*m) before a matmul is worth farming out.
+constexpr int64_t kMatMulParallelFlops = int64_t{1} << 17;
+
+/// Minimum element count before element-wise kernels go parallel.
+constexpr int64_t kElemParallelThreshold = int64_t{1} << 15;
+
+/// Range size for element-wise ParallelForRanges bodies.
+constexpr int64_t kElemGrain = int64_t{1} << 13;
+
+/// Fixed reduction chunk: partial sums are always formed over chunks of this
+/// many elements and merged in ascending chunk order, so the floating-point
+/// association depends only on the problem size, never on the thread count.
+constexpr int64_t kReduceChunk = int64_t{1} << 12;
+
+/// True when the convenience ParallelFor would actually fan out. Only used
+/// to skip scheduling overhead on paths whose serial and parallel variants
+/// are bitwise identical.
+bool WantParallel(int64_t work, int64_t threshold) {
+  return work >= threshold && EffectiveParallelism() > 1;
+}
+
+}  // namespace
 
 Matrix::Matrix(int64_t rows, int64_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
@@ -40,29 +66,88 @@ void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
 void Matrix::Add(const Matrix& other) {
   KUC_CHECK_EQ(rows_, other.rows_);
   KUC_CHECK_EQ(cols_, other.cols_);
-  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  real_t* dst = data_.data();
+  const real_t* src = other.data_.data();
+  if (WantParallel(size(), kElemParallelThreshold)) {
+    ParallelForRanges(size(), kElemGrain, [dst, src](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) dst[i] += src[i];
+    });
+    return;
+  }
+  for (int64_t i = 0; i < size(); ++i) dst[i] += src[i];
 }
 
 void Matrix::Axpy(real_t alpha, const Matrix& other) {
   KUC_CHECK_EQ(rows_, other.rows_);
   KUC_CHECK_EQ(cols_, other.cols_);
-  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+  real_t* dst = data_.data();
+  const real_t* src = other.data_.data();
+  if (WantParallel(size(), kElemParallelThreshold)) {
+    ParallelForRanges(size(), kElemGrain,
+                      [dst, src, alpha](int64_t b, int64_t e) {
+                        for (int64_t i = b; i < e; ++i) dst[i] += alpha * src[i];
+                      });
+    return;
+  }
+  for (int64_t i = 0; i < size(); ++i) dst[i] += alpha * src[i];
 }
 
 void Matrix::Scale(real_t alpha) {
-  for (auto& x : data_) x *= alpha;
+  real_t* dst = data_.data();
+  if (WantParallel(size(), kElemParallelThreshold)) {
+    ParallelForRanges(size(), kElemGrain, [dst, alpha](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) dst[i] *= alpha;
+    });
+    return;
+  }
+  for (int64_t i = 0; i < size(); ++i) dst[i] *= alpha;
 }
 
 real_t Matrix::Sum() const {
-  real_t s = 0.0;
-  for (const auto& x : data_) s += x;
-  return s;
+  const int64_t n = size();
+  const real_t* src = data_.data();
+  if (n < 2 * kReduceChunk) {
+    real_t s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += src[i];
+    return s;
+  }
+  // Fixed-chunk deterministic reduction: the chunk layout (and therefore the
+  // summation tree) depends only on n, so any thread count produces the
+  // bitwise-identical result.
+  const int64_t chunks = (n + kReduceChunk - 1) / kReduceChunk;
+  std::vector<real_t> partial(chunks, 0.0);
+  ParallelFor(chunks, [src, n, &partial](int64_t c) {
+    const int64_t begin = c * kReduceChunk;
+    const int64_t end = std::min(n, begin + kReduceChunk);
+    real_t s = 0.0;
+    for (int64_t i = begin; i < end; ++i) s += src[i];
+    partial[c] = s;
+  });
+  real_t total = 0.0;
+  for (int64_t c = 0; c < chunks; ++c) total += partial[c];
+  return total;
 }
 
 real_t Matrix::SquaredNorm() const {
-  real_t s = 0.0;
-  for (const auto& x : data_) s += x * x;
-  return s;
+  const int64_t n = size();
+  const real_t* src = data_.data();
+  if (n < 2 * kReduceChunk) {
+    real_t s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += src[i] * src[i];
+    return s;
+  }
+  const int64_t chunks = (n + kReduceChunk - 1) / kReduceChunk;
+  std::vector<real_t> partial(chunks, 0.0);
+  ParallelFor(chunks, [src, n, &partial](int64_t c) {
+    const int64_t begin = c * kReduceChunk;
+    const int64_t end = std::min(n, begin + kReduceChunk);
+    real_t s = 0.0;
+    for (int64_t i = begin; i < end; ++i) s += src[i] * src[i];
+    partial[c] = s;
+  });
+  real_t total = 0.0;
+  for (int64_t c = 0; c < chunks; ++c) total += partial[c];
+  return total;
 }
 
 bool Matrix::Equals(const Matrix& other) const {
@@ -84,16 +169,27 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   KUC_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  // i-k-j loop order streams through B and C rows sequentially.
-  for (int64_t i = 0; i < n; ++i) {
-    const real_t* arow = a.row(i);
-    real_t* crow = c.row(i);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const real_t av = arow[kk];
-      if (av == 0.0) continue;
-      const real_t* brow = b.row(kk);
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+  // Each output row accumulates over kk in ascending order (i-k-j streams
+  // through B and C rows sequentially); rows are independent, so threading
+  // over row blocks is bitwise identical to the serial loop.
+  auto row_block = [&a, &b, &c, k, m](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const real_t* arow = a.row(i);
+      real_t* crow = c.row(i);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const real_t av = arow[kk];
+        if (av == 0.0) continue;
+        const real_t* brow = b.row(kk);
+        for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  if (WantParallel(n * k * m, kMatMulParallelFlops) && n > 1) {
+    const int64_t grain =
+        std::max<int64_t>(1, kMatMulParallelFlops / std::max<int64_t>(1, k * m));
+    ParallelForRanges(n, grain, row_block);
+  } else {
+    row_block(0, n);
   }
   return c;
 }
@@ -102,15 +198,26 @@ Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
   KUC_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
   const int64_t k = a.rows(), n = a.cols(), m = b.cols();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const real_t* arow = a.row(kk);
-    const real_t* brow = b.row(kk);
-    for (int64_t i = 0; i < n; ++i) {
-      const real_t av = arow[i];
-      if (av == 0.0) continue;
+  // C(i,j) = sum_kk A(kk,i) * B(kk,j), kk ascending per output element: the
+  // same accumulation order as the k-outer serial formulation, but organized
+  // by output row so row blocks can run on different threads.
+  auto row_block = [&a, &b, &c, k, m](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
       real_t* crow = c.row(i);
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const real_t av = a.row(kk)[i];
+        if (av == 0.0) continue;
+        const real_t* brow = b.row(kk);
+        for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  if (WantParallel(n * k * m, kMatMulParallelFlops) && n > 1) {
+    const int64_t grain =
+        std::max<int64_t>(1, kMatMulParallelFlops / std::max<int64_t>(1, k * m));
+    ParallelForRanges(n, grain, row_block);
+  } else {
+    row_block(0, n);
   }
   return c;
 }
@@ -119,15 +226,24 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
   KUC_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
   const int64_t n = a.rows(), k = a.cols(), m = b.rows();
-  for (int64_t i = 0; i < n; ++i) {
-    const real_t* arow = a.row(i);
-    real_t* crow = c.row(i);
-    for (int64_t j = 0; j < m; ++j) {
-      const real_t* brow = b.row(j);
-      real_t dot = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-      crow[j] += dot;
+  auto row_block = [&a, &b, &c, k, m](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const real_t* arow = a.row(i);
+      real_t* crow = c.row(i);
+      for (int64_t j = 0; j < m; ++j) {
+        const real_t* brow = b.row(j);
+        real_t dot = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+        crow[j] += dot;
+      }
     }
+  };
+  if (WantParallel(n * k * m, kMatMulParallelFlops) && n > 1) {
+    const int64_t grain =
+        std::max<int64_t>(1, kMatMulParallelFlops / std::max<int64_t>(1, k * m));
+    ParallelForRanges(n, grain, row_block);
+  } else {
+    row_block(0, n);
   }
   return c;
 }

@@ -9,10 +9,13 @@
 /// \file
 /// Dense row-major matrix of doubles: the value type of the autograd tape.
 ///
-/// The models in this library are small (hidden dims 16-64, a few thousand
-/// nodes), so a straightforward cache-friendly implementation with a blocked
-/// matmul is more than fast enough; doubles keep finite-difference gradient
-/// checks tight.
+/// Kernels are cache-friendly and, above a size threshold, threaded over the
+/// process-wide pool (see util/thread_pool.h). Parallel execution is
+/// bit-reproducible: matmuls parallelize over independent output rows with
+/// unchanged per-element accumulation order, and reductions (Sum,
+/// SquaredNorm) always use a fixed-chunk summation tree whose shape depends
+/// only on the input size, never on the thread count. Doubles keep
+/// finite-difference gradient checks tight.
 
 namespace kucnet {
 

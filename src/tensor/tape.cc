@@ -5,8 +5,49 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace kucnet {
+
+namespace {
+
+/// Minimum scalar work before an op's forward/backward loops go parallel.
+constexpr int64_t kParallelWorkThreshold = int64_t{1} << 15;
+
+/// Range size (in rows / indices) handed to each ParallelForRanges body.
+constexpr int64_t kRowGrain = 512;
+
+/// True when farming out is worthwhile. Only guards paths whose serial and
+/// parallel executions are bitwise identical (independent writes, or
+/// accumulation order fixed by the grouping below).
+bool WantParallel(int64_t work) {
+  return work >= kParallelWorkThreshold && EffectiveParallelism() > 1;
+}
+
+/// CSR-style grouping of scatter indices: `order` lists the positions of
+/// `rows` stably bucketed by target row, `offsets` delimits each bucket.
+/// Scatter-accumulations become independent per-target-row reductions that
+/// visit contributions in their original (serial) order — so the threaded
+/// scatter is bit-identical to the sequential loop, with no atomics.
+struct RowGroups {
+  std::vector<int64_t> offsets;  ///< size num_rows + 1
+  std::vector<int64_t> order;    ///< size rows.size()
+};
+
+RowGroups GroupByRow(const std::vector<int64_t>& rows, int64_t num_rows) {
+  RowGroups g;
+  g.offsets.assign(num_rows + 1, 0);
+  for (const int64_t r : rows) ++g.offsets[r + 1];
+  for (int64_t i = 0; i < num_rows; ++i) g.offsets[i + 1] += g.offsets[i];
+  g.order.resize(rows.size());
+  std::vector<int64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (size_t k = 0; k < rows.size(); ++k) {
+    g.order[cursor[rows[k]]++] = static_cast<int64_t>(k);
+  }
+  return g;
+}
+
+}  // namespace
 
 Var Tape::NewNode(Matrix value, bool needs_grad,
                   std::function<void(Tape&)> backward) {
@@ -33,6 +74,34 @@ const Tape::Node& Tape::node(Var v) const {
 const Matrix& Tape::value(Var v) const { return node(v).value; }
 const Matrix& Tape::grad(Var v) const { return node(v).grad; }
 
+void Tape::AccumulateParamDense(Parameter* p, const Matrix& g) {
+  if (deferred_param_grads_) {
+    deferred_grads_.push_back({p, /*dense=*/true, {}, g});
+    return;
+  }
+  p->AccumulateDense(g);
+}
+
+void Tape::AccumulateParamRows(Parameter* p, const std::vector<int64_t>& rows,
+                               const Matrix& g) {
+  if (deferred_param_grads_) {
+    deferred_grads_.push_back({p, /*dense=*/false, rows, g});
+    return;
+  }
+  p->AccumulateRows(rows, g);
+}
+
+void Tape::FlushParamGrads() {
+  for (DeferredGrad& d : deferred_grads_) {
+    if (d.dense) {
+      d.param->AccumulateDense(d.grad);
+    } else {
+      d.param->AccumulateRows(d.rows, d.grad);
+    }
+  }
+  deferred_grads_.clear();
+}
+
 // ---- Leaves ----------------------------------------------------------------
 
 Var Tape::Constant(Matrix value) {
@@ -45,7 +114,7 @@ Var Tape::Param(Parameter* p) {
   Var out = NewNode(std::move(value), /*needs_grad=*/true, nullptr);
   const int32_t id = out.id;
   nodes_[id].backward = [id, p](Tape& t) {
-    p->AccumulateDense(t.nodes_[id].grad);
+    t.AccumulateParamDense(p, t.nodes_[id].grad);
   };
   return out;
 }
@@ -64,7 +133,7 @@ Var Tape::GatherParam(Parameter* p, std::vector<int64_t> rows) {
   Var out = NewNode(std::move(value), /*needs_grad=*/true, nullptr);
   const int32_t id = out.id;
   nodes_[id].backward = [id, p, rows = std::move(rows)](Tape& t) {
-    p->AccumulateRows(rows, t.nodes_[id].grad);
+    t.AccumulateParamRows(p, rows, t.nodes_[id].grad);
   };
   return out;
 }
@@ -129,25 +198,51 @@ Var Tape::Hadamard(Var a, Var b) {
   KUC_CHECK_EQ(av.rows(), bv.rows());
   KUC_CHECK_EQ(av.cols(), bv.cols());
   Matrix y(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) y.data()[i] = av.data()[i] * bv.data()[i];
+  {
+    real_t* dst = y.data();
+    const real_t* pa = av.data();
+    const real_t* pb = bv.data();
+    const int64_t n = av.size();
+    if (WantParallel(n)) {
+      ParallelForRanges(n, kParallelWorkThreshold,
+                        [dst, pa, pb](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) dst[i] = pa[i] * pb[i];
+                        });
+    } else {
+      for (int64_t i = 0; i < n; ++i) dst[i] = pa[i] * pb[i];
+    }
+  }
   const bool ng = NeedsGrad(a) || NeedsGrad(b);
   Var out = NewNode(std::move(y), ng, nullptr);
   if (!ng) return out;
   const int32_t id = out.id;
   nodes_[id].backward = [id, a, b](Tape& t) {
     const Matrix& dy = t.nodes_[id].grad;
+    const int64_t n = dy.size();
     if (t.NeedsGrad(a)) {
-      Matrix& da = t.node(a).grad;
-      const Matrix& bv2 = t.value(b);
-      for (int64_t i = 0; i < dy.size(); ++i) {
-        da.data()[i] += dy.data()[i] * bv2.data()[i];
+      real_t* da = t.node(a).grad.data();
+      const real_t* pb = t.value(b).data();
+      const real_t* g = dy.data();
+      if (WantParallel(n)) {
+        ParallelForRanges(n, kParallelWorkThreshold,
+                          [da, pb, g](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i) da[i] += g[i] * pb[i];
+                          });
+      } else {
+        for (int64_t i = 0; i < n; ++i) da[i] += g[i] * pb[i];
       }
     }
     if (t.NeedsGrad(b)) {
-      Matrix& db = t.node(b).grad;
-      const Matrix& av2 = t.value(a);
-      for (int64_t i = 0; i < dy.size(); ++i) {
-        db.data()[i] += dy.data()[i] * av2.data()[i];
+      real_t* db = t.node(b).grad.data();
+      const real_t* pa = t.value(a).data();
+      const real_t* g = dy.data();
+      if (WantParallel(n)) {
+        ParallelForRanges(n, kParallelWorkThreshold,
+                          [db, pa, g](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i) db[i] += g[i] * pa[i];
+                          });
+      } else {
+        for (int64_t i = 0; i < n; ++i) db[i] += g[i] * pa[i];
       }
     }
   };
@@ -173,10 +268,18 @@ Var Tape::AddRowBroadcast(Var a, Var row) {
   KUC_CHECK_EQ(rv.rows(), 1);
   KUC_CHECK_EQ(av.cols(), rv.cols());
   Matrix y = av;
-  for (int64_t i = 0; i < y.rows(); ++i) {
-    real_t* dst = y.row(i);
+  const int64_t d = y.cols();
+  auto add_rows = [&y, &rv, d](int64_t lo, int64_t hi) {
     const real_t* src = rv.row(0);
-    for (int64_t j = 0; j < y.cols(); ++j) dst[j] += src[j];
+    for (int64_t i = lo; i < hi; ++i) {
+      real_t* dst = y.row(i);
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  };
+  if (WantParallel(y.size())) {
+    ParallelForRanges(y.rows(), kRowGrain, add_rows);
+  } else {
+    add_rows(0, y.rows());
   }
   const bool ng = NeedsGrad(a) || NeedsGrad(row);
   Var out = NewNode(std::move(y), ng, nullptr);
@@ -186,6 +289,8 @@ Var Tape::AddRowBroadcast(Var a, Var row) {
     const Matrix& dy = t.nodes_[id].grad;
     if (t.NeedsGrad(a)) t.node(a).grad.Add(dy);
     if (t.NeedsGrad(row)) {
+      // Column-sum reduction into one row: kept sequential so the
+      // accumulation order never depends on the thread count.
       Matrix& dr = t.node(row).grad;
       for (int64_t i = 0; i < dy.rows(); ++i) {
         const real_t* src = dy.row(i);
@@ -203,7 +308,19 @@ Var Tape::UnaryElementwise(Var a, const std::function<real_t(real_t)>& f,
                            const std::function<real_t(real_t, real_t)>& df) {
   const Matrix& av = value(a);
   Matrix y(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) y.data()[i] = f(av.data()[i]);
+  {
+    const int64_t n = av.size();
+    real_t* dst = y.data();
+    const real_t* src = av.data();
+    if (WantParallel(n)) {
+      ParallelForRanges(n, kParallelWorkThreshold,
+                        [dst, src, &f](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) dst[i] = f(src[i]);
+                        });
+    } else {
+      for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
+    }
+  }
   const bool ng = NeedsGrad(a);
   Var out = NewNode(std::move(y), ng, nullptr);
   if (!ng) return out;
@@ -213,8 +330,19 @@ Var Tape::UnaryElementwise(Var a, const std::function<real_t(real_t)>& f,
     const Matrix& x = t.value(a);
     const Matrix& yv = t.nodes_[id].value;
     Matrix& da = t.node(a).grad;
-    for (int64_t i = 0; i < dy.size(); ++i) {
-      da.data()[i] += dy.data()[i] * df(x.data()[i], yv.data()[i]);
+    const int64_t n = dy.size();
+    real_t* pda = da.data();
+    const real_t* g = dy.data();
+    const real_t* px = x.data();
+    const real_t* py = yv.data();
+    if (WantParallel(n)) {
+      ParallelForRanges(
+          n, kParallelWorkThreshold,
+          [pda, g, px, py, &df](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) pda[i] += g[i] * df(px[i], py[i]);
+          });
+    } else {
+      for (int64_t i = 0; i < n; ++i) pda[i] += g[i] * df(px[i], py[i]);
     }
   };
   return out;
@@ -282,6 +410,8 @@ Var Tape::Dropout(Var a, real_t rate, bool training, Rng& rng) {
   const real_t keep = 1.0 - rate;
   auto mask = std::make_shared<std::vector<real_t>>(av.size());
   Matrix y(av.rows(), av.cols());
+  // Mask generation consumes the rng sequentially and stays serial; only the
+  // (already element-independent) backward is threaded.
   for (int64_t i = 0; i < av.size(); ++i) {
     const real_t m = rng.Bernoulli(keep) ? 1.0 / keep : 0.0;
     (*mask)[i] = m;
@@ -294,8 +424,17 @@ Var Tape::Dropout(Var a, real_t rate, bool training, Rng& rng) {
   nodes_[id].backward = [id, a, mask](Tape& t) {
     const Matrix& dy = t.nodes_[id].grad;
     Matrix& da = t.node(a).grad;
-    for (int64_t i = 0; i < dy.size(); ++i) {
-      da.data()[i] += dy.data()[i] * (*mask)[i];
+    const int64_t n = dy.size();
+    real_t* pda = da.data();
+    const real_t* g = dy.data();
+    const real_t* m = mask->data();
+    if (WantParallel(n)) {
+      ParallelForRanges(n, kParallelWorkThreshold,
+                        [pda, g, m](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) pda[i] += g[i] * m[i];
+                        });
+    } else {
+      for (int64_t i = 0; i < n; ++i) pda[i] += g[i] * m[i];
     }
   };
   return out;
@@ -306,13 +445,25 @@ Var Tape::Dropout(Var a, real_t rate, bool training, Rng& rng) {
 Var Tape::Gather(Var a, std::vector<int64_t> idx) {
   const Matrix& av = value(a);
   const int64_t d = av.cols();
-  Matrix y(static_cast<int64_t>(idx.size()), d);
-  for (size_t k = 0; k < idx.size(); ++k) {
+  const int64_t k_count = static_cast<int64_t>(idx.size());
+  for (int64_t k = 0; k < k_count; ++k) {
     KUC_CHECK_GE(idx[k], 0);
     KUC_CHECK_LT(idx[k], av.rows());
-    const real_t* src = av.row(idx[k]);
-    real_t* dst = y.row(static_cast<int64_t>(k));
-    for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  Matrix y(k_count, d);
+  // Forward: each output row is written exactly once — embarrassingly
+  // parallel and trivially deterministic.
+  auto gather_rows = [&y, &av, &idx, d](int64_t lo, int64_t hi) {
+    for (int64_t k = lo; k < hi; ++k) {
+      const real_t* src = av.row(idx[k]);
+      real_t* dst = y.row(k);
+      for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+    }
+  };
+  if (WantParallel(k_count * d)) {
+    ParallelForRanges(k_count, kRowGrain, gather_rows);
+  } else {
+    gather_rows(0, k_count);
   }
   const bool ng = NeedsGrad(a);
   Var out = NewNode(std::move(y), ng, nullptr);
@@ -322,9 +473,29 @@ Var Tape::Gather(Var a, std::vector<int64_t> idx) {
     const Matrix& dy = t.nodes_[id].grad;
     Matrix& da = t.node(a).grad;
     const int64_t dd = dy.cols();
-    for (size_t k = 0; k < idx.size(); ++k) {
+    const int64_t n = static_cast<int64_t>(idx.size());
+    // Backward is a scatter-add: da.row(idx[k]) += dy.row(k). Threaded via
+    // per-target-row grouping so each source row's contributions are summed
+    // in original k order — bit-identical to the serial loop, no atomics.
+    if (WantParallel(n * dd) && da.rows() > 1) {
+      const RowGroups groups = GroupByRow(idx, da.rows());
+      ParallelForRanges(
+          da.rows(), kRowGrain,
+          [&groups, &da, &dy, dd](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+              real_t* dst = da.row(r);
+              for (int64_t e = groups.offsets[r]; e < groups.offsets[r + 1];
+                   ++e) {
+                const real_t* src = dy.row(groups.order[e]);
+                for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
+              }
+            }
+          });
+      return;
+    }
+    for (int64_t k = 0; k < n; ++k) {
       real_t* dst = da.row(idx[k]);
-      const real_t* src = dy.row(static_cast<int64_t>(k));
+      const real_t* src = dy.row(k);
       for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
     }
   };
@@ -335,13 +506,35 @@ Var Tape::SegmentSum(Var a, std::vector<int64_t> seg, int64_t num_segments) {
   const Matrix& av = value(a);
   KUC_CHECK_EQ(static_cast<int64_t>(seg.size()), av.rows());
   const int64_t d = av.cols();
-  Matrix y(num_segments, d);
-  for (size_t k = 0; k < seg.size(); ++k) {
+  const int64_t edges = static_cast<int64_t>(seg.size());
+  for (int64_t k = 0; k < edges; ++k) {
     KUC_CHECK_GE(seg[k], 0);
     KUC_CHECK_LT(seg[k], num_segments);
-    real_t* dst = y.row(seg[k]);
-    const real_t* src = av.row(static_cast<int64_t>(k));
-    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  Matrix y(num_segments, d);
+  // Forward is a scatter-add over segments; the grouped parallel form sums
+  // each segment's member rows in original edge order (bit-identical to the
+  // sequential loop at any thread count).
+  if (WantParallel(edges * d) && num_segments > 1) {
+    const RowGroups groups = GroupByRow(seg, num_segments);
+    ParallelForRanges(
+        num_segments, kRowGrain,
+        [&groups, &y, &av, d](int64_t lo, int64_t hi) {
+          for (int64_t s = lo; s < hi; ++s) {
+            real_t* dst = y.row(s);
+            for (int64_t e = groups.offsets[s]; e < groups.offsets[s + 1];
+                 ++e) {
+              const real_t* src = av.row(groups.order[e]);
+              for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+            }
+          }
+        });
+  } else {
+    for (int64_t k = 0; k < edges; ++k) {
+      real_t* dst = y.row(seg[k]);
+      const real_t* src = av.row(k);
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
   }
   const bool ng = NeedsGrad(a);
   Var out = NewNode(std::move(y), ng, nullptr);
@@ -351,10 +544,19 @@ Var Tape::SegmentSum(Var a, std::vector<int64_t> seg, int64_t num_segments) {
     const Matrix& dy = t.nodes_[id].grad;
     Matrix& da = t.node(a).grad;
     const int64_t dd = dy.cols();
-    for (size_t k = 0; k < seg.size(); ++k) {
-      const real_t* src = dy.row(seg[k]);
-      real_t* dst = da.row(static_cast<int64_t>(k));
-      for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
+    const int64_t n = static_cast<int64_t>(seg.size());
+    // Backward is a gather: da.row(k) += dy.row(seg[k]) — independent writes.
+    auto scatter_back = [&da, &dy, &seg, dd](int64_t lo, int64_t hi) {
+      for (int64_t k = lo; k < hi; ++k) {
+        const real_t* src = dy.row(seg[k]);
+        real_t* dst = da.row(k);
+        for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
+      }
+    };
+    if (WantParallel(n * dd)) {
+      ParallelForRanges(n, kRowGrain, scatter_back);
+    } else {
+      scatter_back(0, n);
     }
   };
   return out;
@@ -366,10 +568,17 @@ Var Tape::RowScale(Var a, Var s) {
   KUC_CHECK_EQ(sv.cols(), 1);
   KUC_CHECK_EQ(sv.rows(), av.rows());
   Matrix y = av;
-  for (int64_t i = 0; i < y.rows(); ++i) {
-    const real_t c = sv.at(i, 0);
-    real_t* dst = y.row(i);
-    for (int64_t j = 0; j < y.cols(); ++j) dst[j] *= c;
+  auto scale_rows = [&y, &sv](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const real_t c = sv.at(i, 0);
+      real_t* dst = y.row(i);
+      for (int64_t j = 0; j < y.cols(); ++j) dst[j] *= c;
+    }
+  };
+  if (WantParallel(y.size())) {
+    ParallelForRanges(y.rows(), kRowGrain, scale_rows);
+  } else {
+    scale_rows(0, y.rows());
   }
   const bool ng = NeedsGrad(a) || NeedsGrad(s);
   Var out = NewNode(std::move(y), ng, nullptr);
@@ -381,21 +590,35 @@ Var Tape::RowScale(Var a, Var s) {
     const Matrix& sv2 = t.value(s);
     if (t.NeedsGrad(a)) {
       Matrix& da = t.node(a).grad;
-      for (int64_t i = 0; i < dy.rows(); ++i) {
-        const real_t c = sv2.at(i, 0);
-        const real_t* src = dy.row(i);
-        real_t* dst = da.row(i);
-        for (int64_t j = 0; j < dy.cols(); ++j) dst[j] += c * src[j];
+      auto body = [&da, &dy, &sv2](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const real_t c = sv2.at(i, 0);
+          const real_t* src = dy.row(i);
+          real_t* dst = da.row(i);
+          for (int64_t j = 0; j < dy.cols(); ++j) dst[j] += c * src[j];
+        }
+      };
+      if (WantParallel(dy.size())) {
+        ParallelForRanges(dy.rows(), kRowGrain, body);
+      } else {
+        body(0, dy.rows());
       }
     }
     if (t.NeedsGrad(s)) {
       Matrix& ds = t.node(s).grad;
-      for (int64_t i = 0; i < dy.rows(); ++i) {
-        const real_t* gy = dy.row(i);
-        const real_t* xa = av2.row(i);
-        real_t dot = 0.0;
-        for (int64_t j = 0; j < dy.cols(); ++j) dot += gy[j] * xa[j];
-        ds.at(i, 0) += dot;
+      auto body = [&ds, &dy, &av2](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const real_t* gy = dy.row(i);
+          const real_t* xa = av2.row(i);
+          real_t dot = 0.0;
+          for (int64_t j = 0; j < dy.cols(); ++j) dot += gy[j] * xa[j];
+          ds.at(i, 0) += dot;
+        }
+      };
+      if (WantParallel(dy.size())) {
+        ParallelForRanges(dy.rows(), kRowGrain, body);
+      } else {
+        body(0, dy.rows());
       }
     }
   };
@@ -408,12 +631,19 @@ Var Tape::RowDot(Var a, Var b) {
   KUC_CHECK_EQ(av.rows(), bv.rows());
   KUC_CHECK_EQ(av.cols(), bv.cols());
   Matrix y(av.rows(), 1);
-  for (int64_t i = 0; i < av.rows(); ++i) {
-    const real_t* ra = av.row(i);
-    const real_t* rb = bv.row(i);
-    real_t dot = 0.0;
-    for (int64_t j = 0; j < av.cols(); ++j) dot += ra[j] * rb[j];
-    y.at(i, 0) = dot;
+  auto dot_rows = [&y, &av, &bv](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const real_t* ra = av.row(i);
+      const real_t* rb = bv.row(i);
+      real_t dot = 0.0;
+      for (int64_t j = 0; j < av.cols(); ++j) dot += ra[j] * rb[j];
+      y.at(i, 0) = dot;
+    }
+  };
+  if (WantParallel(av.size())) {
+    ParallelForRanges(av.rows(), kRowGrain, dot_rows);
+  } else {
+    dot_rows(0, av.rows());
   }
   const bool ng = NeedsGrad(a) || NeedsGrad(b);
   Var out = NewNode(std::move(y), ng, nullptr);
@@ -425,20 +655,34 @@ Var Tape::RowDot(Var a, Var b) {
     const Matrix& bv2 = t.value(b);
     if (t.NeedsGrad(a)) {
       Matrix& da = t.node(a).grad;
-      for (int64_t i = 0; i < av2.rows(); ++i) {
-        const real_t g = dy.at(i, 0);
-        const real_t* rb = bv2.row(i);
-        real_t* dst = da.row(i);
-        for (int64_t j = 0; j < av2.cols(); ++j) dst[j] += g * rb[j];
+      auto body = [&da, &dy, &bv2, &av2](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const real_t g = dy.at(i, 0);
+          const real_t* rb = bv2.row(i);
+          real_t* dst = da.row(i);
+          for (int64_t j = 0; j < av2.cols(); ++j) dst[j] += g * rb[j];
+        }
+      };
+      if (WantParallel(av2.size())) {
+        ParallelForRanges(av2.rows(), kRowGrain, body);
+      } else {
+        body(0, av2.rows());
       }
     }
     if (t.NeedsGrad(b)) {
       Matrix& db = t.node(b).grad;
-      for (int64_t i = 0; i < bv2.rows(); ++i) {
-        const real_t g = dy.at(i, 0);
-        const real_t* ra = av2.row(i);
-        real_t* dst = db.row(i);
-        for (int64_t j = 0; j < bv2.cols(); ++j) dst[j] += g * ra[j];
+      auto body = [&db, &dy, &av2, &bv2](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const real_t g = dy.at(i, 0);
+          const real_t* ra = av2.row(i);
+          real_t* dst = db.row(i);
+          for (int64_t j = 0; j < bv2.cols(); ++j) dst[j] += g * ra[j];
+        }
+      };
+      if (WantParallel(bv2.size())) {
+        ParallelForRanges(bv2.rows(), kRowGrain, body);
+      } else {
+        body(0, bv2.rows());
       }
     }
   };
@@ -448,11 +692,18 @@ Var Tape::RowDot(Var a, Var b) {
 Var Tape::RowSum(Var a) {
   const Matrix& av = value(a);
   Matrix y(av.rows(), 1);
-  for (int64_t i = 0; i < av.rows(); ++i) {
-    const real_t* src = av.row(i);
-    real_t s = 0.0;
-    for (int64_t j = 0; j < av.cols(); ++j) s += src[j];
-    y.at(i, 0) = s;
+  auto sum_rows = [&y, &av](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const real_t* src = av.row(i);
+      real_t s = 0.0;
+      for (int64_t j = 0; j < av.cols(); ++j) s += src[j];
+      y.at(i, 0) = s;
+    }
+  };
+  if (WantParallel(av.size())) {
+    ParallelForRanges(av.rows(), kRowGrain, sum_rows);
+  } else {
+    sum_rows(0, av.rows());
   }
   const bool ng = NeedsGrad(a);
   Var out = NewNode(std::move(y), ng, nullptr);
@@ -461,10 +712,17 @@ Var Tape::RowSum(Var a) {
   nodes_[id].backward = [id, a](Tape& t) {
     const Matrix& dy = t.nodes_[id].grad;
     Matrix& da = t.node(a).grad;
-    for (int64_t i = 0; i < da.rows(); ++i) {
-      const real_t g = dy.at(i, 0);
-      real_t* dst = da.row(i);
-      for (int64_t j = 0; j < da.cols(); ++j) dst[j] += g;
+    auto body = [&da, &dy](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const real_t g = dy.at(i, 0);
+        real_t* dst = da.row(i);
+        for (int64_t j = 0; j < da.cols(); ++j) dst[j] += g;
+      }
+    };
+    if (WantParallel(da.size())) {
+      ParallelForRanges(da.rows(), kRowGrain, body);
+    } else {
+      body(0, da.rows());
     }
   };
   return out;
@@ -480,7 +738,16 @@ Var Tape::Sum(Var a) {
   nodes_[id].backward = [id, a](Tape& t) {
     const real_t g = t.nodes_[id].grad.at(0, 0);
     Matrix& da = t.node(a).grad;
-    for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += g;
+    real_t* dst = da.data();
+    const int64_t n = da.size();
+    if (WantParallel(n)) {
+      ParallelForRanges(n, kParallelWorkThreshold,
+                        [dst, g](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) dst[i] += g;
+                        });
+    } else {
+      for (int64_t i = 0; i < n; ++i) dst[i] += g;
+    }
   };
   return out;
 }

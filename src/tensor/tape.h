@@ -106,8 +106,23 @@ class Tape {
   // ---- Execution -----------------------------------------------------------
 
   /// Runs reverse accumulation from `loss` (must be 1 x 1) and pushes
-  /// gradients into all bound parameters.
+  /// gradients into all bound parameters (or, in deferred mode, into a
+  /// per-tape buffer — see set_deferred_param_grads).
   void Backward(Var loss);
+
+  /// When enabled (before Backward), parameter gradients are recorded in a
+  /// per-tape buffer instead of being accumulated into the shared
+  /// `Parameter`s. Several tapes can then run Backward concurrently with no
+  /// cross-tape interleaving; calling FlushParamGrads() on each tape in a
+  /// fixed order afterwards makes the shared accumulation order — and thus
+  /// the floating-point result — independent of thread scheduling.
+  void set_deferred_param_grads(bool deferred) {
+    deferred_param_grads_ = deferred;
+  }
+
+  /// Applies (and clears) the gradients buffered by a deferred Backward to
+  /// their parameters, in recording order.
+  void FlushParamGrads();
 
   /// Value of a node.
   const Matrix& value(Var v) const;
@@ -126,17 +141,33 @@ class Tape {
     std::function<void(Tape&)> backward;
   };
 
+  /// One buffered parameter-gradient contribution (deferred mode).
+  struct DeferredGrad {
+    Parameter* param = nullptr;
+    bool dense = false;          ///< true: whole-matrix; false: row-sparse
+    std::vector<int64_t> rows;   ///< target rows when !dense
+    Matrix grad;
+  };
+
   Var NewNode(Matrix value, bool needs_grad,
               std::function<void(Tape&)> backward);
   Node& node(Var v);
   const Node& node(Var v) const;
   bool NeedsGrad(Var v) const { return node(v).needs_grad; }
 
+  /// Routes a parameter gradient either into `p` directly or into the
+  /// deferred buffer, depending on the mode.
+  void AccumulateParamDense(Parameter* p, const Matrix& g);
+  void AccumulateParamRows(Parameter* p, const std::vector<int64_t>& rows,
+                           const Matrix& g);
+
   /// Elementwise unary op with derivative expressed in terms of (x, y).
   Var UnaryElementwise(Var a, const std::function<real_t(real_t)>& f,
                        const std::function<real_t(real_t, real_t)>& df);
 
   std::vector<Node> nodes_;
+  std::vector<DeferredGrad> deferred_grads_;
+  bool deferred_param_grads_ = false;
 };
 
 }  // namespace kucnet

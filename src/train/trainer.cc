@@ -1,6 +1,7 @@
 #include "train/trainer.h"
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace kucnet {
@@ -19,6 +20,11 @@ TrainResult TrainModel(RankModel& model, const Dataset& dataset,
     return result;
   }
 
+  if (options.verbose) {
+    KUC_LOG(Info) << "training " << model.name() << " with "
+                  << EffectiveParallelism() << " compute thread"
+                  << (EffectiveParallelism() == 1 ? "" : "s");
+  }
   for (int epoch = 1; epoch <= options.epochs; ++epoch) {
     WallTimer epoch_timer;
     const double loss = model.TrainEpoch(rng);

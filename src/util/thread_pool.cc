@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 
 #include "util/logging.h"
 
 namespace kucnet {
+
+namespace {
+
+/// Pool whose WorkerLoop the calling thread is currently inside (if any).
+/// Used to run nested ParallelFor calls inline instead of deadlocking on a
+/// pool that is already saturated with the caller's own ancestors.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+/// Per-ParallelFor completion latch: each call waits for its own tasks only,
+/// so concurrent calls from different threads do not wait on each other.
+struct ForLatch {
+  std::mutex mu;
+  std::condition_variable done;
+  int64_t remaining = 0;
+};
+
+std::mutex g_global_pool_mu;
+ThreadPool* g_global_pool = nullptr;
+
+/// Cached GlobalPool() worker count so the hot EffectiveParallelism() probe
+/// (called per tensor op) is a relaxed atomic load, not a mutex acquire.
+/// 0 means "pool not created yet".
+std::atomic<int> g_parallelism{0};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -42,7 +69,10 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::OnWorkerThread() const { return tls_current_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -65,30 +95,99 @@ void ParallelFor(ThreadPool& pool, int64_t n,
                  const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   const int num_workers = pool.num_threads();
-  if (n == 1 || num_workers <= 1) {
+  // Run inline when parallelism cannot help — or when the calling thread is
+  // itself a pool worker, where submitting and blocking could deadlock once
+  // every worker waits on tasks that no free worker can pick up.
+  if (n == 1 || num_workers <= 1 || pool.OnWorkerThread()) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const int64_t chunks = std::min<int64_t>(n, num_workers * 4);
+  // Over-decompose (4 chunks per worker) so unevenly-sized iterations still
+  // balance; contiguous chunks keep per-task memory access streaming.
+  const int64_t chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(num_workers) * 4);
   const int64_t chunk_size = (n + chunks - 1) / chunks;
+  auto latch = std::make_shared<ForLatch>();
+  int64_t submitted = 0;
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t begin = c * chunk_size;
     const int64_t end = std::min(n, begin + chunk_size);
     if (begin >= end) break;
-    pool.Submit([begin, end, &fn] {
+    ++submitted;
+  }
+  latch->remaining = submitted;
+  for (int64_t c = 0; c < submitted; ++c) {
+    const int64_t begin = c * chunk_size;
+    const int64_t end = std::min(n, begin + chunk_size);
+    pool.Submit([begin, end, &fn, latch] {
       for (int64_t i = begin; i < end; ++i) fn(i);
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->done.notify_all();
     });
   }
-  pool.Wait();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->done.wait(lock, [&latch] { return latch->remaining == 0; });
 }
 
 void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
   ParallelFor(GlobalPool(), n, fn);
 }
 
+void ParallelForRanges(ThreadPool& pool, int64_t n, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  KUC_CHECK_GT(grain, 0);
+  const int64_t blocks = (n + grain - 1) / grain;
+  ParallelFor(pool, blocks, [n, grain, &fn](int64_t b) {
+    const int64_t begin = b * grain;
+    fn(begin, std::min(n, begin + grain));
+  });
+}
+
+void ParallelForRanges(int64_t n, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForRanges(GlobalPool(), n, grain, fn);
+}
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("KUCNET_NUM_THREADS");
+      env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(std::min<long>(parsed, 256));
+    KUC_LOG(Warning) << "ignoring invalid KUCNET_NUM_THREADS=\"" << env
+                     << "\"";
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 4;
+}
+
 ThreadPool& GlobalPool() {
-  static ThreadPool* pool = new ThreadPool();
-  return *pool;
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool == nullptr) {
+    const int n = DefaultThreadCount();
+    KUC_LOG(Info) << "compute thread pool: " << n << " worker"
+                  << (n == 1 ? " (serial)" : "s")
+                  << (std::getenv("KUCNET_NUM_THREADS") != nullptr
+                          ? " [KUCNET_NUM_THREADS]"
+                          : "");
+    g_global_pool = new ThreadPool(n);
+    g_parallelism.store(g_global_pool->num_threads(),
+                        std::memory_order_relaxed);
+  }
+  return *g_global_pool;
+}
+
+int EffectiveParallelism() {
+  const int p = g_parallelism.load(std::memory_order_relaxed);
+  return p > 0 ? p : GlobalPool().num_threads();
+}
+
+void SetGlobalPoolThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  delete g_global_pool;
+  g_global_pool =
+      new ThreadPool(num_threads > 0 ? num_threads : DefaultThreadCount());
+  g_parallelism.store(g_global_pool->num_threads(), std::memory_order_relaxed);
 }
 
 }  // namespace kucnet

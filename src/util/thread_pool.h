@@ -10,10 +10,24 @@
 #include <vector>
 
 /// \file
-/// A small fixed-size thread pool plus a blocking ParallelFor helper.
+/// A small fixed-size thread pool plus blocking ParallelFor helpers.
 ///
-/// Used to parallelize embarrassingly parallel stages: per-user PPR
-/// preprocessing, all-ranking evaluation, and subgraph extraction.
+/// This is the compute substrate every parallel stage runs on: the dense
+/// matmul family, gather/segment-sum and their backward passes, the lazy
+/// Adam step, batched multi-user KUCNet training, per-user PPR
+/// preprocessing, and the all-ranking evaluator.
+///
+/// Concurrency contract:
+///  - Each ParallelFor call waits on its *own* completion latch, so
+///    concurrent ParallelFor calls (from different external threads) never
+///    wait on each other's tasks.
+///  - A ParallelFor issued from inside a pool worker runs inline on the
+///    calling thread. This makes nested parallelism (e.g. a threaded matmul
+///    inside a per-user evaluation task) deadlock-free and keeps the pool
+///    from oversubscribing.
+///  - Thread count only changes *scheduling*, never results: every kernel
+///    built on ParallelFor partitions work so that floating-point
+///    accumulation order is independent of the number of threads.
 
 namespace kucnet {
 
@@ -31,10 +45,14 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. Prefer
+  /// ParallelFor, which waits only on its own tasks.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
 
  private:
   void WorkerLoop();
@@ -50,15 +68,48 @@ class ThreadPool {
 
 /// Runs `fn(i)` for i in [0, n) across the pool, blocking until done.
 /// Iterations are distributed in contiguous chunks for cache friendliness.
-/// `fn` must be safe to call concurrently from multiple threads.
+/// `fn` must be safe to call concurrently from multiple threads. Runs
+/// inline when the pool has a single worker, n == 1, or the calling thread
+/// is already a worker of `pool`.
 void ParallelFor(ThreadPool& pool, int64_t n,
                  const std::function<void(int64_t)>& fn);
 
-/// Convenience overload using a process-wide shared pool.
+/// Convenience overload using the process-wide shared pool.
 void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
-/// Returns the process-wide shared pool (lazily created).
+/// Runs `fn(begin, end)` over contiguous ranges of at most `grain` indices
+/// covering [0, n). Range boundaries depend only on (n, grain) — never on
+/// the thread count — so kernels that accumulate per range are
+/// bit-reproducible at any parallelism level. Use this instead of the
+/// per-index overload when the body is only a few flops per index.
+void ParallelForRanges(ThreadPool& pool, int64_t n, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn);
+
+/// Convenience overload of ParallelForRanges on the shared pool.
+void ParallelForRanges(int64_t n, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn);
+
+/// Returns the process-wide shared pool (lazily created). The initial size
+/// honors the KUCNET_NUM_THREADS environment variable (=1 forces fully
+/// serial execution); otherwise hardware_concurrency() is used. The chosen
+/// count is logged once at creation.
 ThreadPool& GlobalPool();
+
+/// The worker count GlobalPool() is (or will be) created with: the
+/// KUCNET_NUM_THREADS override when set and valid, else
+/// hardware_concurrency(), else 4.
+int DefaultThreadCount();
+
+/// Number of threads the convenience ParallelFor overloads will use; 1 means
+/// kernels run serially. Kernels may consult this to skip parallel-only
+/// bookkeeping, but only when the serial and parallel paths are bitwise
+/// identical.
+int EffectiveParallelism();
+
+/// Destroys and re-creates the shared pool with `num_threads` workers
+/// (0 = DefaultThreadCount()). For tests and benchmarks that compare thread
+/// counts within one process; must not race with in-flight pool work.
+void SetGlobalPoolThreads(int num_threads);
 
 }  // namespace kucnet
 

@@ -1,0 +1,136 @@
+// Concurrency-contract tests for the compute thread pool: per-call
+// completion (no coupling between concurrent ParallelFor calls), inline
+// execution when re-entered from a worker thread (no deadlock), clean
+// shutdown with queued work, and the KUCNET_NUM_THREADS override.
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace kucnet {
+namespace {
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsFromExternalThreads) {
+  ThreadPool pool(4);
+  // Two external threads issue independent ParallelFor calls against the
+  // same pool at once. Each call must wait for exactly its own work: both
+  // sums must be complete when their issuing call returns.
+  std::atomic<int64_t> sum_a{0}, sum_b{0};
+  std::thread ta([&] {
+    for (int rep = 0; rep < 20; ++rep) {
+      ParallelFor(pool, 500, [&](int64_t i) { sum_a += i; });
+    }
+  });
+  std::thread tb([&] {
+    for (int rep = 0; rep < 20; ++rep) {
+      ParallelFor(pool, 300, [&](int64_t i) { sum_b += i; });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sum_a.load(), 20 * (499 * 500 / 2));
+  EXPECT_EQ(sum_b.load(), 20 * (299 * 300 / 2));
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // Outer iterations run on pool workers; each issues another ParallelFor on
+  // the same pool. With a pool-global wait this deadlocks once every worker
+  // blocks inside an outer iteration; the per-call latch + inline-on-worker
+  // rule must complete it.
+  std::atomic<int64_t> count{0};
+  ParallelFor(pool, 8, [&](int64_t) {
+    ParallelFor(pool, 8, [&](int64_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  std::atomic<int> on_this{0}, on_other{0};
+  ParallelFor(pool, 4, [&](int64_t) {
+    on_this += pool.OnWorkerThread() ? 1 : 0;
+    on_other += other.OnWorkerThread() ? 1 : 0;
+  });
+  // n > 1 with 2 workers: every chunk is submitted, so all bodies run on
+  // pool workers.
+  EXPECT_EQ(on_this.load(), 4);
+  EXPECT_EQ(on_other.load(), 0);  // never mistaken for another pool's worker
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ++ran; });
+    }
+    // Destructor joins the workers; queued tasks must all have executed.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  const int64_t n = 10007;  // prime: exercises the ragged final range
+  std::vector<std::atomic<int>> hits(n);
+  ParallelForRanges(pool, n, 64, [&](int64_t begin, int64_t end) {
+    EXPECT_LE(end - begin, 64);
+    for (int64_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  const char* saved = std::getenv("KUCNET_NUM_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  setenv("KUCNET_NUM_THREADS", "3", 1);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  setenv("KUCNET_NUM_THREADS", "1", 1);
+  EXPECT_EQ(DefaultThreadCount(), 1);
+  setenv("KUCNET_NUM_THREADS", "99999", 1);
+  EXPECT_EQ(DefaultThreadCount(), 256);  // clamped
+  // Invalid values fall back to hardware concurrency (>= 1).
+  setenv("KUCNET_NUM_THREADS", "0", 1);
+  EXPECT_GE(DefaultThreadCount(), 1);
+  setenv("KUCNET_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(DefaultThreadCount(), 1);
+
+  if (saved != nullptr) {
+    setenv("KUCNET_NUM_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("KUCNET_NUM_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, SetGlobalPoolThreadsChangesEffectiveParallelism) {
+  SetGlobalPoolThreads(3);
+  EXPECT_EQ(EffectiveParallelism(), 3);
+  EXPECT_EQ(GlobalPool().num_threads(), 3);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(1000, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  SetGlobalPoolThreads(1);
+  EXPECT_EQ(EffectiveParallelism(), 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(4);
+  ParallelFor(pool, 4, [&](int64_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+}  // namespace
+}  // namespace kucnet
