@@ -115,7 +115,14 @@ class Kucnet : public RankModel {
   /// embeddings, readout).
   std::vector<Parameter*> Params();
 
-  /// Writes the trained weights to `path` (see tensor/serialize.h).
+  /// Training-snapshot hooks: KUCNet's full training state is its
+  /// parameters plus the Adam moments, so crash-safe checkpoint/resume and
+  /// divergence rollback work out of the box (see train/trainer.h).
+  std::vector<Parameter*> TrainableParams() override { return Params(); }
+  Adam* MutableOptimizer() override { return &optimizer_; }
+
+  /// Writes the trained weights to `path` (see tensor/serialize.h; v2
+  /// format, atomic, checksummed).
   void SaveCheckpoint(const std::string& path);
 
   /// Restores weights saved by SaveCheckpoint from a model with identical

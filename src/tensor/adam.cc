@@ -49,6 +49,69 @@ void Adam::UpdateRow(Parameter* p, Slot& slot, int64_t row, real_t bias_c1,
   }
 }
 
+void Adam::AppendState(const std::vector<Parameter*>& params,
+                       ByteWriter* out) const {
+  out->I64(step_);
+  uint64_t present = 0;
+  for (const Parameter* p : params) {
+    if (slots_.count(const_cast<Parameter*>(p))) ++present;
+  }
+  out->U64(present);
+  // Iterate `params` (not the map) so the byte layout is deterministic.
+  for (const Parameter* p : params) {
+    const auto it = slots_.find(const_cast<Parameter*>(p));
+    if (it == slots_.end()) continue;
+    const Slot& slot = it->second;
+    out->Str(p->name());
+    out->I64(p->rows());
+    out->I64(p->cols());
+    const size_t bytes = static_cast<size_t>(p->value().size()) *
+                         sizeof(real_t);
+    out->Bytes(slot.m.data(), bytes);
+    out->Bytes(slot.v.data(), bytes);
+  }
+}
+
+Status Adam::RestoreState(const std::vector<Parameter*>& params,
+                          ByteReader* in) {
+  int64_t step = 0;
+  uint64_t present = 0;
+  KUC_RETURN_IF_ERROR(in->I64(&step));
+  KUC_RETURN_IF_ERROR(in->U64(&present));
+  std::unordered_map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) by_name[p->name()] = p;
+  std::unordered_map<Parameter*, Slot> slots;
+  for (uint64_t k = 0; k < present; ++k) {
+    std::string name;
+    int64_t rows = 0, cols = 0;
+    KUC_RETURN_IF_ERROR(in->Str(&name));
+    KUC_RETURN_IF_ERROR(in->I64(&rows));
+    KUC_RETURN_IF_ERROR(in->I64(&cols));
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return ErrorStatus() << "optimizer state for unknown parameter '"
+                           << name << "'";
+    }
+    Parameter* p = it->second;
+    if (rows != p->rows() || cols != p->cols()) {
+      return ErrorStatus() << "optimizer state shape mismatch for " << name
+                           << " [" << rows << "x" << cols << " vs "
+                           << p->rows() << "x" << p->cols() << "]";
+    }
+    Slot slot;
+    slot.m = Matrix(rows, cols);
+    slot.v = Matrix(rows, cols);
+    const size_t bytes = static_cast<size_t>(p->value().size()) *
+                         sizeof(real_t);
+    KUC_RETURN_IF_ERROR(in->Raw(slot.m.data(), bytes, "adam m"));
+    KUC_RETURN_IF_ERROR(in->Raw(slot.v.data(), bytes, "adam v"));
+    slots.emplace(p, std::move(slot));
+  }
+  step_ = step;
+  slots_ = std::move(slots);
+  return Status::Ok();
+}
+
 void Adam::Step(const std::vector<Parameter*>& params) {
   ++step_;
   const real_t bias_c1 = 1.0 - std::pow(options_.beta1, step_);

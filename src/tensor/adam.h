@@ -7,11 +7,18 @@
 
 #include "tensor/matrix.h"
 #include "tensor/parameter.h"
+#include "util/serial.h"
+#include "util/status.h"
 
 /// \file
 /// Adam optimizer (Kingma & Ba, 2015) with decoupled weight decay and lazy
 /// (touched-rows-only) updates for embedding tables, matching the paper's
 /// optimization setup ("optimized by minimizing L with Adam", Sec. IV-D).
+///
+/// The optimizer is fully checkpointable: `AppendState` / `RestoreState`
+/// serialize the step count and the first/second moment buffers keyed by
+/// parameter *name*, so a resumed run (fresh `Parameter` objects, same
+/// names/shapes) continues bitwise-identically to an uninterrupted one.
 
 namespace kucnet {
 
@@ -43,6 +50,18 @@ class Adam {
   int64_t step_count() const { return step_; }
   const AdamOptions& options() const { return options_; }
   void set_learning_rate(real_t lr) { options_.learning_rate = lr; }
+
+  /// Appends the optimizer state (step count + moment buffers for every
+  /// parameter in `params` that has a slot) to `out`, keyed by parameter
+  /// name. Parameters not yet touched by Step are recorded as absent and
+  /// get fresh zero moments on restore, matching lazy initialization.
+  void AppendState(const std::vector<Parameter*>& params,
+                   ByteWriter* out) const;
+
+  /// Restores state written by AppendState. Saved entries are matched to
+  /// `params` by name; shapes must agree. Slots for parameters absent from
+  /// the snapshot are dropped (they were never stepped when it was taken).
+  Status RestoreState(const std::vector<Parameter*>& params, ByteReader* in);
 
  private:
   struct Slot {

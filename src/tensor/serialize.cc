@@ -1,6 +1,6 @@
 #include "tensor/serialize.h"
 
-#include <fstream>
+#include <cstring>
 #include <sstream>
 
 #include "util/logging.h"
@@ -9,61 +9,220 @@ namespace kucnet {
 
 namespace {
 
-constexpr char kMagic[] = "KUCNET_CKPT_V1";
+constexpr char kMagicV1[] = "KUCNET_CKPT_V1";
+constexpr char kMagicV2[] = "KUCNET_CKPT_V2";
+constexpr char kFooterTag[] = "KUCFOOT1";  // 8 bytes, no terminator on disk
+constexpr size_t kFooterSize = 8 + sizeof(uint64_t);
 
-}  // namespace
-
-void SaveParameters(const std::vector<Parameter*>& params,
-                    const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  KUC_CHECK(out.good()) << "cannot open " << path << " for writing";
-  out << kMagic << '\n' << params.size() << '\n';
-  for (const Parameter* p : params) {
-    KUC_CHECK(p->name().find_first_of(" \n") == std::string::npos)
-        << "parameter name must not contain whitespace: " << p->name();
-    out << p->name() << ' ' << p->rows() << ' ' << p->cols() << '\n';
-  }
-  for (const Parameter* p : params) {
-    out.write(reinterpret_cast<const char*>(p->value().data()),
-              static_cast<std::streamsize>(p->value().size() *
-                                           sizeof(real_t)));
-  }
-  KUC_CHECK(out.good()) << "write failed: " << path;
+/// First line of `data` (without the newline), or "" if there is none.
+std::string FirstLine(const std::string& data) {
+  const size_t nl = data.find('\n');
+  return nl == std::string::npos ? std::string() : data.substr(0, nl);
 }
 
-void LoadParameters(const std::vector<Parameter*>& params,
-                    const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  KUC_CHECK(in.good()) << "cannot open " << path;
+Status ParseV2(const std::string& data,
+               const std::vector<Parameter*>& params,
+               const std::string& path) {
+  size_t payload_size = 0;
+  const Status checked = VerifyChecksumFooter(data, &payload_size);
+  if (!checked.ok()) {
+    return ErrorStatus() << path << ": " << checked.message();
+  }
+  const size_t header = std::strlen(kMagicV2) + 1;  // magic + '\n'
+  ByteReader in(data.data() + header, payload_size - header);
+  const Status read = ReadParameterBlock(&in, params);
+  if (!read.ok()) return ErrorStatus() << path << ": " << read.message();
+  return Status::Ok();
+}
+
+/// Legacy v1: text header (magic, count, `name rows cols` lines) followed by
+/// raw doubles in header order. Kept so pre-v2 checkpoints stay loadable.
+Status ParseV1(const std::string& data,
+               const std::vector<Parameter*>& params,
+               const std::string& path) {
+  std::istringstream in(data);
   std::string magic;
   std::getline(in, magic);
-  KUC_CHECK_EQ(magic, kMagic) << path << " is not a KUCNet checkpoint";
   size_t count = 0;
   in >> count;
-  KUC_CHECK_EQ(count, params.size())
-      << "checkpoint has a different number of parameters";
+  if (!in.good()) return ErrorStatus() << path << ": malformed v1 header";
+  if (count != params.size()) {
+    return ErrorStatus() << path
+                         << ": checkpoint has a different number of "
+                            "parameters ["
+                         << count << " vs " << params.size() << "]";
+  }
   for (const Parameter* p : params) {
     std::string name;
     int64_t rows = 0, cols = 0;
     in >> name >> rows >> cols;
-    KUC_CHECK_EQ(name, p->name()) << "parameter order/name mismatch";
-    KUC_CHECK_EQ(rows, p->rows()) << "shape mismatch for " << name;
-    KUC_CHECK_EQ(cols, p->cols()) << "shape mismatch for " << name;
+    if (!in.good()) return ErrorStatus() << path << ": malformed v1 header";
+    if (name != p->name()) {
+      return ErrorStatus() << path << ": parameter order/name mismatch ["
+                           << name << " vs " << p->name() << "]";
+    }
+    if (rows != p->rows() || cols != p->cols()) {
+      return ErrorStatus() << path << ": shape mismatch for " << name << " ["
+                           << rows << "x" << cols << " vs " << p->rows()
+                           << "x" << p->cols() << "]";
+    }
   }
   in.ignore();  // trailing newline before the binary payload
+  const size_t payload_start = static_cast<size_t>(in.tellg());
+  ByteReader payload(data.data() + payload_start,
+                     data.size() - payload_start);
   for (Parameter* p : params) {
-    in.read(reinterpret_cast<char*>(p->value().data()),
-            static_cast<std::streamsize>(p->value().size() * sizeof(real_t)));
-    KUC_CHECK(in.good()) << "truncated checkpoint: " << path;
+    const size_t bytes = static_cast<size_t>(p->value().size()) *
+                         sizeof(real_t);
+    const Status st = payload.Raw(p->value().data(), bytes, "v1 payload");
+    if (!st.ok()) {
+      return ErrorStatus() << path << ": truncated checkpoint ("
+                           << st.message() << ")";
+    }
+  }
+  return Status::Ok();
+}
+
+/// v1 completeness check for IsCheckpoint: the payload must be exactly as
+/// large as the header promises.
+bool V1SizeMatchesHeader(const std::string& data) {
+  std::istringstream in(data);
+  std::string magic;
+  std::getline(in, magic);
+  size_t count = 0;
+  in >> count;
+  if (!in.good()) return false;
+  size_t expected = 0;
+  for (size_t i = 0; i < count; ++i) {
+    std::string name;
+    int64_t rows = 0, cols = 0;
+    in >> name >> rows >> cols;
+    if (!in.good() || rows < 0 || cols < 0) return false;
+    expected += static_cast<size_t>(rows * cols) * sizeof(real_t);
+  }
+  in.ignore();
+  return data.size() - static_cast<size_t>(in.tellg()) == expected;
+}
+
+}  // namespace
+
+void AppendParameterBlock(const std::vector<Parameter*>& params,
+                          ByteWriter* out) {
+  out->U64(params.size());
+  for (const Parameter* p : params) {
+    out->Str(p->name());
+    out->I64(p->rows());
+    out->I64(p->cols());
+    out->Bytes(p->value().data(),
+               static_cast<size_t>(p->value().size()) * sizeof(real_t));
   }
 }
 
-bool IsCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  std::string magic;
-  std::getline(in, magic);
-  return magic == kMagic;
+Status ReadParameterBlock(ByteReader* in,
+                          const std::vector<Parameter*>& params) {
+  uint64_t count = 0;
+  KUC_RETURN_IF_ERROR(in->U64(&count));
+  if (count != params.size()) {
+    return ErrorStatus() << "checkpoint has a different number of parameters ["
+                         << count << " vs " << params.size() << "]";
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    int64_t rows = 0, cols = 0;
+    KUC_RETURN_IF_ERROR(in->Str(&name));
+    KUC_RETURN_IF_ERROR(in->I64(&rows));
+    KUC_RETURN_IF_ERROR(in->I64(&cols));
+    if (name != p->name()) {
+      return ErrorStatus() << "parameter order/name mismatch [" << name
+                           << " vs " << p->name() << "]";
+    }
+    if (rows != p->rows() || cols != p->cols()) {
+      return ErrorStatus() << "shape mismatch for " << name << " [" << rows
+                           << "x" << cols << " vs " << p->rows() << "x"
+                           << p->cols() << "]";
+    }
+    KUC_RETURN_IF_ERROR(
+        in->Raw(p->value().data(),
+                static_cast<size_t>(p->value().size()) * sizeof(real_t),
+                name.c_str()));
+  }
+  return Status::Ok();
+}
+
+void AppendChecksumFooter(ByteWriter* buf) {
+  const uint64_t hash = Fnv1a64(buf->buffer().data(), buf->buffer().size());
+  buf->Bytes(kFooterTag, 8);
+  buf->U64(hash);
+}
+
+Status VerifyChecksumFooter(const std::string& data, size_t* payload_size) {
+  if (data.size() < kFooterSize) {
+    return ErrorStatus() << "file too small for an integrity footer ("
+                         << data.size() << " bytes)";
+  }
+  const size_t payload = data.size() - kFooterSize;
+  if (std::memcmp(data.data() + payload, kFooterTag, 8) != 0) {
+    return Status::Error(
+        "missing integrity footer (torn or truncated file?)");
+  }
+  uint64_t stored = 0;
+  std::memcpy(&stored, data.data() + payload + 8, sizeof(stored));
+  const uint64_t actual = Fnv1a64(data.data(), payload);
+  if (stored != actual) {
+    return Status::Error("checksum mismatch (corrupt file)");
+  }
+  *payload_size = payload;
+  return Status::Ok();
+}
+
+Status TrySaveParameters(const std::vector<Parameter*>& params,
+                         const std::string& path, FileSystem* fs) {
+  ByteWriter out;
+  for (const Parameter* p : params) {
+    if (p->name().find_first_of(" \n") != std::string::npos) {
+      return ErrorStatus() << "parameter name must not contain whitespace: "
+                           << p->name();
+    }
+  }
+  out.Bytes(kMagicV2, std::strlen(kMagicV2));
+  out.U8('\n');
+  AppendParameterBlock(params, &out);
+  AppendChecksumFooter(&out);
+  return AtomicWriteFile(FsOrDefault(fs), path, out.buffer());
+}
+
+Status TryLoadParameters(const std::vector<Parameter*>& params,
+                         const std::string& path, FileSystem* fs) {
+  std::string data;
+  KUC_RETURN_IF_ERROR(FsOrDefault(fs).ReadFile(path, &data));
+  const std::string magic = FirstLine(data);
+  if (magic == kMagicV2) return ParseV2(data, params, path);
+  if (magic == kMagicV1) return ParseV1(data, params, path);
+  return ErrorStatus() << path << " is not a KUCNet checkpoint";
+}
+
+void SaveParameters(const std::vector<Parameter*>& params,
+                    const std::string& path) {
+  const Status st = TrySaveParameters(params, path);
+  KUC_CHECK(st.ok()) << st.message();
+}
+
+void LoadParameters(const std::vector<Parameter*>& params,
+                    const std::string& path) {
+  const Status st = TryLoadParameters(params, path);
+  KUC_CHECK(st.ok()) << st.message();
+}
+
+bool IsCheckpoint(const std::string& path, FileSystem* fs) {
+  std::string data;
+  if (!FsOrDefault(fs).ReadFile(path, &data).ok()) return false;
+  const std::string magic = FirstLine(data);
+  if (magic == kMagicV2) {
+    size_t payload = 0;
+    return VerifyChecksumFooter(data, &payload).ok();
+  }
+  if (magic == kMagicV1) return V1SizeMatchesHeader(data);
+  return false;
 }
 
 }  // namespace kucnet

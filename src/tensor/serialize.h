@@ -5,28 +5,69 @@
 #include <vector>
 
 #include "tensor/parameter.h"
+#include "util/fs.h"
+#include "util/serial.h"
+#include "util/status.h"
 
 /// \file
 /// Checkpointing: save and restore a model's parameters.
 ///
-/// Format: a small text header (magic, parameter count, then one
-/// `name rows cols` line per parameter) followed by raw little-endian
-/// doubles in header order. Loading verifies names and shapes so a
-/// checkpoint cannot be applied to a mismatched model.
+/// Format v2 ("KUCNET_CKPT_V2"): a one-line text magic, then a binary
+/// parameter block (count, then per parameter name/rows/cols followed by the
+/// raw row-major doubles), closed by an integrity footer — the 8-byte tag
+/// "KUCFOOT1" plus the FNV-1a 64-bit hash of every preceding byte. The
+/// footer is what makes torn or bit-flipped checkpoints detectable at
+/// discovery time instead of mid-load.
+///
+/// Saving is atomic (temp file + rename via the FileSystem seam): a failed
+/// or interrupted save never destroys an existing checkpoint. Loading
+/// verifies the checksum, names, and shapes, and the `Try*` tier reports
+/// problems as recoverable `Status` errors; the historical aborting
+/// functions remain as wrappers. Legacy v1 checkpoints (text header, no
+/// footer) are still loadable; v1 validity is approximated by checking the
+/// payload size against the header.
 
 namespace kucnet {
 
-/// Writes all parameters to `path`. Aborts on IO failure.
+/// Appends the v2 parameter block (no magic, no footer) to `out`. Shared
+/// with the full training-snapshot writer in train/checkpoint.h.
+void AppendParameterBlock(const std::vector<Parameter*>& params,
+                          ByteWriter* out);
+
+/// Reads a block written by AppendParameterBlock into `params`, verifying
+/// count, names, and shapes.
+Status ReadParameterBlock(ByteReader* in,
+                          const std::vector<Parameter*>& params);
+
+/// Appends the "KUCFOOT1" + FNV-1a-64 integrity footer over `buf`'s current
+/// contents.
+void AppendChecksumFooter(ByteWriter* buf);
+
+/// Verifies and strips the integrity footer; on success `*payload_size` is
+/// the number of bytes preceding the footer.
+Status VerifyChecksumFooter(const std::string& data, size_t* payload_size);
+
+/// Writes all parameters to `path` atomically (v2 format).
+Status TrySaveParameters(const std::vector<Parameter*>& params,
+                         const std::string& path, FileSystem* fs = nullptr);
+
+/// Restores parameter values from `path` (v2 or legacy v1). The parameter
+/// list must match the saved one in order, names, and shapes.
+Status TryLoadParameters(const std::vector<Parameter*>& params,
+                         const std::string& path, FileSystem* fs = nullptr);
+
+/// Aborting wrapper around TrySaveParameters.
 void SaveParameters(const std::vector<Parameter*>& params,
                     const std::string& path);
 
-/// Restores parameter values from `path`. The parameter list must match the
-/// saved one in order, names, and shapes; aborts otherwise.
+/// Aborting wrapper around TryLoadParameters.
 void LoadParameters(const std::vector<Parameter*>& params,
                     const std::string& path);
 
-/// True if `path` holds a parameter checkpoint (magic matches).
-bool IsCheckpoint(const std::string& path);
+/// True if `path` holds a complete parameter checkpoint: for v2 the checksum
+/// footer must verify (so a torn file is rejected here, not mid-load); for
+/// legacy v1 the header must parse and the payload size must match it.
+bool IsCheckpoint(const std::string& path, FileSystem* fs = nullptr);
 
 }  // namespace kucnet
 

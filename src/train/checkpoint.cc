@@ -1,0 +1,198 @@
+#include "train/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "tensor/serialize.h"
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+constexpr char kSnapMagic[] = "KUCNET_SNAP_V2";
+constexpr char kSnapPrefix[] = "snapshot_epoch_";
+constexpr char kSnapSuffix[] = ".kuc";
+
+void AppendMeta(const TrainSnapshotMeta& meta, ByteWriter* out) {
+  out->I64(meta.epoch);
+  out->F64(meta.train_seconds);
+  out->F64(meta.learning_rate);
+  out->I64(meta.rollbacks);
+  out->U64(meta.rng.state);
+  out->U8(meta.rng.has_cached_normal ? 1 : 0);
+  out->F64(meta.rng.cached_normal);
+  out->U64(meta.curve.size());
+  for (const EpochRecord& r : meta.curve) {
+    out->I64(r.epoch);
+    out->F64(r.loss);
+    out->F64(r.seconds_elapsed);
+    out->F64(r.recall);
+    out->F64(r.ndcg);
+  }
+}
+
+Status ReadMeta(ByteReader* in, TrainSnapshotMeta* meta) {
+  int64_t epoch = 0, rollbacks = 0;
+  uint8_t has_cached = 0;
+  KUC_RETURN_IF_ERROR(in->I64(&epoch));
+  KUC_RETURN_IF_ERROR(in->F64(&meta->train_seconds));
+  KUC_RETURN_IF_ERROR(in->F64(&meta->learning_rate));
+  KUC_RETURN_IF_ERROR(in->I64(&rollbacks));
+  KUC_RETURN_IF_ERROR(in->U64(&meta->rng.state));
+  KUC_RETURN_IF_ERROR(in->U8(&has_cached));
+  KUC_RETURN_IF_ERROR(in->F64(&meta->rng.cached_normal));
+  meta->epoch = static_cast<int>(epoch);
+  meta->rollbacks = static_cast<int>(rollbacks);
+  meta->rng.has_cached_normal = has_cached != 0;
+  uint64_t curve_size = 0;
+  KUC_RETURN_IF_ERROR(in->U64(&curve_size));
+  meta->curve.clear();
+  meta->curve.reserve(curve_size);
+  for (uint64_t k = 0; k < curve_size; ++k) {
+    EpochRecord r;
+    int64_t e = 0;
+    KUC_RETURN_IF_ERROR(in->I64(&e));
+    KUC_RETURN_IF_ERROR(in->F64(&r.loss));
+    KUC_RETURN_IF_ERROR(in->F64(&r.seconds_elapsed));
+    KUC_RETURN_IF_ERROR(in->F64(&r.recall));
+    KUC_RETURN_IF_ERROR(in->F64(&r.ndcg));
+    r.epoch = static_cast<int>(e);
+    meta->curve.push_back(r);
+  }
+  return Status::Ok();
+}
+
+/// Parses the epoch out of a snapshot filename, or -1 if it is not one.
+int SnapshotEpochFromName(const std::string& name) {
+  const size_t prefix = std::strlen(kSnapPrefix);
+  const size_t suffix = std::strlen(kSnapSuffix);
+  if (name.size() <= prefix + suffix) return -1;
+  if (name.compare(0, prefix, kSnapPrefix) != 0) return -1;
+  if (name.compare(name.size() - suffix, suffix, kSnapSuffix) != 0) return -1;
+  const std::string digits = name.substr(prefix, name.size() - prefix - suffix);
+  if (digits.empty()) return -1;
+  int epoch = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    epoch = epoch * 10 + (c - '0');
+  }
+  return epoch;
+}
+
+/// Snapshot (epoch, filename) pairs in `dir`, newest first.
+std::vector<std::pair<int, std::string>> ListSnapshots(const std::string& dir,
+                                                       FileSystem& fs) {
+  std::vector<std::pair<int, std::string>> found;
+  std::vector<std::string> names;
+  if (!fs.ListDir(dir, &names).ok()) return found;
+  for (const std::string& name : names) {
+    const int epoch = SnapshotEpochFromName(name);
+    if (epoch >= 0) found.push_back({epoch, name});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+}  // namespace
+
+std::string EncodeTrainSnapshot(const TrainSnapshotMeta& meta,
+                                const std::vector<Parameter*>& params,
+                                const Adam* adam) {
+  ByteWriter out;
+  out.Bytes(kSnapMagic, std::strlen(kSnapMagic));
+  out.U8('\n');
+  AppendMeta(meta, &out);
+  AppendParameterBlock(params, &out);
+  out.U8(adam != nullptr ? 1 : 0);
+  if (adam != nullptr) adam->AppendState(params, &out);
+  AppendChecksumFooter(&out);
+  return out.Take();
+}
+
+Status DecodeTrainSnapshot(const std::string& blob, TrainSnapshotMeta* meta,
+                           const std::vector<Parameter*>& params,
+                           Adam* adam) {
+  size_t payload_size = 0;
+  KUC_RETURN_IF_ERROR(VerifyChecksumFooter(blob, &payload_size));
+  const size_t header = std::strlen(kSnapMagic) + 1;
+  if (payload_size < header ||
+      blob.compare(0, header - 1, kSnapMagic) != 0 || blob[header - 1] != '\n') {
+    return Status::Error("not a KUCNet training snapshot");
+  }
+  ByteReader in(blob.data() + header, payload_size - header);
+  KUC_RETURN_IF_ERROR(ReadMeta(&in, meta));
+  KUC_RETURN_IF_ERROR(ReadParameterBlock(&in, params));
+  uint8_t has_adam = 0;
+  KUC_RETURN_IF_ERROR(in.U8(&has_adam));
+  if (has_adam != 0 && adam != nullptr) {
+    KUC_RETURN_IF_ERROR(adam->RestoreState(params, &in));
+  }
+  return Status::Ok();
+}
+
+Status WriteTrainSnapshot(const std::string& path,
+                          const TrainSnapshotMeta& meta,
+                          const std::vector<Parameter*>& params,
+                          const Adam* adam, FileSystem* fs) {
+  return AtomicWriteFile(FsOrDefault(fs), path,
+                         EncodeTrainSnapshot(meta, params, adam));
+}
+
+Status ReadTrainSnapshot(const std::string& path, TrainSnapshotMeta* meta,
+                         const std::vector<Parameter*>& params, Adam* adam,
+                         FileSystem* fs) {
+  std::string blob;
+  KUC_RETURN_IF_ERROR(FsOrDefault(fs).ReadFile(path, &blob));
+  const Status st = DecodeTrainSnapshot(blob, meta, params, adam);
+  if (!st.ok()) return ErrorStatus() << path << ": " << st.message();
+  return Status::Ok();
+}
+
+std::string TrainSnapshotPath(const std::string& dir, int epoch) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06d%s", kSnapPrefix, epoch,
+                kSnapSuffix);
+  return dir + "/" + name;
+}
+
+bool IsTrainSnapshot(const std::string& path, FileSystem* fs) {
+  std::string blob;
+  if (!FsOrDefault(fs).ReadFile(path, &blob).ok()) return false;
+  size_t payload_size = 0;
+  if (!VerifyChecksumFooter(blob, &payload_size).ok()) return false;
+  const size_t header = std::strlen(kSnapMagic) + 1;
+  return payload_size >= header &&
+         blob.compare(0, header - 1, kSnapMagic) == 0;
+}
+
+int FindLatestTrainSnapshot(const std::string& dir, std::string* path_out,
+                            FileSystem* fs) {
+  FileSystem& f = FsOrDefault(fs);
+  for (const auto& [epoch, name] : ListSnapshots(dir, f)) {
+    const std::string path = dir + "/" + name;
+    if (IsTrainSnapshot(path, fs)) {
+      *path_out = path;
+      return epoch;
+    }
+    KUC_LOG(Warning) << "skipping torn/corrupt snapshot " << path;
+  }
+  return -1;
+}
+
+void PruneTrainSnapshots(const std::string& dir, int keep, FileSystem* fs) {
+  if (keep <= 0) return;
+  FileSystem& f = FsOrDefault(fs);
+  const auto snapshots = ListSnapshots(dir, f);
+  for (size_t i = keep; i < snapshots.size(); ++i) {
+    const std::string path = dir + "/" + snapshots[i].second;
+    const Status st = f.Remove(path);
+    if (!st.ok()) {
+      KUC_LOG(Warning) << "could not prune old snapshot: " << st.message();
+    }
+  }
+}
+
+}  // namespace kucnet

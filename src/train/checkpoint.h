@@ -1,0 +1,88 @@
+#ifndef KUCNET_TRAIN_CHECKPOINT_H_
+#define KUCNET_TRAIN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
+#include "train/trainer.h"
+#include "util/fs.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file
+/// Full training-state snapshots ("KUCNET_SNAP_V2").
+///
+/// A snapshot captures everything TrainModel needs to continue a run
+/// bitwise-identically after a crash: the epoch counter, cumulative training
+/// seconds, current learning rate, the trainer's RNG stream, the learning
+/// curve so far, every parameter, and the Adam moments/step count. One
+/// snapshot is one file, written atomically, with the same integrity footer
+/// as parameter checkpoints — so after any crash the checkpoint directory
+/// holds only complete, verifiable snapshots (plus at most one ignorable
+/// `.tmp`).
+///
+/// Layout: `"KUCNET_SNAP_V2\n"`, then binary: meta (epoch, seconds, lr, RNG
+/// state, curve records), the shared parameter block of tensor/serialize.h,
+/// an optimizer-presence byte plus the Adam state block, and the checksum
+/// footer.
+
+namespace kucnet {
+
+/// Everything in a snapshot besides parameters and optimizer moments.
+struct TrainSnapshotMeta {
+  int epoch = 0;
+  double train_seconds = 0.0;
+  /// Learning rate in force when the snapshot was taken (divergence
+  /// rollbacks lower it, so it must survive a resume).
+  double learning_rate = 0.0;
+  /// Divergence rollbacks consumed so far (the retry budget is per-run).
+  int rollbacks = 0;
+  RngState rng;
+  std::vector<EpochRecord> curve;
+};
+
+/// Serializes a complete snapshot (including magic and integrity footer).
+/// `adam` may be null for models without an exposed optimizer.
+std::string EncodeTrainSnapshot(const TrainSnapshotMeta& meta,
+                                const std::vector<Parameter*>& params,
+                                const Adam* adam);
+
+/// Inverse of EncodeTrainSnapshot: verifies the footer, then restores
+/// `params` (names/shapes must match), `adam` (when non-null and present in
+/// the blob), and `*meta`.
+Status DecodeTrainSnapshot(const std::string& blob, TrainSnapshotMeta* meta,
+                           const std::vector<Parameter*>& params, Adam* adam);
+
+/// Writes a snapshot atomically to `path`.
+Status WriteTrainSnapshot(const std::string& path,
+                          const TrainSnapshotMeta& meta,
+                          const std::vector<Parameter*>& params,
+                          const Adam* adam, FileSystem* fs = nullptr);
+
+/// Reads and verifies a snapshot from `path`.
+Status ReadTrainSnapshot(const std::string& path, TrainSnapshotMeta* meta,
+                         const std::vector<Parameter*>& params, Adam* adam,
+                         FileSystem* fs = nullptr);
+
+/// Canonical snapshot filename for an epoch: `snapshot_epoch_000123.kuc`.
+std::string TrainSnapshotPath(const std::string& dir, int epoch);
+
+/// True if `path` holds a complete snapshot (magic + verified checksum).
+bool IsTrainSnapshot(const std::string& path, FileSystem* fs = nullptr);
+
+/// Scans `dir` for the newest snapshot that passes integrity verification;
+/// torn/corrupt files are skipped (with a warning). Returns its epoch and
+/// fills `*path_out`, or returns -1 if none is usable.
+int FindLatestTrainSnapshot(const std::string& dir, std::string* path_out,
+                            FileSystem* fs = nullptr);
+
+/// Removes all but the newest `keep` snapshots in `dir` (no-op when keep
+/// <= 0). Failures are logged, never fatal.
+void PruneTrainSnapshots(const std::string& dir, int keep,
+                         FileSystem* fs = nullptr);
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TRAIN_CHECKPOINT_H_

@@ -2,8 +2,11 @@
 #define KUCNET_TRAIN_MODEL_H_
 
 #include <string>
+#include <vector>
 
 #include "eval/evaluator.h"
+#include "tensor/adam.h"
+#include "tensor/parameter.h"
 #include "util/rng.h"
 
 /// \file
@@ -25,6 +28,17 @@ class RankModel : public Ranker {
   /// loss (Eq. 14); returns the mean per-pair loss. Heuristic models with no
   /// trainable parameters return 0 and may make this a no-op.
   virtual double TrainEpoch(Rng& rng) = 0;
+
+  /// The parameters a training snapshot must capture to resume this model.
+  /// Models returning an empty list (the default, and all heuristics) do not
+  /// support checkpoint/resume or divergence rollback; the trainer degrades
+  /// gracefully.
+  virtual std::vector<Parameter*> TrainableParams() { return {}; }
+
+  /// The optimizer whose moments/step count ride along in snapshots, or
+  /// null when the model has none (or manages several). The trainer also
+  /// uses it to back off the learning rate after a divergence rollback.
+  virtual Adam* MutableOptimizer() { return nullptr; }
 };
 
 }  // namespace kucnet

@@ -1,0 +1,158 @@
+#include "util/fs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace kucnet {
+
+namespace stdfs = std::filesystem;
+
+Status FileSystem::WriteFile(const std::string& path,
+                             const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return ErrorStatus() << "cannot open " << path << " for writing";
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out.good()) return ErrorStatus() << "write failed: " << path;
+  return Status::Ok();
+}
+
+Status FileSystem::ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return ErrorStatus() << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return ErrorStatus() << "read failed: " << path;
+  *out = buf.str();
+  return Status::Ok();
+}
+
+Status FileSystem::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  stdfs::rename(from, to, ec);
+  if (ec) {
+    return ErrorStatus() << "rename " << from << " -> " << to << ": "
+                         << ec.message();
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::Remove(const std::string& path) {
+  std::error_code ec;
+  if (!stdfs::remove(path, ec) || ec) {
+    return ErrorStatus() << "remove " << path << ": "
+                         << (ec ? ec.message() : "no such file");
+  }
+  return Status::Ok();
+}
+
+bool FileSystem::Exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+Status FileSystem::MakeDirs(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) return ErrorStatus() << "mkdir " << path << ": " << ec.message();
+  return Status::Ok();
+}
+
+Status FileSystem::ListDir(const std::string& dir,
+                           std::vector<std::string>* names) {
+  names->clear();
+  std::error_code ec;
+  stdfs::directory_iterator it(dir, ec);
+  if (ec) return ErrorStatus() << "list " << dir << ": " << ec.message();
+  for (const auto& entry : it) {
+    names->push_back(entry.path().filename().string());
+  }
+  std::sort(names->begin(), names->end());
+  return Status::Ok();
+}
+
+FileSystem& DefaultFileSystem() {
+  static FileSystem* fs = new FileSystem();
+  return *fs;
+}
+
+Status AtomicWriteFile(FileSystem& fs, const std::string& path,
+                       const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const Status write = fs.WriteFile(tmp, data);
+  if (!write.ok()) {
+    if (fs.Exists(tmp)) fs.Remove(tmp);  // best effort
+    return write;
+  }
+  const Status rename = fs.Rename(tmp, path);
+  if (!rename.ok()) {
+    if (fs.Exists(tmp)) fs.Remove(tmp);  // best effort
+    return rename;
+  }
+  return Status::Ok();
+}
+
+bool FaultInjectingFileSystem::NextOpFaults() {
+  ++op_count_;
+  if (fail_at_ > 0 && op_count_ >= fail_at_) {
+    ++faults_fired_;
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjectingFileSystem::WriteFile(const std::string& path,
+                                           const std::string& data) {
+  if (NextOpFaults()) {
+    if (mode_ == FaultMode::kTear && op_count_ == fail_at_) {
+      // The crashing write persisted only a prefix. Only the first faulting
+      // op tears; afterwards the "process" is dead and nothing else lands.
+      base_->WriteFile(path, data.substr(0, data.size() / 2));
+    }
+    return ErrorStatus() << "injected fault at io op " << op_count_
+                         << " (write " << path << ")";
+  }
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectingFileSystem::ReadFile(const std::string& path,
+                                          std::string* out) {
+  if (NextOpFaults()) {
+    if (mode_ == FaultMode::kTear && op_count_ == fail_at_) {
+      // Torn read: the caller gets a truncated view of a valid file with no
+      // error — only content validation (checksums) can catch this.
+      std::string full;
+      const Status st = base_->ReadFile(path, &full);
+      if (!st.ok()) return st;
+      *out = full.substr(0, full.size() / 2);
+      return Status::Ok();
+    }
+    return ErrorStatus() << "injected fault at io op " << op_count_
+                         << " (read " << path << ")";
+  }
+  return base_->ReadFile(path, out);
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  // Rename is atomic at the OS level: it either fully happens or not at all,
+  // so both fault modes leave `to` untouched.
+  if (NextOpFaults()) {
+    return ErrorStatus() << "injected fault at io op " << op_count_
+                         << " (rename " << from << ")";
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFileSystem::Remove(const std::string& path) {
+  if (NextOpFaults()) {
+    return ErrorStatus() << "injected fault at io op " << op_count_
+                         << " (remove " << path << ")";
+  }
+  return base_->Remove(path);
+}
+
+}  // namespace kucnet

@@ -1,0 +1,139 @@
+#ifndef KUCNET_UTIL_FS_H_
+#define KUCNET_UTIL_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// The filesystem seam every crash-safe IO path goes through.
+///
+/// Checkpoint writers and readers never touch `std::ofstream` directly: they
+/// operate on a `FileSystem`, so tests can substitute
+/// `FaultInjectingFileSystem` and deterministically kill a save at the Nth
+/// IO operation, tear a write in half, or hand back a truncated read. The
+/// production implementation (`DefaultFileSystem`) forwards to the real OS.
+///
+/// `AtomicWriteFile` is the one primitive that makes checkpointing
+/// crash-safe: the data is written to `<path>.tmp`, flushed, and renamed
+/// over `path`. POSIX rename is atomic, so a reader concurrently (or after a
+/// crash) sees either the complete old file or the complete new file, never
+/// a torn mixture.
+
+namespace kucnet {
+
+/// Whole-file IO operations. All methods report failures as Status instead
+/// of aborting; metadata probes (`Exists`) are best-effort booleans.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Replaces `path` with `data` (non-atomically; see AtomicWriteFile).
+  virtual Status WriteFile(const std::string& path, const std::string& data);
+
+  /// Reads all of `path` into `*out`.
+  virtual Status ReadFile(const std::string& path, std::string* out);
+
+  /// Atomically renames `from` to `to`, replacing `to` if it exists.
+  virtual Status Rename(const std::string& from, const std::string& to);
+
+  /// Deletes `path` (error if it does not exist).
+  virtual Status Remove(const std::string& path);
+
+  virtual bool Exists(const std::string& path);
+
+  /// Creates `path` and any missing parents.
+  virtual Status MakeDirs(const std::string& path);
+
+  /// Base names of the entries in `dir`, sorted.
+  virtual Status ListDir(const std::string& dir,
+                         std::vector<std::string>* names);
+};
+
+/// The process-wide real filesystem.
+FileSystem& DefaultFileSystem();
+
+/// Resolves the test seam convention: null means the real filesystem.
+inline FileSystem& FsOrDefault(FileSystem* fs) {
+  return fs != nullptr ? *fs : DefaultFileSystem();
+}
+
+/// Crash-safe whole-file replacement: write `<path>.tmp`, flush, rename over
+/// `path`. On failure the previous contents of `path` are untouched and the
+/// temp file is best-effort removed.
+Status AtomicWriteFile(FileSystem& fs, const std::string& path,
+                       const std::string& data);
+
+/// How an injected fault manifests.
+enum class FaultMode {
+  /// The operation fails cleanly with no side effect (e.g. EIO before any
+  /// byte hits the disk).
+  kFailCleanly,
+  /// A write persists only a prefix of the data before failing — the torn
+  /// file a crash mid-write leaves behind. A read returns a prefix of the
+  /// file *successfully*, modelling a reader that opened a file while a
+  /// non-atomic writer was mid-flight.
+  kTear,
+};
+
+/// A FileSystem that forwards to `base` but can be armed to fail
+/// deterministically at the Nth mutating/reading operation.
+///
+/// WriteFile, ReadFile, Rename, and Remove each count as one operation
+/// (metadata probes are free). Once the armed operation index is reached the
+/// fault fires and — modelling a crashed process — every subsequent
+/// operation fails too, until `Disarm` is called. This is the machinery the
+/// crash-safety sweep drives: run a save once to learn its op count, then
+/// re-run it killing it at op 1, 2, ..., N and assert every outcome leaves a
+/// loadable checkpoint.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  explicit FaultInjectingFileSystem(FileSystem* base) : base_(base) {}
+
+  /// Arms the fault: the `fail_at`-th operation from now (1-based) and all
+  /// later ones fail. Resets the operation counter.
+  void FailFrom(int64_t fail_at, FaultMode mode) {
+    fail_at_ = fail_at;
+    mode_ = mode;
+    op_count_ = 0;
+  }
+
+  /// Disarms the fault; subsequent operations pass through.
+  void Disarm() { fail_at_ = 0; }
+
+  /// Operations observed since the last FailFrom/ResetOpCount.
+  int64_t op_count() const { return op_count_; }
+  void ResetOpCount() { op_count_ = 0; }
+
+  /// Number of faults that have fired since arming.
+  int64_t faults_fired() const { return faults_fired_; }
+
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  bool Exists(const std::string& path) override { return base_->Exists(path); }
+  Status MakeDirs(const std::string& path) override {
+    return base_->MakeDirs(path);
+  }
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override {
+    return base_->ListDir(dir, names);
+  }
+
+ private:
+  /// Advances the op counter; true if this operation must fail.
+  bool NextOpFaults();
+
+  FileSystem* base_;
+  int64_t fail_at_ = 0;  ///< 0 = disarmed
+  FaultMode mode_ = FaultMode::kFailCleanly;
+  int64_t op_count_ = 0;
+  int64_t faults_fired_ = 0;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_UTIL_FS_H_

@@ -7,11 +7,14 @@
 
 namespace kucnet {
 
-std::vector<std::vector<int64_t>> ReadIntTable(const std::string& path,
-                                               int width) {
-  std::ifstream in(path);
-  KUC_CHECK(in.good()) << "cannot open " << path;
-  std::vector<std::vector<int64_t>> rows;
+Status TryReadIntTable(const std::string& path, int width,
+                       std::vector<std::vector<int64_t>>* rows,
+                       std::vector<int64_t>* line_numbers, FileSystem* fs) {
+  rows->clear();
+  if (line_numbers != nullptr) line_numbers->clear();
+  std::string content;
+  KUC_RETURN_IF_ERROR(FsOrDefault(fs).ReadFile(path, &content));
+  std::istringstream in(content);
   std::string line;
   int64_t line_no = 0;
   while (std::getline(in, line)) {
@@ -22,18 +25,36 @@ std::vector<std::vector<int64_t>> ReadIntTable(const std::string& path,
     row.reserve(width);
     int64_t value = 0;
     while (ss >> value) row.push_back(value);
-    if (row.empty()) continue;
-    KUC_CHECK_EQ(static_cast<int>(row.size()), width)
-        << path << ":" << line_no;
-    rows.push_back(std::move(row));
+    if (row.empty() && ss.eof()) continue;  // whitespace-only line
+    if (!ss.eof()) {
+      std::string bad;
+      ss.clear();
+      ss >> bad;
+      return ErrorStatus() << path << ":" << line_no
+                           << ": non-integer token '" << bad << "'";
+    }
+    if (static_cast<int>(row.size()) != width) {
+      return ErrorStatus() << path << ":" << line_no << ": expected " << width
+                           << " fields, got " << row.size();
+    }
+    rows->push_back(std::move(row));
+    if (line_numbers != nullptr) line_numbers->push_back(line_no);
   }
+  return Status::Ok();
+}
+
+std::vector<std::vector<int64_t>> ReadIntTable(const std::string& path,
+                                               int width) {
+  std::vector<std::vector<int64_t>> rows;
+  const Status st = TryReadIntTable(path, width, &rows);
+  KUC_CHECK(st.ok()) << st.message();
   return rows;
 }
 
-void WriteIntTable(const std::string& path,
-                   const std::vector<std::vector<int64_t>>& rows) {
-  std::ofstream out(path);
-  KUC_CHECK(out.good()) << "cannot open " << path << " for writing";
+Status TryWriteIntTable(const std::string& path,
+                        const std::vector<std::vector<int64_t>>& rows,
+                        FileSystem* fs) {
+  std::ostringstream out;
   for (const auto& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i) out << ' ';
@@ -41,38 +62,79 @@ void WriteIntTable(const std::string& path,
     }
     out << '\n';
   }
+  return AtomicWriteFile(FsOrDefault(fs), path, out.str());
+}
+
+void WriteIntTable(const std::string& path,
+                   const std::vector<std::vector<int64_t>>& rows) {
+  const Status st = TryWriteIntTable(path, rows);
+  KUC_CHECK(st.ok()) << st.message();
+}
+
+Status TryReadPairs(const std::string& path,
+                    std::vector<std::array<int64_t, 2>>* pairs,
+                    std::vector<int64_t>* line_numbers, FileSystem* fs) {
+  pairs->clear();
+  std::vector<std::vector<int64_t>> rows;
+  KUC_RETURN_IF_ERROR(TryReadIntTable(path, 2, &rows, line_numbers, fs));
+  pairs->reserve(rows.size());
+  for (const auto& row : rows) pairs->push_back({row[0], row[1]});
+  return Status::Ok();
 }
 
 std::vector<std::array<int64_t, 2>> ReadPairs(const std::string& path) {
   std::vector<std::array<int64_t, 2>> pairs;
-  for (const auto& row : ReadIntTable(path, 2)) {
-    pairs.push_back({row[0], row[1]});
-  }
+  const Status st = TryReadPairs(path, &pairs);
+  KUC_CHECK(st.ok()) << st.message();
   return pairs;
+}
+
+Status TryReadTriplets(const std::string& path,
+                       std::vector<std::array<int64_t, 3>>* triplets,
+                       std::vector<int64_t>* line_numbers, FileSystem* fs) {
+  triplets->clear();
+  std::vector<std::vector<int64_t>> rows;
+  KUC_RETURN_IF_ERROR(TryReadIntTable(path, 3, &rows, line_numbers, fs));
+  triplets->reserve(rows.size());
+  for (const auto& row : rows) triplets->push_back({row[0], row[1], row[2]});
+  return Status::Ok();
 }
 
 std::vector<std::array<int64_t, 3>> ReadTriplets(const std::string& path) {
   std::vector<std::array<int64_t, 3>> triplets;
-  for (const auto& row : ReadIntTable(path, 3)) {
-    triplets.push_back({row[0], row[1], row[2]});
-  }
+  const Status st = TryReadTriplets(path, &triplets);
+  KUC_CHECK(st.ok()) << st.message();
   return triplets;
+}
+
+Status TryWritePairs(const std::string& path,
+                     const std::vector<std::array<int64_t, 2>>& pairs,
+                     FileSystem* fs) {
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(pairs.size());
+  for (const auto& p : pairs) rows.push_back({p[0], p[1]});
+  return TryWriteIntTable(path, rows, fs);
 }
 
 void WritePairs(const std::string& path,
                 const std::vector<std::array<int64_t, 2>>& pairs) {
+  const Status st = TryWritePairs(path, pairs);
+  KUC_CHECK(st.ok()) << st.message();
+}
+
+Status TryWriteTriplets(const std::string& path,
+                        const std::vector<std::array<int64_t, 3>>& triplets,
+                        FileSystem* fs) {
   std::vector<std::vector<int64_t>> rows;
-  rows.reserve(pairs.size());
-  for (const auto& p : pairs) rows.push_back({p[0], p[1]});
-  WriteIntTable(path, rows);
+  rows.reserve(triplets.size());
+  for (const auto& t : triplets) rows.push_back({t[0], t[1], t[2]});
+  return TryWriteIntTable(path, rows, fs);
 }
 
 void WriteTriplets(const std::string& path,
                    const std::vector<std::array<int64_t, 3>>& triplets) {
-  std::vector<std::vector<int64_t>> rows;
-  rows.reserve(triplets.size());
-  for (const auto& t : triplets) rows.push_back({t[0], t[1], t[2]});
-  WriteIntTable(path, rows);
+  const Status st = TryWriteTriplets(path, triplets);
+  KUC_CHECK(st.ok()) << st.message();
 }
 
 bool FileExists(const std::string& path) {

@@ -6,34 +6,72 @@
 #include <string>
 #include <vector>
 
+#include "util/fs.h"
+#include "util/status.h"
+
 /// \file
 /// Plain-text (whitespace-separated) I/O for interaction lists and KG
 /// triplet files, matching the format used by the public KGAT/KGIN/KUCNet
 /// dataset releases: one `head relation tail` (or `user item`) row per line.
+///
+/// Two API tiers: `Try*` functions return a `Status` whose message names the
+/// file, line number, and cause of the first malformed row — the tier the
+/// fault-tolerant loaders build on. The historical abort-on-error functions
+/// remain as wrappers for call sites that still treat their inputs as
+/// trusted. All writers go through `AtomicWriteFile`, so an interrupted save
+/// never destroys an existing file.
 
 namespace kucnet {
 
 /// Reads rows of exactly `width` integers per line; skips blank lines and
-/// lines starting with '#'. Aborts on malformed input (this library treats
-/// its own data files as trusted).
+/// lines starting with '#'. On a malformed row returns an error naming
+/// `path`, the 1-based line number, and the cause. When `line_numbers` is
+/// non-null it receives the source line of each returned row, so callers can
+/// report their own per-row validation errors with exact locations.
+Status TryReadIntTable(const std::string& path, int width,
+                       std::vector<std::vector<int64_t>>* rows,
+                       std::vector<int64_t>* line_numbers = nullptr,
+                       FileSystem* fs = nullptr);
+
+/// Aborting wrapper around TryReadIntTable.
 std::vector<std::vector<int64_t>> ReadIntTable(const std::string& path,
                                                int width);
 
-/// Writes rows of integers, one line per row, space-separated.
+/// Writes rows of integers, one line per row, space-separated. The write is
+/// atomic: on failure any existing file at `path` is left intact.
+Status TryWriteIntTable(const std::string& path,
+                        const std::vector<std::vector<int64_t>>& rows,
+                        FileSystem* fs = nullptr);
+
+/// Aborting wrapper around TryWriteIntTable.
 void WriteIntTable(const std::string& path,
                    const std::vector<std::vector<int64_t>>& rows);
 
 /// Reads `user item` pairs.
+Status TryReadPairs(const std::string& path,
+                    std::vector<std::array<int64_t, 2>>* pairs,
+                    std::vector<int64_t>* line_numbers = nullptr,
+                    FileSystem* fs = nullptr);
 std::vector<std::array<int64_t, 2>> ReadPairs(const std::string& path);
 
 /// Reads `head relation tail` triplets.
+Status TryReadTriplets(const std::string& path,
+                       std::vector<std::array<int64_t, 3>>* triplets,
+                       std::vector<int64_t>* line_numbers = nullptr,
+                       FileSystem* fs = nullptr);
 std::vector<std::array<int64_t, 3>> ReadTriplets(const std::string& path);
 
-/// Writes `user item` pairs.
+/// Writes `user item` pairs (atomically; see TryWriteIntTable).
+Status TryWritePairs(const std::string& path,
+                     const std::vector<std::array<int64_t, 2>>& pairs,
+                     FileSystem* fs = nullptr);
 void WritePairs(const std::string& path,
                 const std::vector<std::array<int64_t, 2>>& pairs);
 
-/// Writes `head relation tail` triplets.
+/// Writes `head relation tail` triplets (atomically).
+Status TryWriteTriplets(const std::string& path,
+                        const std::vector<std::array<int64_t, 3>>& triplets,
+                        FileSystem* fs = nullptr);
 void WriteTriplets(const std::string& path,
                    const std::vector<std::array<int64_t, 3>>& triplets);
 

@@ -13,6 +13,15 @@
 
 namespace kucnet {
 
+/// The complete internal state of an `Rng`, for checkpointing. Restoring an
+/// exported state resumes the stream exactly where it was, including the
+/// Box-Muller spare normal.
+struct RngState {
+  uint64_t state = 0;
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// A small, fast, deterministic generator (splitmix64 core).
 ///
 /// Copyable; copying forks the stream deterministically. Not thread-safe:
@@ -63,6 +72,19 @@ class Rng {
 
   /// Derives an independent child generator; deterministic in (state, salt).
   Rng Fork(uint64_t salt);
+
+  /// Captures the full generator state (for training snapshots).
+  RngState ExportState() const {
+    return {state_, has_cached_normal_, cached_normal_};
+  }
+
+  /// Restores a state captured by ExportState; the stream continues
+  /// bitwise-identically from the capture point.
+  void RestoreState(const RngState& s) {
+    state_ = s.state;
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
 
  private:
   uint64_t state_;

@@ -1,0 +1,164 @@
+// The filesystem seam: real-FS behaviour, atomic replacement, and the
+// deterministic fault-injection layer every crash-safety test drives.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fs.h"
+#include "util/io.h"
+
+namespace kucnet {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FileSystemTest, WriteReadRoundTrip) {
+  FileSystem& fs = DefaultFileSystem();
+  const std::string path = TempPath("fs_roundtrip.bin");
+  const std::string data("hello\0world\n\xff binary", 20);
+  ASSERT_TRUE(fs.WriteFile(path, data).ok());
+  std::string back;
+  ASSERT_TRUE(fs.ReadFile(path, &back).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_TRUE(fs.Exists(path));
+  ASSERT_TRUE(fs.Remove(path).ok());
+  EXPECT_FALSE(fs.Exists(path));
+}
+
+TEST(FileSystemTest, ReadMissingFileIsError) {
+  std::string out;
+  const Status st = DefaultFileSystem().ReadFile(
+      TempPath("definitely_missing_file"), &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cannot open"), std::string::npos);
+}
+
+TEST(FileSystemTest, MakeDirsAndListDir) {
+  FileSystem& fs = DefaultFileSystem();
+  const std::string dir = TempPath("fs_listdir/a/b");
+  ASSERT_TRUE(fs.MakeDirs(dir).ok());
+  ASSERT_TRUE(fs.WriteFile(dir + "/two", "2").ok());
+  ASSERT_TRUE(fs.WriteFile(dir + "/one", "1").ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs.ListDir(dir, &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"one", "two"}));
+  EXPECT_FALSE(fs.ListDir(dir + "/missing", &names).ok());
+}
+
+TEST(AtomicWriteFileTest, ReplacesContentAtomically) {
+  FileSystem& fs = DefaultFileSystem();
+  const std::string path = TempPath("atomic_replace.txt");
+  ASSERT_TRUE(AtomicWriteFile(fs, path, "old").ok());
+  ASSERT_TRUE(AtomicWriteFile(fs, path, "new").ok());
+  std::string back;
+  ASSERT_TRUE(fs.ReadFile(path, &back).ok());
+  EXPECT_EQ(back, "new");
+  EXPECT_FALSE(fs.Exists(path + ".tmp"));
+}
+
+TEST(AtomicWriteFileTest, FailedWriteLeavesTargetIntact) {
+  FileSystem& fs = DefaultFileSystem();
+  FaultInjectingFileSystem faulty(&fs);
+  const std::string path = TempPath("atomic_faulted.txt");
+  ASSERT_TRUE(AtomicWriteFile(faulty, path, "precious").ok());
+
+  // Kill the temp-file write (op 1): clean failure and torn write both must
+  // leave the existing target untouched.
+  for (const FaultMode mode : {FaultMode::kFailCleanly, FaultMode::kTear}) {
+    faulty.FailFrom(1, mode);
+    EXPECT_FALSE(AtomicWriteFile(faulty, path, "replacement").ok());
+    faulty.Disarm();
+    std::string back;
+    ASSERT_TRUE(fs.ReadFile(path, &back).ok());
+    EXPECT_EQ(back, "precious");
+  }
+
+  // Kill the rename (op 2): same guarantee.
+  faulty.FailFrom(2, FaultMode::kFailCleanly);
+  EXPECT_FALSE(AtomicWriteFile(faulty, path, "replacement").ok());
+  faulty.Disarm();
+  std::string back;
+  ASSERT_TRUE(fs.ReadFile(path, &back).ok());
+  EXPECT_EQ(back, "precious");
+}
+
+TEST(FaultInjectingFileSystemTest, CountsOpsAndStaysDeadAfterFault) {
+  FileSystem& fs = DefaultFileSystem();
+  FaultInjectingFileSystem faulty(&fs);
+  const std::string a = TempPath("fault_a"), b = TempPath("fault_b");
+
+  faulty.FailFrom(3, FaultMode::kFailCleanly);
+  EXPECT_TRUE(faulty.WriteFile(a, "1").ok());   // op 1
+  EXPECT_TRUE(faulty.WriteFile(b, "2").ok());   // op 2
+  EXPECT_FALSE(faulty.WriteFile(a, "3").ok());  // op 3: fault fires
+  // The "process" is dead: every later op fails too.
+  std::string out;
+  EXPECT_FALSE(faulty.ReadFile(a, &out).ok());
+  EXPECT_FALSE(faulty.Rename(a, b).ok());
+  EXPECT_FALSE(faulty.Remove(a).ok());
+  EXPECT_EQ(faulty.op_count(), 6);
+  EXPECT_EQ(faulty.faults_fired(), 4);
+
+  faulty.Disarm();
+  ASSERT_TRUE(faulty.ReadFile(a, &out).ok());
+  EXPECT_EQ(out, "1");  // the faulted write landed nothing
+}
+
+TEST(FaultInjectingFileSystemTest, TornWritePersistsPrefix) {
+  FileSystem& fs = DefaultFileSystem();
+  FaultInjectingFileSystem faulty(&fs);
+  const std::string path = TempPath("torn_write.bin");
+  faulty.FailFrom(1, FaultMode::kTear);
+  EXPECT_FALSE(faulty.WriteFile(path, "0123456789").ok());
+  faulty.Disarm();
+  std::string back;
+  ASSERT_TRUE(fs.ReadFile(path, &back).ok());
+  EXPECT_EQ(back, "01234");  // half the bytes hit the disk
+}
+
+TEST(FaultInjectingFileSystemTest, TornReadReturnsPrefixSuccessfully) {
+  FileSystem& fs = DefaultFileSystem();
+  FaultInjectingFileSystem faulty(&fs);
+  const std::string path = TempPath("torn_read.bin");
+  ASSERT_TRUE(fs.WriteFile(path, "0123456789").ok());
+  faulty.FailFrom(1, FaultMode::kTear);
+  std::string back;
+  ASSERT_TRUE(faulty.ReadFile(path, &back).ok());  // no error: a torn read
+  EXPECT_EQ(back, "01234");                        // is silent truncation
+}
+
+TEST(IoTest, MalformedRowsReportFileLineAndCause) {
+  FileSystem& fs = DefaultFileSystem();
+  const std::string path = TempPath("bad_table.txt");
+  ASSERT_TRUE(fs.WriteFile(path, "# comment\n1 2\n3 4 5\n6 7\n").ok());
+
+  std::vector<std::vector<int64_t>> rows;
+  Status st = TryReadIntTable(path, 2, &rows);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(path + ":3"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("expected 2 fields, got 3"), std::string::npos);
+
+  ASSERT_TRUE(fs.WriteFile(path, "1 2\n3 abc\n").ok());
+  st = TryReadIntTable(path, 2, &rows);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(path + ":2"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("non-integer token 'abc'"), std::string::npos);
+}
+
+TEST(IoTest, ReadIntTableReportsSourceLineNumbers) {
+  FileSystem& fs = DefaultFileSystem();
+  const std::string path = TempPath("line_numbers.txt");
+  ASSERT_TRUE(fs.WriteFile(path, "# header\n\n1 2\n# mid\n3 4\n").ok());
+  std::vector<std::vector<int64_t>> rows;
+  std::vector<int64_t> lines;
+  ASSERT_TRUE(TryReadIntTable(path, 2, &rows, &lines).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(lines, (std::vector<int64_t>{3, 5}));
+}
+
+}  // namespace
+}  // namespace kucnet

@@ -182,7 +182,10 @@ TEST(ParallelDeterminismTest, TrainEpochThreadCountInvariant) {
   KucnetOptions opts;
   opts.hidden_dim = 12;
   opts.attention_dim = 3;
-  opts.depth = 2;
+  // Depth 3, not 2: items only reach the final layer (where the BPR pairs
+  // are gathered) via user -> item -> entity -> item, so a depth-2 graph
+  // trains on zero pairs and the test would compare untouched parameters.
+  opts.depth = 3;
   opts.sample_k = 10;
   opts.dropout = 0.2;  // exercises the per-user dropout streams too
 
