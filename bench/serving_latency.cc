@@ -1,0 +1,182 @@
+// Serving-layer latency/overload benchmark.
+//
+// Drives the deadline-aware RecServer (src/serve/) at several offered-load
+// levels relative to its measured capacity and records, per level: latency
+// percentiles (p50/p99), the shed rate at admission, how many requests missed
+// their deadline, and the tier mix the fallback chain produced. The point of
+// the exercise is visible graceful degradation: as offered load passes
+// capacity, responses shift from the full tier to cache/heuristic tiers and
+// the queue sheds instead of growing without bound.
+//
+//   serving_latency [OUTPUT.json] [REQUESTS_PER_LEVEL]
+//
+// Writes a machine-readable JSON array (default BENCH_serving.json), one
+// object per load level.
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/kucnet.h"
+#include "serve/rec_server.h"
+#include "util/logging.h"
+
+namespace kucnet {
+namespace {
+
+struct LoadLevelResult {
+  double offered_load = 0.0;  ///< offered rate / measured capacity
+  int64_t requests = 0;
+  double shed_rate = 0.0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+  int64_t deadline_missed = 0;
+  std::array<int64_t, kNumServeTiers> tier_count{};
+};
+
+/// Exact percentile over the completed requests' end-to-end latencies (the
+/// server's histogram is bucketed; the bench keeps the raw samples).
+int64_t Percentile(std::vector<int64_t> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(samples.size() - 1) + 0.5));
+  return samples[idx];
+}
+
+/// Median ServeSync latency of the full tier, used to calibrate load levels.
+int64_t MeasureServiceMicros(const Kucnet& model, const bench::Workload& w) {
+  RecServerOptions opts;
+  opts.num_workers = 0;
+  opts.default_deadline_micros = 60'000'000;
+  RecServer server(&model, &w.dataset, &w.ckg, &w.ppr, opts);
+  std::vector<int64_t> samples;
+  for (int64_t user = 0; user < 12; ++user) {
+    const RecResponse r = server.ServeSync({user % w.dataset.num_users});
+    if (user >= 2) samples.push_back(r.total_micros);  // skip cold-start
+  }
+  return std::max<int64_t>(1, Percentile(samples, 0.5));
+}
+
+LoadLevelResult RunLoadLevel(const Kucnet& model, const bench::Workload& w,
+                             double offered_load, int64_t service_us,
+                             int64_t num_requests) {
+  RecServerOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 32;
+  // Tight enough that a growing queue turns into visible degradation: the
+  // full tier gets roughly 4 average service times including queue wait.
+  opts.default_deadline_micros = 4 * service_us;
+  RecServer server(&model, &w.dataset, &w.ckg, &w.ppr, opts);
+
+  // Offered rate = offered_load * capacity; capacity = workers / service.
+  const auto gap = std::chrono::microseconds(std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(service_us) /
+                              (offered_load * opts.num_workers))));
+  std::vector<std::future<RecResponse>> futures;
+  futures.reserve(num_requests);
+  for (int64_t r = 0; r < num_requests; ++r) {
+    futures.push_back(server.Submit({r % w.dataset.num_users}));
+    std::this_thread::sleep_for(gap);
+  }
+
+  LoadLevelResult result;
+  result.offered_load = offered_load;
+  result.requests = num_requests;
+  std::vector<int64_t> latencies;
+  for (auto& future : futures) {
+    const RecResponse response = future.get();
+    if (response.status == ResponseStatus::kOk) {
+      latencies.push_back(response.total_micros);
+    }
+  }
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  result.shed_rate = stats.submitted == 0
+                         ? 0.0
+                         : static_cast<double>(stats.shed) /
+                               static_cast<double>(stats.submitted);
+  result.p50_us = Percentile(latencies, 0.5);
+  result.p99_us = Percentile(latencies, 0.99);
+  result.deadline_missed = stats.deadline_missed;
+  result.tier_count = stats.tier_count;
+  return result;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<LoadLevelResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  KUC_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const LoadLevelResult& r = results[i];
+    std::fprintf(f,
+                 "  {\"offered_load\": %.2f, \"requests\": %lld, "
+                 "\"shed_rate\": %.4f, \"p50_us\": %lld, \"p99_us\": %lld, "
+                 "\"deadline_missed\": %lld, \"tier_mix\": {",
+                 r.offered_load, static_cast<long long>(r.requests),
+                 r.shed_rate, static_cast<long long>(r.p50_us),
+                 static_cast<long long>(r.p99_us),
+                 static_cast<long long>(r.deadline_missed));
+    for (int t = 0; t < kNumServeTiers; ++t) {
+      std::fprintf(f, "%s\"%s\": %lld", t == 0 ? "" : ", ",
+                   ServeTierName(static_cast<ServeTier>(t)),
+                   static_cast<long long>(r.tier_count[t]));
+    }
+    std::fprintf(f, "}}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  const int64_t num_requests = argc > 2 ? std::atoll(argv[2]) : 120;
+
+  bench::PrintHeader("Serving latency under load (BENCH_serving.json)");
+  bench::Workload workload =
+      bench::MakeWorkload("synth-lastfm", SplitKind::kTraditional);
+  // Untrained weights: latency is a property of the pipeline, not accuracy.
+  KucnetOptions model_opts;
+  model_opts.sample_k = 30;
+  model_opts.depth = 3;
+  Kucnet model(&workload.dataset, &workload.ckg, &workload.ppr, model_opts);
+
+  const int64_t service_us = MeasureServiceMicros(model, workload);
+  std::printf("calibrated full-tier service time: %lldus\n",
+              static_cast<long long>(service_us));
+
+  std::vector<LoadLevelResult> results;
+  for (const double offered_load : {0.5, 1.0, 4.0}) {
+    const LoadLevelResult r =
+        RunLoadLevel(model, workload, offered_load, service_us, num_requests);
+    std::printf(
+        "load %.1fx: p50 %lldus  p99 %lldus  shed %.1f%%  missed %lld  "
+        "tiers [full %lld, cached %lld, heuristic %lld, popularity %lld]\n",
+        r.offered_load, static_cast<long long>(r.p50_us),
+        static_cast<long long>(r.p99_us), 100.0 * r.shed_rate,
+        static_cast<long long>(r.deadline_missed),
+        static_cast<long long>(r.tier_count[0]),
+        static_cast<long long>(r.tier_count[1]),
+        static_cast<long long>(r.tier_count[2]),
+        static_cast<long long>(r.tier_count[3]));
+    results.push_back(r);
+  }
+  WriteJson(json_path, results);
+  std::printf("wrote %zu load levels to %s\n", results.size(),
+              json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace kucnet
+
+int main(int argc, char** argv) { return kucnet::Main(argc, argv); }

@@ -6,9 +6,16 @@
 //                       [--checkpoint_dir DIR] [--checkpoint_every N]
 //                       [--resume true]
 //   kucnet_cli evaluate --data DIR --model KUCNet --ckpt FILE
+//   kucnet_cli serve    --data DIR [--ckpt FILE] --requests N --workers W
+//                       [--deadline_us N] [--top_n N] [--queue N]
 //   kucnet_cli models                       # list registered model names
 //
 // Splits: traditional | new-item | new-user.
+//
+// `serve` runs the deadline-aware serving layer (src/serve/) over the
+// dataset: requests flow through the bounded admission queue, degrade
+// through the fallback chain on deadline misses, and the command prints the
+// resulting tier mix, shed rate and latency percentiles.
 //
 // Long runs are interruptible: with --checkpoint_dir the trainer writes a
 // crash-safe full-state snapshot (weights, Adam moments, RNG stream,
@@ -18,29 +25,56 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "core/kucnet.h"
 #include "data/serialize.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "serve/rec_server.h"
 #include "train/trainer.h"
 #include "util/logging.h"
 
 namespace kucnet {
 namespace {
 
-/// Parses "--key value" pairs after the subcommand.
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int a = 2; a + 1 < argc; a += 2) {
-    std::string key = argv[a];
-    KUC_CHECK(key.rfind("--", 0) == 0) << "expected --flag, got " << key;
-    flags[key.substr(2)] = argv[a + 1];
+const char kUsage[] =
+    "usage: kucnet_cli <generate|train|evaluate|serve|models> [--flags]\n"
+    "  generate --config NAME --split KIND --out DIR [--seed N]\n"
+    "  train    --data DIR --model NAME [--epochs N] [--k N] [--depth N]\n"
+    "           [--ckpt FILE] [--checkpoint_dir DIR] [--checkpoint_every N]\n"
+    "           [--resume true]\n"
+    "  evaluate --data DIR --model NAME [--ckpt FILE] [--k N] [--depth N]\n"
+    "  serve    --data DIR [--ckpt FILE] [--k N] [--depth N] [--requests N]\n"
+    "           [--workers W] [--deadline_us N] [--top_n N] [--queue N]\n"
+    "  models\n";
+
+/// Parses "--key value" pairs after the subcommand, validating each flag
+/// against the command's known set. Returns false — after pointing at the
+/// offending flag and printing usage — on an unknown flag or a flag missing
+/// its value, so typos fail loudly instead of being silently ignored.
+bool ParseFlags(int argc, char** argv, const std::set<std::string>& known,
+                std::map<std::string, std::string>* flags) {
+  for (int a = 2; a < argc; a += 2) {
+    const std::string key = argv[a];
+    if (key.rfind("--", 0) != 0 || known.count(key.substr(2)) == 0) {
+      std::fprintf(stderr, "unknown flag for '%s': %s\n%s", argv[1],
+                   key.c_str(), kUsage);
+      return false;
+    }
+    if (a + 1 >= argc) {
+      std::fprintf(stderr, "flag %s is missing a value\n%s", key.c_str(),
+                   kUsage);
+      return false;
+    }
+    (*flags)[key.substr(2)] = argv[a + 1];
   }
-  return flags;
+  return true;
 }
 
 std::string FlagOr(const std::map<std::string, std::string>& flags,
@@ -131,23 +165,101 @@ int CmdTrainOrEvaluate(const std::map<std::string, std::string>& flags,
   return 0;
 }
 
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  const std::string data_dir = FlagOr(flags, "data", ".");
+  const std::string ckpt = FlagOr(flags, "ckpt", "");
+  const int64_t requests = std::stoll(FlagOr(flags, "requests", "200"));
+
+  Dataset dataset;
+  const Status loaded = TryLoadDataset(data_dir, &dataset);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.message().c_str());
+    return 1;
+  }
+  std::printf("loaded %s\n", dataset.Summary().c_str());
+  const Ckg ckg = dataset.BuildCkg();
+  const PprTable ppr = PprTable::Compute(ckg, PprTableOptions(), &GlobalPool());
+
+  KucnetOptions model_opts;
+  model_opts.sample_k = std::stoll(FlagOr(flags, "k", "30"));
+  model_opts.depth = std::stoi(FlagOr(flags, "depth", "3"));
+  Kucnet model(&dataset, &ckg, &ppr, model_opts);
+  if (!ckpt.empty()) {
+    model.LoadCheckpoint(ckpt);
+    std::printf("loaded checkpoint %s\n", ckpt.c_str());
+  }
+
+  RecServerOptions server_opts;
+  server_opts.num_workers = std::stoi(FlagOr(flags, "workers", "2"));
+  server_opts.queue_capacity = std::stoll(FlagOr(flags, "queue", "64"));
+  server_opts.default_deadline_micros =
+      std::stoll(FlagOr(flags, "deadline_us", "50000"));
+  server_opts.default_top_n = std::stoll(FlagOr(flags, "top_n", "20"));
+  RecServer server(&model, &dataset, &ckg, &ppr, server_opts);
+
+  std::vector<std::future<RecResponse>> futures;
+  futures.reserve(requests);
+  for (int64_t r = 0; r < requests; ++r) {
+    futures.push_back(server.Submit({r % dataset.num_users}));
+  }
+  int64_t served = 0;
+  for (auto& future : futures) {
+    served += future.get().status == ResponseStatus::kOk;
+  }
+  server.Shutdown();
+
+  const ServerStats stats = server.stats();
+  std::printf("served %lld/%lld  (shed %lld, deadline missed %lld, "
+              "degraded %lld)\n",
+              static_cast<long long>(served),
+              static_cast<long long>(stats.submitted),
+              static_cast<long long>(stats.shed),
+              static_cast<long long>(stats.deadline_missed),
+              static_cast<long long>(stats.degraded));
+  std::printf("tier mix:");
+  for (int t = 0; t < kNumServeTiers; ++t) {
+    std::printf("  %s %lld", ServeTierName(static_cast<ServeTier>(t)),
+                static_cast<long long>(stats.tier_count[t]));
+  }
+  std::printf("\nlatency p50 <= %lldus  p99 <= %lldus\n",
+              static_cast<long long>(stats.latency.PercentileUpperBound(0.5)),
+              static_cast<long long>(stats.latency.PercentileUpperBound(0.99)));
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
-    std::printf(
-        "usage: kucnet_cli <generate|train|evaluate|models> [--flags]\n");
+    std::printf("%s", kUsage);
     return 2;
   }
   const std::string command = argv[1];
+  static const std::map<std::string, std::set<std::string>> kKnownFlags = {
+      {"generate", {"config", "split", "out", "seed"}},
+      {"train",
+       {"data", "model", "epochs", "k", "depth", "ckpt", "checkpoint_dir",
+        "checkpoint_every", "resume"}},
+      {"evaluate", {"data", "model", "ckpt", "k", "depth"}},
+      {"serve",
+       {"data", "ckpt", "k", "depth", "requests", "workers", "deadline_us",
+        "top_n", "queue"}},
+      {"models", {}},
+  };
+  const auto known = kKnownFlags.find(command);
+  if (known == kKnownFlags.end()) {
+    std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(), kUsage);
+    return 2;
+  }
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, known->second, &flags)) return 2;
   if (command == "models") {
     for (const auto& name : AllModelNames()) std::printf("%s\n", name.c_str());
     return 0;
   }
-  const auto flags = ParseFlags(argc, argv);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "train") return CmdTrainOrEvaluate(flags, /*train=*/true);
   if (command == "evaluate") return CmdTrainOrEvaluate(flags, /*train=*/false);
-  std::printf("unknown command: %s\n", command.c_str());
-  return 2;
+  return CmdServe(flags);
 }
 
 }  // namespace

@@ -135,10 +135,22 @@ Var Kucnet::Activate(Tape& tape, Var x) const {
 Var Kucnet::RunMessagePassing(
     Tape& tape, const UserCompGraph& graph, bool training, Rng* rng,
     std::vector<std::vector<double>>* attention_out) const {
+  Var h;
+  const Status status = TryRunMessagePassing(tape, graph, training, rng,
+                                             ExecContext(), attention_out, &h);
+  KUC_CHECK(status.ok()) << status.message();
+  return h;
+}
+
+Status Kucnet::TryRunMessagePassing(
+    Tape& tape, const UserCompGraph& graph, bool training, Rng* rng,
+    const ExecContext& ctx,
+    std::vector<std::vector<double>>* attention_out, Var* out) const {
   const int64_t d = options_.hidden_dim;
   // h^0: a single zero row for the user (Alg. 1 line 1).
   Var h = tape.Constant(Matrix::Zeros(1, d));
   for (size_t l = 0; l < graph.layers.size(); ++l) {
+    KUC_RETURN_IF_ERROR(ctx.Check("forward"));
     const CompLayer& layer = graph.layers[l];
     const LayerParams& params = layers_[l];
     if (layer.num_edges() == 0) {
@@ -187,17 +199,47 @@ Var Kucnet::RunMessagePassing(
                        rng != nullptr ? *rng : dropout_rng_);
     }
   }
-  return h;
+  *out = h;
+  return Status::Ok();
 }
 
 KucnetForward Kucnet::Forward(int64_t user) const {
   KucnetForward result;
+  const Status status = TryForward(user, ExecContext(), &result);
+  KUC_CHECK(status.ok()) << status.message();
+  return result;
+}
+
+Status Kucnet::TryForward(int64_t user, const ExecContext& ctx,
+                          KucnetForward* out) const {
+  KucnetForward& result = *out;
+  result = KucnetForward();
   Rng rng(options_.seed ^ (0x9e37 + static_cast<uint64_t>(user)));
-  result.graph = BuildGraph(user, &rng, {});
+
+  // Stage "ppr": fetching the pruning scores (a precomputed-table lookup
+  // here; the push itself has its own in-loop checkpoints, see ppr/ppr.h).
+  KUC_RETURN_IF_ERROR(ctx.Check("ppr"));
+  const int64_t user_node = ckg_->UserNode(user);
+  const bool use_ppr = options_.prune == PruneMode::kPpr && options_.sample_k > 0;
+  if (use_ppr) {
+    const NodeScoreFn score = ppr_->ScoreFn(user);
+    KUC_RETURN_IF_ERROR(
+        builder_.TryBuild(user_node, &score, &rng, {}, ctx, &result.graph));
+  } else {
+    KUC_RETURN_IF_ERROR(
+        builder_.TryBuild(user_node, nullptr, &rng, {}, ctx, &result.graph));
+  }
+
   Tape tape;
   std::vector<std::vector<double>> attention;
-  Var h_final = RunMessagePassing(tape, result.graph, /*training=*/false,
-                                  nullptr, &attention);
+  Var h_final;
+  const Status forward_status = TryRunMessagePassing(
+      tape, result.graph, /*training=*/false, nullptr, ctx, &attention,
+      &h_final);
+  if (!forward_status.ok()) {
+    result = KucnetForward();
+    return forward_status;
+  }
   Var scores = tape.MatMul(
       h_final, tape.Param(const_cast<Parameter*>(&readout_)));  // Eq. (7)
   const Matrix& s = tape.value(scores);
@@ -221,7 +263,7 @@ KucnetForward Kucnet::Forward(int64_t user) const {
     }
     prev_nodes = layer.nodes;
   }
-  return result;
+  return Status::Ok();
 }
 
 std::vector<double> Kucnet::ScoreItems(int64_t user) const {

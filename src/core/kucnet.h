@@ -96,6 +96,15 @@ class Kucnet : public RankModel {
   /// (used by the explanation tooling and Fig. 6).
   KucnetForward Forward(int64_t user) const;
 
+  /// Cancellable forward pass — the serving layer's full-quality tier. Hits
+  /// the `ctx` checkpoint at each stage boundary: "ppr" before the pruning
+  /// scores are fetched, "subgraph" per expanded head node during graph
+  /// construction, and "forward" before each message-passing layer. On
+  /// cancellation `*out` is reset and the checkpoint's status returned —
+  /// partial work is abandoned, never half-filled into `out`.
+  Status TryForward(int64_t user, const ExecContext& ctx,
+                    KucnetForward* out) const;
+
   /// Scores a single (user, item) pair on its *individual* U-I computation
   /// graph C_{u,i|L} — the naive KUCNet-UI costing of Fig. 6. Returns the
   /// score and the number of edges computed on.
@@ -144,6 +153,13 @@ class Kucnet : public RankModel {
   Var RunMessagePassing(Tape& tape, const UserCompGraph& graph, bool training,
                         Rng* rng,
                         std::vector<std::vector<double>>* attention_out) const;
+
+  /// Cancellable RunMessagePassing: checks `ctx` (stage "forward") before
+  /// each layer, so at most one layer of compute is wasted past a deadline.
+  Status TryRunMessagePassing(Tape& tape, const UserCompGraph& graph,
+                              bool training, Rng* rng, const ExecContext& ctx,
+                              std::vector<std::vector<double>>* attention_out,
+                              Var* out) const;
 
   /// Builds the pruned computation graph for a user.
   UserCompGraph BuildGraph(int64_t user, Rng* rng,

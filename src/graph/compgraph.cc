@@ -70,6 +70,18 @@ CompGraphBuilder::CompGraphBuilder(const Ckg* ckg, CompGraphOptions options)
 UserCompGraph CompGraphBuilder::Build(
     int64_t user_node, const NodeScoreFn* score, Rng* rng,
     const std::vector<ExcludedPair>& excluded) const {
+  UserCompGraph graph;
+  const Status status =
+      TryBuild(user_node, score, rng, excluded, ExecContext(), &graph);
+  KUC_CHECK(status.ok()) << status.message();
+  return graph;
+}
+
+Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
+                                  Rng* rng,
+                                  const std::vector<ExcludedPair>& excluded,
+                                  const ExecContext& ctx,
+                                  UserCompGraph* out) const {
   KUC_CHECK_GE(user_node, 0);
   KUC_CHECK_LT(user_node, ckg_->num_nodes());
   const int64_t k_limit = options_.max_edges_per_node;
@@ -95,7 +107,8 @@ UserCompGraph CompGraphBuilder::Build(
     return excluded_set.count(PackPair(src, dst)) > 0;
   };
 
-  UserCompGraph graph;
+  UserCompGraph& graph = *out;
+  graph = UserCompGraph();
   graph.user_node = user_node;
   graph.layers.resize(options_.depth);
 
@@ -115,6 +128,14 @@ UserCompGraph CompGraphBuilder::Build(
     };
 
     for (size_t si = 0; si < prev_nodes.size(); ++si) {
+      // One cancellation checkpoint per expanded head node: layers grow
+      // multiplicatively, so this bounds the work wasted past a deadline to
+      // a single node's out-edge scan.
+      const Status status = ctx.Check("subgraph");
+      if (!status.ok()) {
+        graph = UserCompGraph();
+        return status;
+      }
       const int64_t src = prev_nodes[si];
       if (options_.self_loops) {
         layer.src_index.push_back(static_cast<int64_t>(si));
@@ -164,7 +185,7 @@ UserCompGraph CompGraphBuilder::Build(
   for (size_t i = 0; i < prev_nodes.size(); ++i) {
     graph.final_index.emplace(prev_nodes[i], static_cast<int64_t>(i));
   }
-  return graph;
+  return Status::Ok();
 }
 
 }  // namespace kucnet

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "graph/ckg.h"
+#include "util/fault.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 /// \file
 /// The (pruned) user-centric computation graph of Sec. IV-C.
@@ -106,6 +108,14 @@ class CompGraphBuilder {
   UserCompGraph Build(int64_t user_node, const NodeScoreFn* score = nullptr,
                       Rng* rng = nullptr,
                       const std::vector<ExcludedPair>& excluded = {}) const;
+
+  /// Cancellable Build: the expansion loop hits the `ctx` checkpoint (stage
+  /// "subgraph") once per expanded head node, so a request deadline or
+  /// injected fault abandons the expansion instead of materializing every
+  /// layer. On cancellation `*out` is reset and the status returned.
+  Status TryBuild(int64_t user_node, const NodeScoreFn* score, Rng* rng,
+                  const std::vector<ExcludedPair>& excluded,
+                  const ExecContext& ctx, UserCompGraph* out) const;
 
  private:
   const Ckg* ckg_;

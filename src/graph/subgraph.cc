@@ -10,12 +10,30 @@ namespace kucnet {
 
 std::vector<int32_t> BfsDistances(const Ckg& ckg, int64_t source,
                                   int32_t max_depth) {
+  std::vector<int32_t> dist;
+  const Status status =
+      TryBfsDistances(ckg, source, max_depth, ExecContext(), &dist);
+  KUC_CHECK(status.ok()) << status.message();
+  return dist;
+}
+
+Status TryBfsDistances(const Ckg& ckg, int64_t source, int32_t max_depth,
+                       const ExecContext& ctx, std::vector<int32_t>* out) {
   KUC_CHECK_GE(source, 0);
   KUC_CHECK_LT(source, ckg.num_nodes());
-  std::vector<int32_t> dist(ckg.num_nodes(), -1);
+  std::vector<int32_t>& dist = *out;
+  dist.assign(ckg.num_nodes(), -1);
   dist[source] = 0;
   std::deque<int64_t> frontier = {source};
+  int64_t pops = 0;
   while (!frontier.empty()) {
+    if (pops++ % kSubgraphCheckEveryNodes == 0) {
+      const Status status = ctx.Check("subgraph");
+      if (!status.ok()) {
+        dist.clear();
+        return status;
+      }
+    }
     const int64_t v = frontier.front();
     frontier.pop_front();
     if (dist[v] >= max_depth) continue;
@@ -26,7 +44,7 @@ std::vector<int32_t> BfsDistances(const Ckg& ckg, int64_t source,
       }
     }
   }
-  return dist;
+  return Status::Ok();
 }
 
 UiSubgraph ExtractUiSubgraph(const Ckg& ckg, int64_t user_node,
@@ -59,13 +77,31 @@ int64_t LayeredEdges::TotalEdges() const {
 
 LayeredEdges ExtractUiComputationGraph(const Ckg& ckg, int64_t user_node,
                                        int64_t item_node, int32_t depth) {
-  const auto du = BfsDistances(ckg, user_node, depth);
-  const auto di = BfsDistances(ckg, item_node, depth);
-  const int64_t self_rel = ckg.self_loop_relation();
   LayeredEdges out;
-  out.layers.resize(depth);
+  const Status status = TryExtractUiComputationGraph(
+      ckg, user_node, item_node, depth, ExecContext(), &out);
+  KUC_CHECK(status.ok()) << status.message();
+  return out;
+}
+
+Status TryExtractUiComputationGraph(const Ckg& ckg, int64_t user_node,
+                                    int64_t item_node, int32_t depth,
+                                    const ExecContext& ctx, LayeredEdges* out) {
+  out->layers.clear();
+  std::vector<int32_t> du, di;
+  KUC_RETURN_IF_ERROR(TryBfsDistances(ckg, user_node, depth, ctx, &du));
+  KUC_RETURN_IF_ERROR(TryBfsDistances(ckg, item_node, depth, ctx, &di));
+  const int64_t self_rel = ckg.self_loop_relation();
+  out->layers.resize(depth);
   for (int32_t l = 1; l <= depth; ++l) {
-    auto& layer = out.layers[l - 1];
+    {
+      const Status status = ctx.Check("subgraph");
+      if (!status.ok()) {
+        out->layers.clear();
+        return status;
+      }
+    }
+    auto& layer = out->layers[l - 1];
     // A node can be the source of a layer-l edge if it is within l-1 hops of
     // u; the destination must reach i within depth-l hops.
     for (int64_t v = 0; v < ckg.num_nodes(); ++v) {
@@ -84,7 +120,7 @@ LayeredEdges ExtractUiComputationGraph(const Ckg& ckg, int64_t user_node,
       }
     }
   }
-  return out;
+  return Status::Ok();
 }
 
 }  // namespace kucnet

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "graph/ckg.h"
+#include "util/fault.h"
+#include "util/status.h"
 
 /// \file
 /// U-I subgraphs (Definition 2) and their per-pair computation graphs
@@ -20,6 +22,15 @@ namespace kucnet {
 /// v is farther than `max_depth` (or unreachable).
 std::vector<int32_t> BfsDistances(const Ckg& ckg, int64_t source,
                                   int32_t max_depth);
+
+/// Cancellable BFS: hits the `ctx` checkpoint (stage "subgraph") every
+/// `kSubgraphCheckEveryNodes` dequeued nodes. On cancellation `*out` is
+/// cleared and the checkpoint's status is returned.
+Status TryBfsDistances(const Ckg& ckg, int64_t source, int32_t max_depth,
+                       const ExecContext& ctx, std::vector<int32_t>* out);
+
+/// Dequeues between cancellation checkpoints in the BFS / expansion loops.
+inline constexpr int64_t kSubgraphCheckEveryNodes = 64;
 
 /// The U-I subgraph G_{u,i|L} of Definition 2: nodes whose summed distance
 /// to u and i is at most L, and all edges among them.
@@ -49,6 +60,13 @@ struct LayeredEdges {
 /// padded to length exactly L as in Sec. IV-B.
 LayeredEdges ExtractUiComputationGraph(const Ckg& ckg, int64_t user_node,
                                        int64_t item_node, int32_t depth);
+
+/// Cancellable variant of ExtractUiComputationGraph: the two BFS sweeps and
+/// each layer's edge scan hit the `ctx` checkpoint (stage "subgraph"). On
+/// cancellation `*out` is cleared and the checkpoint's status is returned.
+Status TryExtractUiComputationGraph(const Ckg& ckg, int64_t user_node,
+                                    int64_t item_node, int32_t depth,
+                                    const ExecContext& ctx, LayeredEdges* out);
 
 }  // namespace kucnet
 

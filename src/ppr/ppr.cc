@@ -28,16 +28,35 @@ std::vector<real_t> PprPowerIteration(const SparseMatrix& column_normalized_adj,
 std::unordered_map<int64_t, real_t> PprForwardPush(const Ckg& ckg,
                                                    int64_t source, real_t alpha,
                                                    real_t epsilon) {
+  std::unordered_map<int64_t, real_t> estimate;
+  const Status status =
+      TryPprForwardPush(ckg, source, alpha, epsilon, ExecContext(), &estimate);
+  KUC_CHECK(status.ok()) << status.message();
+  return estimate;
+}
+
+Status TryPprForwardPush(const Ckg& ckg, int64_t source, real_t alpha,
+                         real_t epsilon, const ExecContext& ctx,
+                         std::unordered_map<int64_t, real_t>* out) {
   KUC_CHECK_GE(source, 0);
   KUC_CHECK_LT(source, ckg.num_nodes());
-  std::unordered_map<int64_t, real_t> estimate;
+  std::unordered_map<int64_t, real_t>& estimate = *out;
+  estimate.clear();
   std::unordered_map<int64_t, real_t> residual;
   residual[source] = 1.0;
   std::deque<int64_t> queue = {source};
   std::unordered_map<int64_t, bool> queued;
   queued[source] = true;
 
+  int64_t pops = 0;
   while (!queue.empty()) {
+    if (pops++ % kPprCheckEveryPushes == 0) {
+      const Status status = ctx.Check("ppr");
+      if (!status.ok()) {
+        estimate.clear();
+        return status;
+      }
+    }
     const int64_t v = queue.front();
     queue.pop_front();
     queued[v] = false;
@@ -64,7 +83,7 @@ std::unordered_map<int64_t, real_t> PprForwardPush(const Ckg& ckg,
       }
     }
   }
-  return estimate;
+  return Status::Ok();
 }
 
 PprTable PprTable::Compute(const Ckg& ckg, PprTableOptions options,

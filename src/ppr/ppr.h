@@ -8,6 +8,8 @@
 #include "graph/ckg.h"
 #include "graph/compgraph.h"
 #include "tensor/sparse.h"
+#include "util/fault.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 /// \file
@@ -35,6 +37,17 @@ std::unordered_map<int64_t, real_t> PprForwardPush(const Ckg& ckg,
                                                    int64_t source,
                                                    real_t alpha = 0.15,
                                                    real_t epsilon = 1e-6);
+
+/// Cancellable forward push: hits the `ctx` checkpoint (stage "ppr") every
+/// `kPprCheckEveryPushes` queue pops, so a request deadline or injected
+/// fault abandons the walk mid-push instead of running to convergence. On
+/// cancellation `*out` is cleared and the checkpoint's status is returned.
+Status TryPprForwardPush(const Ckg& ckg, int64_t source, real_t alpha,
+                         real_t epsilon, const ExecContext& ctx,
+                         std::unordered_map<int64_t, real_t>* out);
+
+/// Push iterations between cancellation checkpoints in TryPprForwardPush.
+inline constexpr int64_t kPprCheckEveryPushes = 64;
 
 /// Options for PprTable::Compute.
 struct PprTableOptions {

@@ -1,0 +1,369 @@
+#include "serve/rec_server.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+/// Failure taxonomy for degradation accounting: an ExecContext checkpoint
+/// fails either because a fault was injected or because the deadline passed
+/// (see ExecContext::Check, which reports the fault preferentially).
+bool IsInjectedFault(const Status& status) {
+  return status.message().find("injected fault") != std::string::npos;
+}
+
+}  // namespace
+
+const char* ServeTierName(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kFull:
+      return "full";
+    case ServeTier::kCached:
+      return "cached";
+    case ServeTier::kHeuristic:
+      return "heuristic";
+    case ServeTier::kPopularity:
+      return "popularity";
+  }
+  return "unknown";
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  const int bucket = std::min(
+      kBuckets - 1, static_cast<int>(std::bit_width(
+                        static_cast<uint64_t>(micros))));  // 0us -> bucket 0
+  ++counts[bucket];
+  ++total;
+}
+
+int64_t LatencyHistogram::PercentileUpperBound(double p) const {
+  if (total == 0) return 0;
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(p * static_cast<double>(total) + 0.5));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= target) {
+      return b == 0 ? 0 : (int64_t{1} << b) - 1;
+    }
+  }
+  return (int64_t{1} << (kBuckets - 1)) - 1;
+}
+
+RecServer::RecServer(const Kucnet* model, const Dataset* dataset,
+                     const Ckg* ckg, const PprTable* ppr,
+                     RecServerOptions options)
+    : model_(model),
+      dataset_(dataset),
+      ckg_(ckg),
+      ppr_(ppr),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : &RealClock()),
+      cache_(options.cache, clock_),
+      train_items_(dataset->TrainItemsByUser()) {
+  KUC_CHECK(model != nullptr);
+  KUC_CHECK(dataset != nullptr);
+  KUC_CHECK(ckg != nullptr);
+  KUC_CHECK(ppr != nullptr);
+  KUC_CHECK_GT(dataset->num_items, 0) << "cannot serve an empty catalogue";
+  KUC_CHECK_GE(options_.num_workers, 0);
+  KUC_CHECK_GT(options_.queue_capacity, 0);
+  KUC_CHECK_GT(options_.default_top_n, 0);
+  KUC_CHECK_GT(options_.default_deadline_micros, 0);
+
+  // Precompute the infallible last tier: items by training popularity.
+  std::vector<int64_t> counts(dataset->num_items, 0);
+  for (const auto& [user, item] : dataset->train) ++counts[item];
+  popularity_.reserve(dataset->num_items);
+  for (int64_t item = 0; item < dataset->num_items; ++item) {
+    popularity_.push_back({item, static_cast<double>(counts[item])});
+  }
+  std::sort(popularity_.begin(), popularity_.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item < b.item;
+            });
+
+  workers_.reserve(options_.num_workers);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RecServer::~RecServer() { Shutdown(); }
+
+std::future<RecResponse> RecServer::Submit(const RecRequest& request) {
+  const int64_t now = clock_->NowMicros();
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  if (shutting_down_) {
+    std::promise<RecResponse> rejected;
+    RecResponse response;
+    response.status = ResponseStatus::kShutdown;
+    rejected.set_value(std::move(response));
+    return rejected.get_future();
+  }
+  if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+    // Overload shedding: reject *now* with an explicit status. The caller
+    // can retry with backoff; nothing ever blocks on a full queue.
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.shed;
+    std::promise<RecResponse> rejected;
+    RecResponse response;
+    response.status = ResponseStatus::kOverloaded;
+    rejected.set_value(std::move(response));
+    return rejected.get_future();
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.admitted;
+  }
+  queue_.push_back(Pending{request, now, std::promise<RecResponse>()});
+  std::future<RecResponse> future = queue_.back().promise.get_future();
+  lock.unlock();
+  queue_cv_.notify_one();
+  return future;
+}
+
+RecResponse RecServer::ServeSync(const RecRequest& request) {
+  const int64_t now = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.submitted;
+    ++stats_.admitted;
+  }
+  return Handle(request, now);
+}
+
+void RecServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServerStats RecServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void RecServer::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, queue drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    pending.promise.set_value(Handle(pending.request, pending.submit_micros));
+  }
+}
+
+bool RecServer::RankInto(int64_t user, const std::vector<double>& scores,
+                         int64_t top_n, RecResponse* out) const {
+  const int64_t num_items = static_cast<int64_t>(scores.size());
+  if (num_items == 0) return false;
+  const std::vector<int64_t>* exclude = nullptr;
+  if (options_.exclude_train_items && user >= 0 &&
+      user < static_cast<int64_t>(train_items_.size())) {
+    exclude = &train_items_[user];
+  }
+  std::vector<int64_t> candidates;
+  candidates.reserve(num_items);
+  for (int64_t item = 0; item < num_items; ++item) {
+    if (exclude != nullptr &&
+        std::binary_search(exclude->begin(), exclude->end(), item)) {
+      continue;
+    }
+    candidates.push_back(item);
+  }
+  if (candidates.empty()) {
+    // The user consumed the whole catalogue; re-recommending beats nothing.
+    for (int64_t item = 0; item < num_items; ++item)
+      candidates.push_back(item);
+  }
+  const int64_t n = std::min<int64_t>(top_n, candidates.size());
+  const auto better = [&scores](int64_t a, int64_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::partial_sort(candidates.begin(), candidates.begin() + n,
+                    candidates.end(), better);
+  out->items.clear();
+  out->items.reserve(n);
+  for (int64_t k = 0; k < n; ++k) {
+    out->items.push_back({candidates[k], scores[candidates[k]]});
+  }
+  return !out->items.empty();
+}
+
+RecResponse RecServer::Handle(const RecRequest& request,
+                              int64_t submit_micros) {
+  const int64_t top_n =
+      request.top_n > 0 ? request.top_n : options_.default_top_n;
+  const int64_t budget = request.deadline_micros > 0
+                             ? request.deadline_micros
+                             : options_.default_deadline_micros;
+  // The deadline is anchored at *admission*: time spent queued counts
+  // against the request, so a long queue wait degrades rather than letting
+  // stale work burn worker time.
+  const Deadline deadline = Deadline::At(*clock_, submit_micros + budget);
+  const ExecContext full_ctx(deadline, options_.fault);
+  // Fallback tiers ARE the degradation path, so they run even once the
+  // deadline has passed (each is orders of magnitude cheaper than the full
+  // tier); only the fault seam can knock one out.
+  const ExecContext fallback_ctx(Deadline::Infinite(), options_.fault);
+
+  RecResponse response;
+  bool request_deadline_missed = false;
+  int64_t request_fault_events = 0;
+  const auto note_failure = [&](const char* tier, const Status& status) {
+    if (IsInjectedFault(status)) {
+      ++request_fault_events;
+    } else {
+      request_deadline_missed = true;
+    }
+    if (!response.degrade_reason.empty()) response.degrade_reason += "; ";
+    response.degrade_reason += tier;
+    response.degrade_reason += ": ";
+    response.degrade_reason += status.message();
+  };
+  const auto time_stage = [&](const char* stage, int64_t start_micros) {
+    response.stage_micros.push_back(
+        {stage, clock_->NowMicros() - start_micros});
+  };
+
+  bool served = false;
+
+  // ---- Tier 1: full KUCNet forward -----------------------------------------
+  {
+    const int64_t t0 = clock_->NowMicros();
+    if (deadline.Expired()) {
+      note_failure("full", ErrorStatus()
+                               << "deadline expired before execution "
+                                  "(queued past the latency budget)");
+      time_stage("full", t0);
+    } else {
+      KucnetForward forward;
+      const Status status = model_->TryForward(request.user, full_ctx, &forward);
+      time_stage("full", t0);
+      if (status.ok()) {
+        // Deposit for future degraded requests *before* ranking, so even a
+        // ranking-size-zero catalogue edge case keeps the cache warm.
+        cache_.Put(request.user, forward.item_scores);
+        served = RankInto(request.user, forward.item_scores, top_n, &response);
+        if (served) response.tier = ServeTier::kFull;
+      } else {
+        note_failure("full", status);
+      }
+    }
+  }
+
+  // ---- Tier 2: cached scores (staleness-bounded LRU) -----------------------
+  if (!served) {
+    const int64_t t0 = clock_->NowMicros();
+    const Status status = fallback_ctx.Check("cache");
+    if (status.ok()) {
+      std::vector<double> scores;
+      int64_t age = -1;
+      if (cache_.Get(request.user, &scores, &age) &&
+          RankInto(request.user, scores, top_n, &response)) {
+        served = true;
+        response.tier = ServeTier::kCached;
+        response.cache_age_micros = age;
+      }
+    } else {
+      note_failure("cache", status);
+    }
+    time_stage("cache", t0);
+  }
+
+  // ---- Tier 3: PPR heuristic (PprRec ranking) ------------------------------
+  if (!served) {
+    const int64_t t0 = clock_->NowMicros();
+    const Status status = fallback_ctx.Check("heuristic");
+    if (status.ok() && request.user >= 0 &&
+        request.user < ppr_->num_users()) {
+      std::vector<double> scores(dataset_->num_items, 0.0);
+      for (int64_t item = 0; item < dataset_->num_items; ++item) {
+        scores[item] = ppr_->Score(request.user, ckg_->ItemNode(item));
+      }
+      if (RankInto(request.user, scores, top_n, &response)) {
+        served = true;
+        response.tier = ServeTier::kHeuristic;
+      }
+    } else if (!status.ok()) {
+      note_failure("heuristic", status);
+    }
+    time_stage("heuristic", t0);
+  }
+
+  // ---- Tier 4: global popularity (infallible) ------------------------------
+  if (!served) {
+    const int64_t t0 = clock_->NowMicros();
+    // The checkpoint still fires (tests can arm it and see it counted), but
+    // the precomputed ranking is returned regardless: the last tier never
+    // fails, so no admitted request ever gets an empty response.
+    const Status status = fallback_ctx.Check("popularity");
+    if (!status.ok()) note_failure("popularity", status);
+    const std::vector<int64_t>* exclude =
+        options_.exclude_train_items &&
+                request.user >= 0 &&
+                request.user < static_cast<int64_t>(train_items_.size())
+            ? &train_items_[request.user]
+            : nullptr;
+    response.items.clear();
+    for (const ScoredItem& candidate : popularity_) {
+      if (static_cast<int64_t>(response.items.size()) >= top_n) break;
+      if (exclude != nullptr &&
+          std::binary_search(exclude->begin(), exclude->end(),
+                             candidate.item)) {
+        continue;
+      }
+      response.items.push_back(candidate);
+    }
+    if (response.items.empty()) {
+      for (const ScoredItem& candidate : popularity_) {
+        if (static_cast<int64_t>(response.items.size()) >= top_n) break;
+        response.items.push_back(candidate);
+      }
+    }
+    response.tier = ServeTier::kPopularity;
+    time_stage("popularity", t0);
+  }
+
+  response.status = ResponseStatus::kOk;
+  response.degraded = response.tier != ServeTier::kFull;
+  response.total_micros = clock_->NowMicros() - submit_micros;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    ++stats_.tier_count[static_cast<int>(response.tier)];
+    if (response.degraded) ++stats_.degraded;
+    if (request_deadline_missed) ++stats_.deadline_missed;
+    stats_.fault_events += request_fault_events;
+    stats_.latency.Record(response.total_micros);
+  }
+  return response;
+}
+
+}  // namespace kucnet

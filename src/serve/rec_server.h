@@ -1,0 +1,226 @@
+#ifndef KUCNET_SERVE_REC_SERVER_H_
+#define KUCNET_SERVE_REC_SERVER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/kucnet.h"
+#include "serve/score_cache.h"
+#include "util/clock.h"
+#include "util/fault.h"
+
+/// \file
+/// The deadline-aware serving layer.
+///
+/// Training (PR 2) survives crashes; this subsystem makes *queries* survive
+/// overload, deadlines, and faults. A `RecServer` answers top-N requests
+/// through a bounded admission queue — when the queue is full the request is
+/// rejected immediately with `kOverloaded`, never queued unboundedly — and
+/// executes each admitted request under a per-request `Deadline` anchored at
+/// admission time. The expensive pipeline (PPR scoring, subgraph expansion,
+/// per-layer message passing) is cooperatively cancellable via `ExecContext`
+/// checkpoints; when a stage misses the deadline or an injected fault fires,
+/// the server *degrades* through an explicit fallback chain instead of
+/// failing:
+///
+///   full KUCNet forward  →  cached scores (LRU, staleness-bounded)
+///                        →  PPR heuristic (the PprRec ranking)
+///                        →  global popularity (precomputed, infallible)
+///
+/// Every response carries the tier that produced it plus per-stage latency;
+/// `ServerStats` exposes admitted/shed/deadline-missed/degraded counters and
+/// a latency histogram. All time flows through the `Clock` seam, so under a
+/// `FakeClock` every timeout path is deterministic, and the `FaultInjector`
+/// seam lets tests fail any stage of any tier on the Nth hit.
+
+namespace kucnet {
+
+/// Terminal status of a request.
+enum class ResponseStatus {
+  kOk,          ///< served (possibly degraded; see RecResponse::tier)
+  kOverloaded,  ///< shed at admission: queue full
+  kShutdown,    ///< rejected: server shutting down
+};
+
+/// Which rung of the fallback chain produced the scores.
+enum class ServeTier {
+  kFull = 0,        ///< complete KUCNet forward pass
+  kCached = 1,      ///< LRU score cache (staleness-bounded)
+  kHeuristic = 2,   ///< PPR scores, PprRec-style
+  kPopularity = 3,  ///< global popularity ranking
+};
+inline constexpr int kNumServeTiers = 4;
+
+/// Display name of a tier ("full", "cached", "heuristic", "popularity").
+const char* ServeTierName(ServeTier tier);
+
+/// One top-N recommendation request.
+struct RecRequest {
+  int64_t user = 0;
+  int64_t top_n = 0;            ///< 0 = server default
+  int64_t deadline_micros = 0;  ///< latency budget; 0 = server default
+};
+
+/// One ranked recommendation.
+struct ScoredItem {
+  int64_t item;
+  double score;
+};
+
+/// Wall-clock (or FakeClock) cost of one pipeline stage of a response.
+struct StageTiming {
+  std::string stage;  ///< "full", "cache", "heuristic", "popularity"
+  int64_t micros;
+};
+
+/// What the server returns for every request.
+struct RecResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  ServeTier tier = ServeTier::kFull;
+  /// True when a higher tier failed and a fallback answered (tier != kFull).
+  bool degraded = false;
+  /// Ranked recommendations, best first. Non-empty for every kOk response.
+  std::vector<ScoredItem> items;
+  /// Per-stage latency of the tiers this request attempted, in order.
+  std::vector<StageTiming> stage_micros;
+  /// Why each failed tier was skipped (empty for non-degraded responses).
+  std::string degrade_reason;
+  /// Admission-to-completion latency (includes queue wait).
+  int64_t total_micros = 0;
+  /// Age of the cache entry served, for kCached responses (else -1).
+  int64_t cache_age_micros = -1;
+};
+
+/// Power-of-two-bucketed latency histogram (microseconds).
+struct LatencyHistogram {
+  static constexpr int kBuckets = 40;
+  std::array<int64_t, kBuckets> counts{};
+  int64_t total = 0;
+
+  void Record(int64_t micros);
+  /// Upper bound (micros) of the bucket holding the p-quantile, p in [0,1];
+  /// 0 when empty.
+  int64_t PercentileUpperBound(double p) const;
+};
+
+/// Observable behavior of the server since construction.
+struct ServerStats {
+  int64_t submitted = 0;  ///< Submit/ServeSync calls
+  int64_t admitted = 0;   ///< accepted into the queue (or served sync)
+  int64_t shed = 0;       ///< rejected kOverloaded at admission
+  int64_t completed = 0;  ///< responses produced for admitted requests
+  /// Requests whose full tier was abandoned on a deadline expiry.
+  int64_t deadline_missed = 0;
+  /// Stage failures attributed to injected faults (across all tiers;
+  /// reconciles with FaultInjector::faults_fired in tests).
+  int64_t fault_events = 0;
+  /// Responses produced by a tier below full.
+  int64_t degraded = 0;
+  /// Responses per tier, indexed by ServeTier.
+  std::array<int64_t, kNumServeTiers> tier_count{};
+  LatencyHistogram latency;
+};
+
+/// Knobs of the server.
+struct RecServerOptions {
+  /// Worker threads consuming the queue. 0 = serve only via ServeSync.
+  int num_workers = 2;
+  /// Maximum queued (admitted, unstarted) requests; beyond this Submit
+  /// rejects with kOverloaded instead of blocking.
+  int64_t queue_capacity = 64;
+  int64_t default_deadline_micros = 50'000;
+  int64_t default_top_n = 20;
+  /// Hide each user's training items from their ranked list (standard
+  /// serving practice: do not re-recommend consumed items).
+  bool exclude_train_items = true;
+  ScoreCacheOptions cache;
+  /// Time seam (null = the real clock). Tests pass a FakeClock.
+  const Clock* clock = nullptr;
+  /// Fault seam (null = no injection). Tests arm stages here.
+  FaultInjector* fault = nullptr;
+};
+
+/// The serving front end. The model, dataset, CKG and PPR table must outlive
+/// the server. Workers score concurrently; `Kucnet::TryForward` is const and
+/// thread-safe for inference.
+class RecServer {
+ public:
+  RecServer(const Kucnet* model, const Dataset* dataset, const Ckg* ckg,
+            const PprTable* ppr, RecServerOptions options);
+  ~RecServer();
+
+  RecServer(const RecServer&) = delete;
+  RecServer& operator=(const RecServer&) = delete;
+
+  /// Admission point. Returns immediately: either a future the workers will
+  /// fulfill, or an already-satisfied future carrying kOverloaded /
+  /// kShutdown. Never blocks on a full queue.
+  std::future<RecResponse> Submit(const RecRequest& request);
+
+  /// Runs the full degradation pipeline on the calling thread, bypassing
+  /// the queue (no admission control). Used by tests that need strict
+  /// single-threaded determinism and by benchmark warmup.
+  RecResponse ServeSync(const RecRequest& request);
+
+  /// Rejects new submissions, drains queued requests, joins the workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  /// Snapshot of the counters (consistent under the stats mutex).
+  ServerStats stats() const;
+
+  const ScoreCache& cache() const { return cache_; }
+  const RecServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    RecRequest request;
+    int64_t submit_micros;
+    std::promise<RecResponse> promise;
+  };
+
+  /// Runs the tier chain for one admitted request.
+  RecResponse Handle(const RecRequest& request, int64_t submit_micros);
+
+  /// Ranks `scores` (indexed by item id) into `out->items`: top-N by score,
+  /// ties by item id, training items excluded when configured (unless that
+  /// would empty the list). Returns false iff there are no items at all.
+  bool RankInto(int64_t user, const std::vector<double>& scores,
+                int64_t top_n, RecResponse* out) const;
+
+  void WorkerLoop();
+
+  const Kucnet* model_;
+  const Dataset* dataset_;
+  const Ckg* ckg_;
+  const PprTable* ppr_;
+  RecServerOptions options_;
+  const Clock* clock_;
+
+  ScoreCache cache_;
+  /// Sorted training items per user (binary searched during ranking).
+  std::vector<std::vector<int64_t>> train_items_;
+  /// Items sorted by global training popularity (count desc, id asc) and
+  /// their scores — the infallible last tier, precomputed at construction.
+  std::vector<ScoredItem> popularity_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_SERVE_REC_SERVER_H_

@@ -1,0 +1,78 @@
+#include "serve/score_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+ScoreCache::ScoreCache(ScoreCacheOptions options, const Clock* clock)
+    : options_(options), clock_(clock != nullptr ? clock : &RealClock()) {
+  KUC_CHECK_GT(options_.capacity, 0);
+  KUC_CHECK_GT(options_.max_age_micros, 0);
+}
+
+void ScoreCache::Put(int64_t user, std::vector<double> scores) {
+  const int64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(user);
+  if (it != index_.end()) {
+    it->second->scores = std::move(scores);
+    it->second->stored_micros = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (static_cast<int64_t>(lru_.size()) >= options_.capacity) {
+    index_.erase(lru_.back().user);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{user, std::move(scores), now});
+  index_[user] = lru_.begin();
+}
+
+bool ScoreCache::Get(int64_t user, std::vector<double>* out,
+                     int64_t* age_micros_out) {
+  const int64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(user);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  const int64_t age = now - it->second->stored_micros;
+  if (age > options_.max_age_micros) {
+    // Staleness bound: expired entries are dropped, never served.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    return false;
+  }
+  *out = it->second->scores;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  if (age_micros_out != nullptr) *age_micros_out = age;
+  return true;
+}
+
+int64_t ScoreCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t ScoreCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t ScoreCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t ScoreCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,72 @@
+#ifndef KUCNET_SERVE_SCORE_CACHE_H_
+#define KUCNET_SERVE_SCORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.h"
+
+/// \file
+/// The serving layer's second tier: an LRU cache of per-user item scores.
+///
+/// A successful full forward pass deposits its score vector here; when a
+/// later request for the same user misses its deadline (or a fault fires),
+/// the server answers from this cache instead of failing. Staleness is
+/// bounded — an entry older than `max_age_micros` is treated as a miss and
+/// dropped, so a degraded answer is never older than the configured bound.
+
+namespace kucnet {
+
+/// Knobs of the score cache.
+struct ScoreCacheOptions {
+  /// Users retained; the least recently used entry is evicted beyond this.
+  int64_t capacity = 256;
+  /// Entries older than this are misses (dropped on probe). The bound is
+  /// measured against the cache's clock at Get time.
+  int64_t max_age_micros = 60'000'000;  // 60 s
+};
+
+/// Thread-safe LRU map user -> (item score vector, store time).
+class ScoreCache {
+ public:
+  /// `clock` must outlive the cache (null = the real clock).
+  explicit ScoreCache(ScoreCacheOptions options, const Clock* clock = nullptr);
+
+  /// Inserts or refreshes the scores for `user` (stamped with now).
+  void Put(int64_t user, std::vector<double> scores);
+
+  /// True and fills `*out` when a fresh entry exists; refreshes recency.
+  /// A stale entry is erased and reported as a miss. On a hit,
+  /// `*age_micros_out` (when non-null) receives the entry's age.
+  bool Get(int64_t user, std::vector<double>* out,
+           int64_t* age_micros_out = nullptr);
+
+  int64_t size() const;
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+ private:
+  struct Entry {
+    int64_t user;
+    std::vector<double> scores;
+    int64_t stored_micros;
+  };
+
+  ScoreCacheOptions options_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<int64_t, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_SERVE_SCORE_CACHE_H_

@@ -15,10 +15,24 @@ int64_t NegativeSampler::Sample(int64_t user, Rng& rng) const {
   const auto& pos = positives_[user];
   KUC_CHECK_LT(static_cast<int64_t>(pos.size()), num_items_)
       << "user " << user << " interacted with every item";
-  for (;;) {
+  // Rejection sampling is O(1) for sparse users but its expected draw count
+  // is num_items / num_negatives, which blows up as the positive set
+  // approaches the catalogue. Bound the draws; past the bound, pick the
+  // r-th non-positive by linear scan — still exactly uniform over negatives.
+  constexpr int kMaxRejectedDraws = 32;
+  for (int draw = 0; draw < kMaxRejectedDraws; ++draw) {
     const int64_t j = rng.UniformInt(num_items_);
     if (!pos.count(j)) return j;
   }
+  const int64_t num_negatives = num_items_ - static_cast<int64_t>(pos.size());
+  int64_t r = rng.UniformInt(num_negatives);
+  for (int64_t j = 0; j < num_items_; ++j) {
+    if (pos.count(j)) continue;
+    if (r == 0) return j;
+    --r;
+  }
+  KUC_CHECK(false) << "negative scan exhausted for user " << user;
+  return -1;
 }
 
 bool NegativeSampler::IsPositive(int64_t user, int64_t item) const {

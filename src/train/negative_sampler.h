@@ -21,7 +21,10 @@ class NegativeSampler {
   explicit NegativeSampler(const Dataset& dataset);
 
   /// A uniformly random item j with (user, j) not in the training set.
-  /// Aborts if the user has interacted with every item.
+  /// Bounded: after a fixed number of rejected draws (dense positive sets)
+  /// it falls back to a uniform linear scan over the non-positives, so a
+  /// near-complete user cannot stall sampling. Aborts if the user has
+  /// interacted with every item.
   int64_t Sample(int64_t user, Rng& rng) const;
 
   /// True iff (user, item) is a training positive.

@@ -1,0 +1,31 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace kucnet {
+
+namespace {
+
+/// Steady-clock micros since process start (keeps values small and positive).
+class SteadyClock : public Clock {
+ public:
+  SteadyClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace
+
+Clock& RealClock() {
+  static SteadyClock* clock = new SteadyClock();
+  return *clock;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,116 @@
+#ifndef KUCNET_UTIL_CLOCK_H_
+#define KUCNET_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// \file
+/// The time seam the deadline-aware serving layer is built on.
+///
+/// Every component that must behave differently as time passes — request
+/// deadlines, cache staleness bounds, latency accounting — reads time through
+/// a `Clock` rather than calling the OS directly. Tests substitute
+/// `FakeClock`, whose time only moves when the test (or its auto-advance
+/// knob) says so, which makes every timeout path deterministic: a "deadline
+/// missed in the third layer of the forward pass" scenario is reproduced
+/// exactly, on any machine, at any load.
+
+namespace kucnet {
+
+/// Monotonic time source. Implementations must be safe to read from multiple
+/// threads concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary fixed origin (monotonic).
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// The process-wide real (steady_clock) time source.
+Clock& RealClock();
+
+/// A manually driven clock for deterministic timeout tests.
+///
+/// Time starts at 0 and only moves via `AdvanceMicros` or the auto-advance
+/// knob: with `set_auto_advance_micros(d)`, every `NowMicros()` call advances
+/// time by `d` *after* reading it. Cancellation checkpoints inside a staged
+/// computation each read the clock once, so auto-advance lets a test dial in
+/// "the deadline expires at exactly the Nth checkpoint".
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.fetch_add(auto_advance_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+
+  /// Moves time forward by `micros` (>= 0).
+  void AdvanceMicros(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  /// Every subsequent NowMicros() call advances time by `micros` (0 turns
+  /// auto-advance off).
+  void set_auto_advance_micros(int64_t micros) {
+    auto_advance_.store(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<int64_t> now_;
+  std::atomic<int64_t> auto_advance_{0};
+};
+
+/// A point in time a computation must finish by. Cheap to copy; carries its
+/// clock. A default-constructed deadline never expires.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `budget_micros` from `clock`'s current time.
+  static Deadline After(const Clock& clock, int64_t budget_micros) {
+    Deadline d;
+    d.clock_ = &clock;
+    d.deadline_micros_ = clock.NowMicros() + budget_micros;
+    return d;
+  }
+
+  /// Expires at absolute time `deadline_micros` on `clock` (for deadlines
+  /// anchored at admission time rather than execution start).
+  static Deadline At(const Clock& clock, int64_t deadline_micros) {
+    Deadline d;
+    d.clock_ = &clock;
+    d.deadline_micros_ = deadline_micros;
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return clock_ == nullptr; }
+
+  /// True once the clock has reached the deadline. Infinite deadlines never
+  /// expire. Note: reads the clock, so under a FakeClock with auto-advance
+  /// each call consumes one tick.
+  bool Expired() const {
+    return clock_ != nullptr && clock_->NowMicros() >= deadline_micros_;
+  }
+
+  /// Microseconds until expiry (<= 0 once expired); a large sentinel for
+  /// infinite deadlines.
+  int64_t RemainingMicros() const {
+    if (clock_ == nullptr) return kInfiniteMicros;
+    return deadline_micros_ - clock_->NowMicros();
+  }
+
+  static constexpr int64_t kInfiniteMicros = INT64_MAX / 2;
+
+ private:
+  const Clock* clock_ = nullptr;  ///< null = infinite
+  int64_t deadline_micros_ = 0;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_UTIL_CLOCK_H_

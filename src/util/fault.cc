@@ -1,0 +1,37 @@
+#include "util/fault.h"
+
+namespace kucnet {
+
+void FaultInjector::Arm(const std::string& stage, int64_t fire_at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_[stage] = StageState{fire_at, 0};
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [stage, state] : stages_) state.fire_at = 0;
+}
+
+bool FaultInjector::Fire(const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageState& state = stages_[stage];
+  ++state.hit_count;
+  if (state.fire_at > 0 && state.hit_count == state.fire_at) {
+    ++faults_fired_;
+    return true;
+  }
+  return false;
+}
+
+int64_t FaultInjector::hits(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stages_.find(stage);
+  return it == stages_.end() ? 0 : it->second.hit_count;
+}
+
+int64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
+}
+
+}  // namespace kucnet

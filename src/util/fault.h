@@ -1,0 +1,101 @@
+#ifndef KUCNET_UTIL_FAULT_H_
+#define KUCNET_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+/// \file
+/// Stage-level fault injection and cooperative cancellation.
+///
+/// PR 2 proved checkpointing crash-safe by deterministically failing the Nth
+/// filesystem operation. `FaultInjector` generalizes that idea beyond the
+/// filesystem: any *compute* stage (PPR scoring, subgraph expansion, a
+/// message-passing layer, a cache probe) names itself at a checkpoint, and a
+/// test can arm "the Nth hit on stage X fails". `ExecContext` bundles the
+/// injector with a request `Deadline` into the single handle that is threaded
+/// through every expensive stage; the stage calls `Check("stage")` at loop
+/// boundaries and propagates the resulting Status upward, which is what makes
+/// both timeouts and injected faults *cooperative* — no thread is ever
+/// killed, partial work is simply abandoned.
+
+namespace kucnet {
+
+/// Deterministically fails the Nth checkpoint hit on a named compute stage.
+///
+/// Unlike `FaultInjectingFileSystem` (which models a dead process: once the
+/// armed op fires, everything after it fails too), a compute fault is
+/// *transient*: only the armed hit fails, later hits pass. That is the right
+/// model for serving, where one poisoned request must not take down the
+/// worker. Thread-safe.
+class FaultInjector {
+ public:
+  /// Arms `stage`: its `fire_at`-th checkpoint hit from now (1-based) fails.
+  /// Resets that stage's hit counter. Multiple stages may be armed at once.
+  void Arm(const std::string& stage, int64_t fire_at = 1);
+
+  /// Disarms every stage (hit counters keep counting).
+  void DisarmAll();
+
+  /// Counts a checkpoint hit on `stage`; true iff an armed fault fires.
+  bool Fire(const std::string& stage);
+
+  /// Checkpoint hits observed on `stage` since construction or the last
+  /// Arm(stage).
+  int64_t hits(const std::string& stage) const;
+
+  /// Total faults fired across all stages.
+  int64_t faults_fired() const;
+
+ private:
+  struct StageState {
+    int64_t fire_at = 0;  ///< 0 = disarmed
+    int64_t hit_count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, StageState> stages_;
+  int64_t faults_fired_ = 0;
+};
+
+/// The cancellation handle threaded through expensive stages: a request
+/// deadline plus an optional fault injector. A default-constructed context
+/// never cancels, so non-serving callers (training, benches) pass `{}` and
+/// pay one branch per checkpoint.
+class ExecContext {
+ public:
+  /// Never cancels.
+  ExecContext() = default;
+
+  explicit ExecContext(Deadline deadline, FaultInjector* injector = nullptr)
+      : deadline_(deadline), injector_(injector) {}
+
+  /// A cancellation checkpoint. Called by stages at loop boundaries with a
+  /// stable stage name; returns non-OK when an armed fault fires on that
+  /// stage or the deadline has expired. The fault is consulted first so an
+  /// injected fault is reported as such even under an expired deadline.
+  Status Check(const char* stage) const {
+    if (injector_ != nullptr && injector_->Fire(stage)) {
+      return ErrorStatus() << "injected fault at stage '" << stage << "'";
+    }
+    if (deadline_.Expired()) {
+      return ErrorStatus() << "deadline exceeded at stage '" << stage << "'";
+    }
+    return Status::Ok();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+  FaultInjector* injector() const { return injector_; }
+
+ private:
+  Deadline deadline_;                 ///< infinite by default
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_UTIL_FAULT_H_

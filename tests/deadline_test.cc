@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+#include "util/fault.h"
+
+namespace kucnet {
+namespace {
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  Clock& clock = RealClock();
+  const int64_t a = clock.NowMicros();
+  const int64_t b = clock.NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(FakeClockTest, AdvancesOnlyWhenTold) {
+  FakeClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 250);
+}
+
+TEST(FakeClockTest, AutoAdvanceTicksPerRead) {
+  FakeClock clock;
+  clock.set_auto_advance_micros(10);
+  EXPECT_EQ(clock.NowMicros(), 0);   // reads, then advances
+  EXPECT_EQ(clock.NowMicros(), 10);
+  EXPECT_EQ(clock.NowMicros(), 20);
+  clock.set_auto_advance_micros(0);
+  EXPECT_EQ(clock.NowMicros(), 30);
+  EXPECT_EQ(clock.NowMicros(), 30);
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMicros(), 0);
+}
+
+TEST(DeadlineTest, ExpiresExactlyAtBudget) {
+  FakeClock clock;
+  Deadline d = Deadline::After(clock, 100);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMicros(), 100);
+  clock.AdvanceMicros(99);
+  EXPECT_FALSE(d.Expired());
+  clock.AdvanceMicros(1);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingMicros(), 0);
+}
+
+TEST(DeadlineTest, DeterministicExpiryUnderAutoAdvance) {
+  // With a 10us tick and a 35us budget, the 4th Expired() check is the first
+  // to see time >= deadline (checks read t=10,20,30,40 after the After()
+  // read consumed t=0), so exactly 3 checks pass: deterministic anywhere.
+  FakeClock clock;
+  clock.set_auto_advance_micros(10);
+  Deadline d = Deadline::After(clock, 35);
+  int checks = 0;
+  while (!d.Expired()) ++checks;
+  EXPECT_EQ(checks, 3);
+}
+
+TEST(FaultInjectorTest, FiresExactlyOnceAtArmedHit) {
+  FaultInjector injector;
+  injector.Arm("ppr", 3);
+  EXPECT_FALSE(injector.Fire("ppr"));
+  EXPECT_FALSE(injector.Fire("ppr"));
+  EXPECT_TRUE(injector.Fire("ppr"));   // the armed 3rd hit
+  EXPECT_FALSE(injector.Fire("ppr"));  // transient: later hits pass
+  EXPECT_EQ(injector.hits("ppr"), 4);
+  EXPECT_EQ(injector.faults_fired(), 1);
+}
+
+TEST(FaultInjectorTest, StagesAreIndependent) {
+  FaultInjector injector;
+  injector.Arm("subgraph", 1);
+  EXPECT_FALSE(injector.Fire("forward"));
+  EXPECT_TRUE(injector.Fire("subgraph"));
+  EXPECT_EQ(injector.hits("forward"), 1);
+  EXPECT_EQ(injector.faults_fired(), 1);
+}
+
+TEST(FaultInjectorTest, DisarmAllStopsFiring) {
+  FaultInjector injector;
+  injector.Arm("cache", 2);
+  EXPECT_FALSE(injector.Fire("cache"));
+  injector.DisarmAll();
+  EXPECT_FALSE(injector.Fire("cache"));
+  EXPECT_EQ(injector.faults_fired(), 0);
+}
+
+TEST(ExecContextTest, DefaultNeverCancels) {
+  ExecContext ctx;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ctx.Check("anything").ok());
+}
+
+TEST(ExecContextTest, ReportsDeadlineExpiry) {
+  FakeClock clock;
+  ExecContext ctx(Deadline::After(clock, 50));
+  EXPECT_TRUE(ctx.Check("stage").ok());
+  clock.AdvanceMicros(50);
+  const Status s = ctx.Check("stage");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("deadline"), std::string::npos);
+  EXPECT_NE(s.message().find("stage"), std::string::npos);
+}
+
+TEST(ExecContextTest, ReportsInjectedFaultBeforeDeadline) {
+  FakeClock clock;
+  FaultInjector injector;
+  injector.Arm("forward", 1);
+  ExecContext ctx(Deadline::After(clock, 0), &injector);
+  clock.AdvanceMicros(1);  // deadline already expired
+  const Status s = ctx.Check("forward");
+  EXPECT_FALSE(s.ok());
+  // The injected fault wins the report even under an expired deadline.
+  EXPECT_NE(s.message().find("injected fault"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kucnet

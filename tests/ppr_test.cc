@@ -145,5 +145,49 @@ TEST(PprTableTest, UsersNeighborhoodRanksAboveFarNodes) {
   EXPECT_GT(near_score, 0.0);
 }
 
+TEST(PprEdgeCaseTest, IsolatedUserKeepsMassAtSourceWithoutCrashing) {
+  // User 2 never interacted: its node has no out-edges. The push walk must
+  // terminate immediately with all restart mass stranded at the source, and
+  // every item must score exactly zero — no crash, no division by zero.
+  const std::vector<std::array<int64_t, 2>> inter = {{0, 0}, {1, 1}};
+  const std::vector<std::array<int64_t, 3>> kg;
+  Ckg g = Ckg::Build(3, 2, 2, 1, inter, kg);
+  const auto push = PprForwardPush(g, g.UserNode(2), 0.15, 1e-8);
+  ASSERT_EQ(push.size(), 1u);
+  EXPECT_NEAR(push.at(g.UserNode(2)), 1.0, 1e-9);
+  PprTable table = PprTable::Compute(g);
+  for (int64_t item = 0; item < 2; ++item) {
+    EXPECT_EQ(table.Score(2, g.ItemNode(item)), 0.0);
+  }
+}
+
+TEST(PprEdgeCaseTest, EmptyKgStillRanksInteractedItems) {
+  // No KG triplets at all: the CKG degenerates to the bipartite interaction
+  // graph, which must still produce positive scores for interacted items.
+  const std::vector<std::array<int64_t, 2>> inter = {{0, 0}, {0, 1}, {1, 1}};
+  const std::vector<std::array<int64_t, 3>> kg;
+  Ckg g = Ckg::Build(2, 2, 2, 1, inter, kg);
+  PprTable table = PprTable::Compute(g);
+  EXPECT_GT(table.Score(0, g.ItemNode(0)), 0.0);
+  EXPECT_GT(table.Score(0, g.ItemNode(1)), 0.0);
+  EXPECT_GT(table.Score(1, g.ItemNode(1)), 0.0);
+}
+
+TEST(PprEdgeCaseTest, EdgeFreeGraphScoresZeroEverywhere) {
+  // Fully degenerate: no interactions and no KG. Every user is dangling;
+  // Compute must not crash and items must be unranked (score 0).
+  const std::vector<std::array<int64_t, 2>> inter;
+  const std::vector<std::array<int64_t, 3>> kg;
+  Ckg g = Ckg::Build(2, 3, 3, 1, inter, kg);
+  PprTable table = PprTable::Compute(g);
+  for (int64_t user = 0; user < 2; ++user) {
+    for (int64_t item = 0; item < 3; ++item) {
+      EXPECT_EQ(table.Score(user, g.ItemNode(item)), 0.0);
+    }
+    // The stranded restart mass shows up at the user's own node.
+    EXPECT_NEAR(table.Score(user, g.UserNode(user)), 1.0, 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace kucnet

@@ -1,0 +1,368 @@
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kucnet.h"
+#include "data/synthetic.h"
+#include "serve/rec_server.h"
+#include "serve/score_cache.h"
+#include "util/clock.h"
+#include "util/fault.h"
+
+namespace kucnet {
+namespace {
+
+Dataset TinyDataset(uint64_t seed = 42) {
+  SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.num_users = 30;
+  cfg.num_items = 50;
+  cfg.num_topics = 4;
+  cfg.interactions_per_user = 8;
+  cfg.entities_per_topic = 5;
+  cfg.num_shared_entities = 6;
+  cfg.kg_noise = 0.05;
+  cfg.entity_entity_edges_per_topic = 5;
+  Rng rng(seed);
+  const RawData raw = GenerateSynthetic(cfg).raw;
+  return TraditionalSplit(raw, 0.25, rng);
+}
+
+KucnetOptions SmallModelOptions() {
+  KucnetOptions opts;
+  opts.hidden_dim = 8;
+  opts.attention_dim = 3;
+  opts.depth = 3;
+  opts.sample_k = 8;
+  return opts;
+}
+
+/// Dataset + CKG + PPR + untrained model + server under test.
+struct ServeFixture {
+  explicit ServeFixture(RecServerOptions server_options = RecServerOptions())
+      : dataset(TinyDataset()), ckg(dataset.BuildCkg()) {
+    ppr = PprTable::Compute(ckg);
+    model =
+        std::make_unique<Kucnet>(&dataset, &ckg, &ppr, SmallModelOptions());
+    server = std::make_unique<RecServer>(model.get(), &dataset, &ckg, &ppr,
+                                         server_options);
+  }
+  Dataset dataset;
+  Ckg ckg;
+  PprTable ppr;
+  std::unique_ptr<Kucnet> model;
+  std::unique_ptr<RecServer> server;
+};
+
+RecServerOptions SyncOptions(const Clock* clock = nullptr,
+                             FaultInjector* fault = nullptr) {
+  RecServerOptions opts;
+  opts.num_workers = 0;  // tests drive ServeSync deterministically
+  opts.clock = clock;
+  opts.fault = fault;
+  return opts;
+}
+
+// ---- ScoreCache --------------------------------------------------------------
+
+TEST(ScoreCacheTest, HitMissAndLruEviction) {
+  FakeClock clock;
+  ScoreCacheOptions opts;
+  opts.capacity = 2;
+  ScoreCache cache(opts, &clock);
+  cache.Put(1, {1.0});
+  cache.Put(2, {2.0});
+  std::vector<double> out;
+  EXPECT_TRUE(cache.Get(1, &out));  // 1 becomes most recent
+  cache.Put(3, {3.0});              // evicts 2 (LRU)
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_TRUE(cache.Get(3, &out));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(ScoreCacheTest, StalenessBoundDropsOldEntries) {
+  FakeClock clock;
+  ScoreCacheOptions opts;
+  opts.max_age_micros = 1000;
+  ScoreCache cache(opts, &clock);
+  cache.Put(7, {0.5});
+  std::vector<double> out;
+  int64_t age = -1;
+  clock.AdvanceMicros(1000);
+  EXPECT_TRUE(cache.Get(7, &out, &age));  // exactly at the bound: still fresh
+  EXPECT_EQ(age, 1000);
+  clock.AdvanceMicros(1);
+  EXPECT_FALSE(cache.Get(7, &out));  // past the bound: dropped, not served
+  EXPECT_EQ(cache.size(), 0);
+}
+
+// ---- Admission / shedding ----------------------------------------------------
+
+TEST(RecServerTest, ShedsWhenQueueFullWithoutBlocking) {
+  RecServerOptions opts;
+  opts.num_workers = 0;  // nobody drains: the queue fills deterministically
+  opts.queue_capacity = 2;
+  ServeFixture f(opts);
+  auto f1 = f.server->Submit({0});
+  auto f2 = f.server->Submit({1});
+  auto f3 = f.server->Submit({2});  // queue full: must be rejected instantly
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f3.get().status, ResponseStatus::kOverloaded);
+  const ServerStats stats = f.server->stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.shed, 1);
+}
+
+TEST(RecServerTest, WorkersServeSubmittedRequests) {
+  RecServerOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 64;
+  opts.default_deadline_micros = 60'000'000;  // generous: no degradation
+  ServeFixture f(opts);
+  std::vector<std::future<RecResponse>> futures;
+  for (int64_t user = 0; user < 10; ++user) {
+    futures.push_back(f.server->Submit({user}));
+  }
+  for (auto& future : futures) {
+    const RecResponse response = future.get();
+    EXPECT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_FALSE(response.items.empty());
+    EXPECT_EQ(response.tier, ServeTier::kFull);
+    EXPECT_FALSE(response.degraded);
+  }
+  const ServerStats stats = f.server->stats();
+  EXPECT_EQ(stats.admitted, 10);
+  EXPECT_EQ(stats.completed, 10);
+  EXPECT_EQ(stats.tier_count[static_cast<int>(ServeTier::kFull)], 10);
+  EXPECT_EQ(stats.latency.total, 10);
+}
+
+TEST(RecServerTest, SubmitAfterShutdownIsRejected) {
+  ServeFixture f(SyncOptions());
+  f.server->Shutdown();
+  auto future = f.server->Submit({0});
+  EXPECT_EQ(future.get().status, ResponseStatus::kShutdown);
+}
+
+// ---- Response contract -------------------------------------------------------
+
+TEST(RecServerTest, FullTierResponseRankedAndExcludesTrainItems) {
+  FakeClock clock;  // frozen: the full tier cannot time out
+  ServeFixture f(SyncOptions(&clock));
+  const RecResponse response = f.server->ServeSync({0, /*top_n=*/10});
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.tier, ServeTier::kFull);
+  ASSERT_FALSE(response.items.empty());
+  EXPECT_LE(static_cast<int64_t>(response.items.size()), 10);
+  // Ranked: scores non-increasing, ties broken by ascending id.
+  for (size_t k = 1; k < response.items.size(); ++k) {
+    const auto& prev = response.items[k - 1];
+    const auto& cur = response.items[k];
+    EXPECT_TRUE(prev.score > cur.score ||
+                (prev.score == cur.score && prev.item < cur.item));
+  }
+  // Training items are excluded from the ranked list.
+  const std::vector<int64_t> train = f.dataset.TrainItemsByUser()[0];
+  for (const ScoredItem& item : response.items) {
+    EXPECT_FALSE(std::binary_search(train.begin(), train.end(), item.item));
+  }
+  // Per-stage latency covers exactly the tiers this request attempted.
+  ASSERT_EQ(response.stage_micros.size(), 1u);
+  EXPECT_EQ(response.stage_micros[0].stage, "full");
+}
+
+// ---- Deadline behavior under FakeClock ---------------------------------------
+
+TEST(RecServerTest, DeadlineMissDegradesDeterministically) {
+  FakeClock clock;
+  // Every clock read (= every cancellation checkpoint) costs 50us against a
+  // 300us budget, so the full tier deterministically dies mid-pipeline.
+  clock.set_auto_advance_micros(50);
+  ServeFixture f(SyncOptions(&clock));
+  const RecRequest request{0, 0, /*deadline_micros=*/300};
+  const RecResponse a = f.server->ServeSync(request);
+  EXPECT_EQ(a.status, ResponseStatus::kOk);
+  EXPECT_TRUE(a.degraded);
+  EXPECT_NE(a.tier, ServeTier::kFull);
+  EXPECT_FALSE(a.items.empty());
+  EXPECT_NE(a.degrade_reason.find("deadline"), std::string::npos);
+  // Same request again: byte-identical degradation story. The FakeClock makes
+  // the expiring checkpoint — and therefore the reason text — deterministic.
+  const RecResponse b = f.server->ServeSync(request);
+  EXPECT_EQ(b.degrade_reason, a.degrade_reason);
+  EXPECT_EQ(b.tier, a.tier);
+  EXPECT_EQ(f.server->stats().deadline_missed, 2);
+}
+
+TEST(RecServerTest, ExpiredBudgetSkipsFullTierBeforeExecution) {
+  FakeClock clock;
+  // Two clock reads (stage timer + deadline pre-check) already overrun a 1us
+  // budget, exercising the queued-past-the-budget path: the expensive tier
+  // is never entered.
+  clock.set_auto_advance_micros(5);
+  ServeFixture f(SyncOptions(&clock));
+  const RecResponse response = f.server->ServeSync({0, 0, /*deadline=*/1});
+  EXPECT_TRUE(response.degraded);
+  EXPECT_FALSE(response.items.empty());
+  EXPECT_NE(response.degrade_reason.find("deadline expired before execution"),
+            std::string::npos);
+  EXPECT_EQ(f.server->stats().deadline_missed, 1);
+}
+
+TEST(RecServerTest, CachedTierServesAfterDeadlineMiss) {
+  FakeClock clock;
+  ServeFixture f(SyncOptions(&clock));
+  // Warm the cache with an unconstrained full pass (time is frozen).
+  const RecResponse warm = f.server->ServeSync({3});
+  ASSERT_EQ(warm.tier, ServeTier::kFull);
+  // Now make every checkpoint expensive: the full tier dies, cache answers.
+  clock.set_auto_advance_micros(50);
+  const RecResponse degraded = f.server->ServeSync({3, 0, 300});
+  EXPECT_EQ(degraded.tier, ServeTier::kCached);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_GE(degraded.cache_age_micros, 0);
+  // The degraded list comes from the same scores the full pass produced.
+  ASSERT_EQ(degraded.items.size(), warm.items.size());
+  for (size_t k = 0; k < warm.items.size(); ++k) {
+    EXPECT_EQ(degraded.items[k].item, warm.items[k].item);
+  }
+}
+
+// ---- Fault sweep: every stage of every tier ----------------------------------
+
+/// Runs one ServeSync under armed faults (time frozen, so only faults can
+/// fail a stage) and asserts the robustness contract: kOk, non-empty ranked
+/// items, flagged degraded with the faulted stage in the reason, and stats
+/// that reconcile exactly with the injector.
+void ExpectServedDespiteFault(const std::vector<std::string>& armed_stages,
+                              int64_t fire_at_for_last,
+                              ServeTier expected_tier) {
+  SCOPED_TRACE("last stage " + armed_stages.back() + " fire_at " +
+               std::to_string(fire_at_for_last));
+  FakeClock clock;
+  FaultInjector injector;
+  ServeFixture f(SyncOptions(&clock, &injector));
+  for (size_t s = 0; s < armed_stages.size(); ++s) {
+    const bool last = s + 1 == armed_stages.size();
+    injector.Arm(armed_stages[s], last ? fire_at_for_last : 1);
+  }
+  const RecResponse response = f.server->ServeSync({1});
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_FALSE(response.items.empty());
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.tier, expected_tier);
+  EXPECT_NE(response.degrade_reason.find("injected fault"), std::string::npos);
+  EXPECT_NE(response.degrade_reason.find(armed_stages.back()),
+            std::string::npos);
+  // Counter reconciliation: every fault the injector fired is accounted for
+  // in the server's stats, and exactly one (degraded) response was served.
+  const ServerStats stats = f.server->stats();
+  EXPECT_EQ(stats.fault_events, injector.faults_fired());
+  EXPECT_GE(injector.faults_fired(), 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.degraded, 1);
+  EXPECT_EQ(stats.deadline_missed, 0);
+  EXPECT_EQ(stats.tier_count[static_cast<int>(expected_tier)], 1);
+}
+
+TEST(RecServerFaultSweepTest, FullTierStages) {
+  // Tier 1 checkpoints: "ppr" (pruning-score fetch), "subgraph" (graph
+  // construction, swept at several hit depths), "forward" (swept across all
+  // three message-passing layers).
+  ExpectServedDespiteFault({"ppr"}, 1, ServeTier::kHeuristic);
+  for (const int64_t hit : {1, 2, 4}) {
+    ExpectServedDespiteFault({"subgraph"}, hit, ServeTier::kHeuristic);
+  }
+  for (const int64_t layer : {1, 2, 3}) {
+    ExpectServedDespiteFault({"forward"}, layer, ServeTier::kHeuristic);
+  }
+}
+
+TEST(RecServerFaultSweepTest, CacheTierStage) {
+  // Knock out the full tier, then fault the cache probe itself.
+  ExpectServedDespiteFault({"ppr", "cache"}, 1, ServeTier::kHeuristic);
+}
+
+TEST(RecServerFaultSweepTest, HeuristicTierStage) {
+  ExpectServedDespiteFault({"ppr", "cache", "heuristic"}, 1,
+                           ServeTier::kPopularity);
+}
+
+TEST(RecServerFaultSweepTest, PopularityTierStillServesWhenFaulted) {
+  // Even the last tier faulting must not produce an empty response.
+  ExpectServedDespiteFault({"ppr", "cache", "heuristic", "popularity"}, 1,
+                           ServeTier::kPopularity);
+}
+
+TEST(RecServerFaultSweepTest, CachedTierAnswersWhenWarm) {
+  FakeClock clock;
+  FaultInjector injector;
+  ServeFixture f(SyncOptions(&clock, &injector));
+  ASSERT_EQ(f.server->ServeSync({5}).tier, ServeTier::kFull);  // warm cache
+  injector.Arm("ppr", 1);
+  const RecResponse response = f.server->ServeSync({5});
+  EXPECT_EQ(response.tier, ServeTier::kCached);
+  EXPECT_FALSE(response.items.empty());
+  EXPECT_EQ(f.server->stats().fault_events, injector.faults_fired());
+}
+
+TEST(RecServerFaultSweepTest, TransientFaultRecoversNextRequest) {
+  FakeClock clock;
+  FaultInjector injector;
+  ServeFixture f(SyncOptions(&clock, &injector));
+  injector.Arm("subgraph", 1);
+  EXPECT_TRUE(f.server->ServeSync({2}).degraded);
+  // The next request sails through at full quality: compute faults are
+  // transient, so one poisoned request never takes the server down.
+  const RecResponse recovered = f.server->ServeSync({2});
+  EXPECT_EQ(recovered.tier, ServeTier::kFull);
+  EXPECT_FALSE(recovered.degraded);
+}
+
+// ---- Stats -------------------------------------------------------------------
+
+TEST(RecServerTest, StatsReconcileAcrossMixedTraffic) {
+  FakeClock clock;
+  FaultInjector injector;
+  ServeFixture f(SyncOptions(&clock, &injector));
+  // 4 clean, 1 faulted at a forward layer, 1 faulted at the PPR fetch.
+  for (int64_t user = 0; user < 4; ++user) f.server->ServeSync({user});
+  injector.Arm("forward", 1);
+  f.server->ServeSync({10});
+  injector.Arm("ppr", 1);
+  f.server->ServeSync({11});
+  const ServerStats stats = f.server->stats();
+  EXPECT_EQ(stats.submitted, 6);
+  EXPECT_EQ(stats.admitted, 6);
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.degraded, 2);
+  EXPECT_EQ(stats.fault_events, injector.faults_fired());
+  EXPECT_EQ(stats.fault_events, 2);
+  int64_t tier_sum = 0;
+  for (const int64_t count : stats.tier_count) tier_sum += count;
+  EXPECT_EQ(tier_sum, stats.completed);
+  EXPECT_EQ(stats.latency.total, stats.completed);
+}
+
+TEST(LatencyHistogramTest, PercentileBounds) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.Record(3);     // bucket upper bound 3
+  for (int i = 0; i < 10; ++i) histogram.Record(1000);  // bucket [512, 1024)
+  EXPECT_EQ(histogram.total, 100);
+  EXPECT_LE(histogram.PercentileUpperBound(0.5), 3);
+  EXPECT_GE(histogram.PercentileUpperBound(0.99), 1000);
+}
+
+}  // namespace
+}  // namespace kucnet

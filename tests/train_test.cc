@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -69,6 +70,58 @@ TEST(NegativeSamplerTest, CoversNegativeSpace) {
   const int64_t negatives =
       d.num_items - static_cast<int64_t>(train[0].size());
   EXPECT_GT(static_cast<int64_t>(seen.size()), negatives * 9 / 10);
+}
+
+TEST(NegativeSamplerTest, DensePositiveUserSamplesInBoundedTime) {
+  // A user who has interacted with all items but one: pure rejection
+  // sampling would need ~num_items draws per sample; the bounded fallback
+  // must find the single negative every time, immediately.
+  Dataset d;
+  d.num_users = 2;
+  d.num_items = 2000;
+  for (int64_t i = 0; i < d.num_items; ++i) {
+    if (i != 777) d.train.push_back({0, i});
+  }
+  d.train.push_back({1, 0});  // a sparse user sharing the sampler
+  NegativeSampler sampler(d);
+  Rng rng(4);
+  for (int k = 0; k < 500; ++k) {
+    EXPECT_EQ(sampler.Sample(0, rng), 777);
+  }
+  // The sparse user still gets uniform negatives from the fast path.
+  std::set<int64_t> seen;
+  for (int k = 0; k < 200; ++k) seen.insert(sampler.Sample(1, rng));
+  EXPECT_FALSE(seen.count(0));
+  EXPECT_GT(seen.size(), 50u);
+}
+
+TEST(NegativeSamplerTest, DenseFallbackStaysUniform) {
+  // 10 negatives among 500 items: every negative should be hit roughly
+  // equally often even though most samples go through the scan fallback.
+  Dataset d;
+  d.num_users = 1;
+  d.num_items = 500;
+  std::set<int64_t> negatives;
+  for (int64_t i = 0; i < d.num_items; ++i) {
+    if (i % 50 == 7) {
+      negatives.insert(i);
+    } else {
+      d.train.push_back({0, i});
+    }
+  }
+  NegativeSampler sampler(d);
+  Rng rng(5);
+  std::map<int64_t, int64_t> counts;
+  const int kSamples = 5000;
+  for (int k = 0; k < kSamples; ++k) ++counts[sampler.Sample(0, rng)];
+  ASSERT_EQ(counts.size(), negatives.size());
+  for (const auto& [item, count] : counts) {
+    EXPECT_TRUE(negatives.count(item));
+    // Expected 500 each; a generous 3-sigma-ish band catches bias without
+    // flaking.
+    EXPECT_GT(count, 350);
+    EXPECT_LT(count, 650);
+  }
 }
 
 TEST(TrainerTest, CurveHasOneRecordPerEpoch) {
