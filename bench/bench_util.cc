@@ -6,7 +6,7 @@
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
+#include "util/clock.h"
 
 namespace kucnet::bench {
 
@@ -30,7 +30,7 @@ Workload MakeWorkload(const std::string& config_name, SplitKind kind,
   Workload w{std::move(dataset), Ckg::Build(0, 0, 0, 0, {}, {}),
              PprTable(), 0.0};
   w.ckg = w.dataset.BuildCkg();
-  WallTimer timer;
+  Stopwatch timer;
   w.ppr = PprTable::Compute(w.ckg, PprTableOptions(), &GlobalPool());
   w.ppr_seconds = timer.Seconds();
   return w;

@@ -14,7 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "core/kucnet.h"
-#include "util/timer.h"
+#include "util/clock.h"
 
 namespace kucnet::bench {
 namespace {
@@ -43,7 +43,7 @@ void RunDataset(const std::string& config_name, int64_t sample_k) {
   double ui_edges = 0, uc_edges = 0, ppr_edges = 0;
   for (int64_t user = 0; user < num_probe_users; ++user) {
     {
-      WallTimer timer;
+      Stopwatch timer;
       int64_t edges = 0;
       for (int64_t item = 0; item < workload.dataset.num_items; ++item) {
         edges += pruned_kucnet->ScorePairOnUiGraph(user, item).second;
@@ -52,13 +52,13 @@ void RunDataset(const std::string& config_name, int64_t sample_k) {
       ui_edges += static_cast<double>(edges);
     }
     {
-      WallTimer timer;
+      Stopwatch timer;
       const KucnetForward fwd = unpruned_kucnet->Forward(user);
       uc_ms += timer.Millis();
       uc_edges += static_cast<double>(fwd.graph.TotalEdges());
     }
     {
-      WallTimer timer;
+      Stopwatch timer;
       const KucnetForward fwd = pruned_kucnet->Forward(user);
       ppr_ms += timer.Millis();
       ppr_edges += static_cast<double>(fwd.graph.TotalEdges());

@@ -28,7 +28,7 @@
 #include "tensor/tape.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
+#include "util/clock.h"
 
 namespace kucnet {
 namespace {
@@ -171,7 +171,7 @@ double BestNs(int reps, const Fn& fn) {
   fn();  // warmup
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
-    WallTimer timer;
+    Stopwatch timer;
     fn();
     const double ns = timer.Seconds() * 1e9;
     if (r == 0 || ns < best) best = ns;

@@ -25,6 +25,7 @@
 
 #include "bench/bench_util.h"
 #include "core/kucnet.h"
+#include "obs/metrics.h"
 #include "serve/rec_server.h"
 #include "util/logging.h"
 
@@ -41,15 +42,12 @@ struct LoadLevelResult {
   std::array<int64_t, kNumServeTiers> tier_count{};
 };
 
-/// Exact percentile over the completed requests' end-to-end latencies (the
-/// server's histogram is bucketed; the bench keeps the raw samples).
-int64_t Percentile(std::vector<int64_t> samples, double p) {
-  if (samples.empty()) return 0;
-  std::sort(samples.begin(), samples.end());
-  const size_t idx = std::min(
-      samples.size() - 1,
-      static_cast<size_t>(p * static_cast<double>(samples.size() - 1) + 0.5));
-  return samples[idx];
+/// The bench's latency numbers flow through the shared metrics registry: one
+/// histogram per measurement, percentiles read back from its snapshot (the
+/// same machinery the server and the exporters use) instead of a bespoke
+/// sample-sorting path.
+obs::Histogram& LatencyHistogramFor(const std::string& key) {
+  return obs::DefaultRegistry().GetHistogram("bench.serving." + key);
 }
 
 /// Median ServeSync latency of the full tier, used to calibrate load levels.
@@ -58,12 +56,12 @@ int64_t MeasureServiceMicros(const Kucnet& model, const bench::Workload& w) {
   opts.num_workers = 0;
   opts.default_deadline_micros = 60'000'000;
   RecServer server(&model, &w.dataset, &w.ckg, &w.ppr, opts);
-  std::vector<int64_t> samples;
+  obs::Histogram& latency = LatencyHistogramFor("calibrate");
   for (int64_t user = 0; user < 12; ++user) {
     const RecResponse r = server.ServeSync({user % w.dataset.num_users});
-    if (user >= 2) samples.push_back(r.total_micros);  // skip cold-start
+    if (user >= 2) latency.Record(r.total_micros);  // skip cold-start
   }
-  return std::max<int64_t>(1, Percentile(samples, 0.5));
+  return std::max<int64_t>(1, latency.Snapshot().PercentileUpperBound(0.5));
 }
 
 LoadLevelResult RunLoadLevel(const Kucnet& model, const bench::Workload& w,
@@ -91,11 +89,13 @@ LoadLevelResult RunLoadLevel(const Kucnet& model, const bench::Workload& w,
   LoadLevelResult result;
   result.offered_load = offered_load;
   result.requests = num_requests;
-  std::vector<int64_t> latencies;
+  char key[32];
+  std::snprintf(key, sizeof(key), "load_%.1fx", offered_load);
+  obs::Histogram& latency = LatencyHistogramFor(key);
   for (auto& future : futures) {
     const RecResponse response = future.get();
     if (response.status == ResponseStatus::kOk) {
-      latencies.push_back(response.total_micros);
+      latency.Record(response.total_micros);
     }
   }
   server.Shutdown();
@@ -104,8 +104,9 @@ LoadLevelResult RunLoadLevel(const Kucnet& model, const bench::Workload& w,
                          ? 0.0
                          : static_cast<double>(stats.shed) /
                                static_cast<double>(stats.submitted);
-  result.p50_us = Percentile(latencies, 0.5);
-  result.p99_us = Percentile(latencies, 0.99);
+  const obs::HistogramData snapshot = latency.Snapshot();
+  result.p50_us = snapshot.PercentileUpperBound(0.5);
+  result.p99_us = snapshot.PercentileUpperBound(0.99);
   result.deadline_missed = stats.deadline_missed;
   result.tier_count = stats.tier_count;
   return result;

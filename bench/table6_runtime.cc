@@ -8,7 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "core/kucnet.h"
-#include "util/timer.h"
+#include "util/clock.h"
 
 namespace kucnet::bench {
 namespace {
@@ -41,7 +41,7 @@ void RunDataset(const std::string& config_name) {
   auto model = CreateModel("KUCNet", ctx);
   Rng rng(3);
   model->TrainEpoch(rng);  // touch parameters once (shape realism)
-  WallTimer timer;
+  Stopwatch timer;
   const EvalResult eval = EvaluateRanking(*model, workload.dataset);
   const double inference_seconds = timer.Seconds();
   (void)eval;

@@ -36,6 +36,7 @@
 #include "data/serialize.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "obs/export.h"
 #include "serve/rec_server.h"
 #include "train/trainer.h"
 #include "util/logging.h"
@@ -52,7 +53,10 @@ const char kUsage[] =
     "  evaluate --data DIR --model NAME [--ckpt FILE] [--k N] [--depth N]\n"
     "  serve    --data DIR [--ckpt FILE] [--k N] [--depth N] [--requests N]\n"
     "           [--workers W] [--deadline_us N] [--top_n N] [--queue N]\n"
-    "  models\n";
+    "  models\n"
+    "train/evaluate/serve also accept [--metrics_out FILE] (Prometheus text)\n"
+    "and [--trace_out FILE] (chrome://tracing JSON); either flag turns the\n"
+    "observability layer on for the run.\n";
 
 /// Parses "--key value" pairs after the subcommand, validating each flag
 /// against the command's known set. Returns false — after pointing at the
@@ -83,6 +87,37 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Enables the observability layer when --metrics_out / --trace_out is
+/// present, so the run records from its first instruction.
+void MaybeEnableObs(const std::map<std::string, std::string>& flags) {
+  if (flags.count("metrics_out") > 0 || flags.count("trace_out") > 0) {
+    obs::SetEnabled(true);
+  }
+}
+
+/// Writes the requested exports at the end of a command. Export failures are
+/// diagnostics trouble, not command failure: warn and keep the exit code.
+void MaybeExportObs(const std::map<std::string, std::string>& flags) {
+  if (const std::string path = FlagOr(flags, "metrics_out", ""); !path.empty()) {
+    const Status st = obs::WritePrometheusTextFile(obs::DefaultRegistry(), path);
+    if (st.ok()) {
+      std::printf("metrics written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics export failed: %s\n", st.message().c_str());
+    }
+  }
+  if (const std::string path = FlagOr(flags, "trace_out", ""); !path.empty()) {
+    const Status st =
+        obs::WriteChromeTraceFile(obs::TraceRecorder::Default(), path);
+    if (st.ok()) {
+      std::printf("trace written to %s (load in chrome://tracing)\n",
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", st.message().c_str());
+    }
+  }
+}
+
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
   const std::string config_name = FlagOr(flags, "config", "synth-lastfm");
   const std::string split = FlagOr(flags, "split", "traditional");
@@ -108,6 +143,7 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
 
 int CmdTrainOrEvaluate(const std::map<std::string, std::string>& flags,
                        bool train) {
+  MaybeEnableObs(flags);
   const std::string data_dir = FlagOr(flags, "data", ".");
   const std::string model_name = FlagOr(flags, "model", "KUCNet");
   const std::string ckpt = FlagOr(flags, "ckpt", "");
@@ -162,10 +198,12 @@ int CmdTrainOrEvaluate(const std::map<std::string, std::string>& flags,
     const EvalResult eval = EvaluateRanking(*model, dataset);
     std::printf("%s: %s\n", model_name.c_str(), ToString(eval).c_str());
   }
+  MaybeExportObs(flags);
   return 0;
 }
 
 int CmdServe(const std::map<std::string, std::string>& flags) {
+  MaybeEnableObs(flags);
   const std::string data_dir = FlagOr(flags, "data", ".");
   const std::string ckpt = FlagOr(flags, "ckpt", "");
   const int64_t requests = std::stoll(FlagOr(flags, "requests", "200"));
@@ -225,6 +263,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   std::printf("\nlatency p50 <= %lldus  p99 <= %lldus\n",
               static_cast<long long>(stats.latency.PercentileUpperBound(0.5)),
               static_cast<long long>(stats.latency.PercentileUpperBound(0.99)));
+  MaybeExportObs(flags);
   return 0;
 }
 
@@ -238,11 +277,12 @@ int Run(int argc, char** argv) {
       {"generate", {"config", "split", "out", "seed"}},
       {"train",
        {"data", "model", "epochs", "k", "depth", "ckpt", "checkpoint_dir",
-        "checkpoint_every", "resume"}},
-      {"evaluate", {"data", "model", "ckpt", "k", "depth"}},
+        "checkpoint_every", "resume", "metrics_out", "trace_out"}},
+      {"evaluate",
+       {"data", "model", "ckpt", "k", "depth", "metrics_out", "trace_out"}},
       {"serve",
        {"data", "ckpt", "k", "depth", "requests", "workers", "deadline_us",
-        "top_n", "queue"}},
+        "top_n", "queue", "metrics_out", "trace_out"}},
       {"models", {}},
   };
   const auto known = kKnownFlags.find(command);

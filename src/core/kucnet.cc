@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "graph/subgraph.h"
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -150,6 +151,7 @@ Status Kucnet::TryRunMessagePassing(
   // h^0: a single zero row for the user (Alg. 1 line 1).
   Var h = tape.Constant(Matrix::Zeros(1, d));
   for (size_t l = 0; l < graph.layers.size(); ++l) {
+    KUC_TRACE_SPAN("kucnet.layer");
     KUC_RETURN_IF_ERROR(ctx.Check("forward"));
     const CompLayer& layer = graph.layers[l];
     const LayerParams& params = layers_[l];
@@ -212,6 +214,7 @@ KucnetForward Kucnet::Forward(int64_t user) const {
 
 Status Kucnet::TryForward(int64_t user, const ExecContext& ctx,
                           KucnetForward* out) const {
+  KUC_TRACE_SPAN("kucnet.forward");
   KucnetForward& result = *out;
   result = KucnetForward();
   Rng rng(options_.seed ^ (0x9e37 + static_cast<uint64_t>(user)));

@@ -4,14 +4,16 @@
 #include <unordered_set>
 
 #include "eval/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace kucnet {
 
 EvalResult EvaluateRanking(const Ranker& ranker, const Dataset& dataset,
                            const EvalOptions& options) {
-  WallTimer timer;
+  KUC_TRACE_SPAN("eval.ranking");
+  Stopwatch timer;
   const auto test_users = dataset.TestUsers();
   const auto train_by_user = dataset.TrainItemsByUser();
   const auto test_by_user = dataset.TestItemsByUser();

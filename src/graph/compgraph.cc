@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -82,6 +83,7 @@ Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
                                   const std::vector<ExcludedPair>& excluded,
                                   const ExecContext& ctx,
                                   UserCompGraph* out) const {
+  KUC_TRACE_SPAN("compgraph.build");
   KUC_CHECK_GE(user_node, 0);
   KUC_CHECK_LT(user_node, ckg_->num_nodes());
   const int64_t k_limit = options_.max_edges_per_node;

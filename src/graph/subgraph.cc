@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -19,6 +20,7 @@ std::vector<int32_t> BfsDistances(const Ckg& ckg, int64_t source,
 
 Status TryBfsDistances(const Ckg& ckg, int64_t source, int32_t max_depth,
                        const ExecContext& ctx, std::vector<int32_t>* out) {
+  KUC_TRACE_SPAN("subgraph.bfs");
   KUC_CHECK_GE(source, 0);
   KUC_CHECK_LT(source, ckg.num_nodes());
   std::vector<int32_t>& dist = *out;
@@ -87,6 +89,7 @@ LayeredEdges ExtractUiComputationGraph(const Ckg& ckg, int64_t user_node,
 Status TryExtractUiComputationGraph(const Ckg& ckg, int64_t user_node,
                                     int64_t item_node, int32_t depth,
                                     const ExecContext& ctx, LayeredEdges* out) {
+  KUC_TRACE_SPAN("subgraph.extract");
   out->layers.clear();
   std::vector<int32_t> du, di;
   KUC_RETURN_IF_ERROR(TryBfsDistances(ckg, user_node, depth, ctx, &du));

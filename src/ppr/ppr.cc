@@ -2,8 +2,10 @@
 
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace kucnet {
 
@@ -38,6 +40,8 @@ std::unordered_map<int64_t, real_t> PprForwardPush(const Ckg& ckg,
 Status TryPprForwardPush(const Ckg& ckg, int64_t source, real_t alpha,
                          real_t epsilon, const ExecContext& ctx,
                          std::unordered_map<int64_t, real_t>* out) {
+  KUC_TRACE_SPAN("ppr.push");
+  KUC_OBS_COUNT("ppr.push_calls", 1);
   KUC_CHECK_GE(source, 0);
   KUC_CHECK_LT(source, ckg.num_nodes());
   std::unordered_map<int64_t, real_t>& estimate = *out;
@@ -60,6 +64,7 @@ Status TryPprForwardPush(const Ckg& ckg, int64_t source, real_t alpha,
     const int64_t v = queue.front();
     queue.pop_front();
     queued[v] = false;
+    KUC_OBS_COUNT("ppr.push_pops", 1);
     const int64_t deg = ckg.OutDegree(v);
     real_t& rv = residual[v];
     if (deg == 0) {
@@ -88,7 +93,8 @@ Status TryPprForwardPush(const Ckg& ckg, int64_t source, real_t alpha,
 
 PprTable PprTable::Compute(const Ckg& ckg, PprTableOptions options,
                            ThreadPool* pool) {
-  WallTimer timer;
+  KUC_TRACE_SPAN("ppr.table_compute");
+  Stopwatch timer;
   PprTable table;
   table.vectors_.resize(ckg.num_users());
   auto compute_one = [&](int64_t user) {

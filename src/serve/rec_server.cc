@@ -1,9 +1,9 @@
 #include "serve/rec_server.h"
 
 #include <algorithm>
-#include <bit>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -33,27 +33,18 @@ const char* ServeTierName(ServeTier tier) {
   return "unknown";
 }
 
-void LatencyHistogram::Record(int64_t micros) {
-  if (micros < 0) micros = 0;
-  const int bucket = std::min(
-      kBuckets - 1, static_cast<int>(std::bit_width(
-                        static_cast<uint64_t>(micros))));  // 0us -> bucket 0
-  ++counts[bucket];
-  ++total;
-}
-
-int64_t LatencyHistogram::PercentileUpperBound(double p) const {
-  if (total == 0) return 0;
-  const int64_t target =
-      std::max<int64_t>(1, static_cast<int64_t>(p * static_cast<double>(total) + 0.5));
-  int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += counts[b];
-    if (seen >= target) {
-      return b == 0 ? 0 : (int64_t{1} << b) - 1;
-    }
+void ServerStats::MergeFrom(const ServerStats& other) {
+  submitted = obs::SaturatingAdd(submitted, other.submitted);
+  admitted = obs::SaturatingAdd(admitted, other.admitted);
+  shed = obs::SaturatingAdd(shed, other.shed);
+  completed = obs::SaturatingAdd(completed, other.completed);
+  deadline_missed = obs::SaturatingAdd(deadline_missed, other.deadline_missed);
+  fault_events = obs::SaturatingAdd(fault_events, other.fault_events);
+  degraded = obs::SaturatingAdd(degraded, other.degraded);
+  for (int t = 0; t < kNumServeTiers; ++t) {
+    tier_count[t] = obs::SaturatingAdd(tier_count[t], other.tier_count[t]);
   }
-  return (int64_t{1} << (kBuckets - 1)) - 1;
+  latency.MergeFrom(other.latency);
 }
 
 RecServer::RecServer(const Kucnet* model, const Dataset* dataset,
@@ -105,6 +96,7 @@ std::future<RecResponse> RecServer::Submit(const RecRequest& request) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.submitted;
   }
+  KUC_OBS_COUNT("serve.submitted", 1);
   if (shutting_down_) {
     std::promise<RecResponse> rejected;
     RecResponse response;
@@ -117,6 +109,7 @@ std::future<RecResponse> RecServer::Submit(const RecRequest& request) {
     // can retry with backoff; nothing ever blocks on a full queue.
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.shed;
+    KUC_OBS_COUNT("serve.shed", 1);
     std::promise<RecResponse> rejected;
     RecResponse response;
     response.status = ResponseStatus::kOverloaded;
@@ -127,7 +120,10 @@ std::future<RecResponse> RecServer::Submit(const RecRequest& request) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.admitted;
   }
+  KUC_OBS_COUNT("serve.admitted", 1);
   queue_.push_back(Pending{request, now, std::promise<RecResponse>()});
+  KUC_OBS_GAUGE_SET("serve.queue_depth",
+                    static_cast<int64_t>(queue_.size()));
   std::future<RecResponse> future = queue_.back().promise.get_future();
   lock.unlock();
   queue_cv_.notify_one();
@@ -141,6 +137,8 @@ RecResponse RecServer::ServeSync(const RecRequest& request) {
     ++stats_.submitted;
     ++stats_.admitted;
   }
+  KUC_OBS_COUNT("serve.submitted", 1);
+  KUC_OBS_COUNT("serve.admitted", 1);
   return Handle(request, now);
 }
 
@@ -172,6 +170,8 @@ void RecServer::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down, queue drained
       pending = std::move(queue_.front());
       queue_.pop_front();
+      KUC_OBS_GAUGE_SET("serve.queue_depth",
+                        static_cast<int64_t>(queue_.size()));
     }
     pending.promise.set_value(Handle(pending.request, pending.submit_micros));
   }
@@ -217,6 +217,7 @@ bool RecServer::RankInto(int64_t user, const std::vector<double>& scores,
 
 RecResponse RecServer::Handle(const RecRequest& request,
                               int64_t submit_micros) {
+  KUC_TRACE_SPAN("serve.request");
   const int64_t top_n =
       request.top_n > 0 ? request.top_n : options_.default_top_n;
   const int64_t budget = request.deadline_micros > 0
@@ -238,8 +239,10 @@ RecResponse RecServer::Handle(const RecRequest& request,
   const auto note_failure = [&](const char* tier, const Status& status) {
     if (IsInjectedFault(status)) {
       ++request_fault_events;
+      obs::Count(std::string("serve.degrade.fault.") + tier, 1);
     } else {
       request_deadline_missed = true;
+      obs::Count(std::string("serve.degrade.deadline.") + tier, 1);
     }
     if (!response.degrade_reason.empty()) response.degrade_reason += "; ";
     response.degrade_reason += tier;
@@ -255,6 +258,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
 
   // ---- Tier 1: full KUCNet forward -----------------------------------------
   {
+    KUC_TRACE_SPAN("serve.full");
     const int64_t t0 = clock_->NowMicros();
     if (deadline.Expired()) {
       note_failure("full", ErrorStatus()
@@ -279,6 +283,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
 
   // ---- Tier 2: cached scores (staleness-bounded LRU) -----------------------
   if (!served) {
+    KUC_TRACE_SPAN("serve.cache");
     const int64_t t0 = clock_->NowMicros();
     const Status status = fallback_ctx.Check("cache");
     if (status.ok()) {
@@ -298,6 +303,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
 
   // ---- Tier 3: PPR heuristic (PprRec ranking) ------------------------------
   if (!served) {
+    KUC_TRACE_SPAN("serve.heuristic");
     const int64_t t0 = clock_->NowMicros();
     const Status status = fallback_ctx.Check("heuristic");
     if (status.ok() && request.user >= 0 &&
@@ -318,6 +324,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
 
   // ---- Tier 4: global popularity (infallible) ------------------------------
   if (!served) {
+    KUC_TRACE_SPAN("serve.popularity");
     const int64_t t0 = clock_->NowMicros();
     // The checkpoint still fires (tests can arm it and see it counted), but
     // the precomputed ranking is returned regardless: the last tier never
@@ -363,6 +370,14 @@ RecResponse RecServer::Handle(const RecRequest& request,
     stats_.fault_events += request_fault_events;
     stats_.latency.Record(response.total_micros);
   }
+  KUC_OBS_COUNT("serve.completed", 1);
+  if (response.degraded) KUC_OBS_COUNT("serve.degraded", 1);
+  if (request_deadline_missed) KUC_OBS_COUNT("serve.deadline_missed", 1);
+  if (request_fault_events > 0) {
+    KUC_OBS_COUNT("serve.fault_events", request_fault_events);
+  }
+  obs::Count(std::string("serve.tier.") + ServeTierName(response.tier), 1);
+  KUC_OBS_HISTOGRAM("serve.latency_micros", response.total_micros);
   return response;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/kucnet.h"
+#include "obs/metrics.h"
 #include "serve/score_cache.h"
 #include "util/clock.h"
 #include "util/fault.h"
@@ -98,17 +99,11 @@ struct RecResponse {
   int64_t cache_age_micros = -1;
 };
 
-/// Power-of-two-bucketed latency histogram (microseconds).
-struct LatencyHistogram {
-  static constexpr int kBuckets = 40;
-  std::array<int64_t, kBuckets> counts{};
-  int64_t total = 0;
-
-  void Record(int64_t micros);
-  /// Upper bound (micros) of the bucket holding the p-quantile, p in [0,1];
-  /// 0 when empty.
-  int64_t PercentileUpperBound(double p) const;
-};
+/// Power-of-two-bucketed latency histogram (microseconds): the shared
+/// observability histogram type, whose default bucket layout (bounds
+/// 2^b - 1 plus an explicit +Inf bucket, saturating counts) matches the
+/// serving layer's historical bucketing.
+using LatencyHistogram = obs::HistogramData;
 
 /// Observable behavior of the server since construction.
 struct ServerStats {
@@ -126,6 +121,11 @@ struct ServerStats {
   /// Responses per tier, indexed by ServeTier.
   std::array<int64_t, kNumServeTiers> tier_count{};
   LatencyHistogram latency;
+
+  /// Adds `other`'s counters and latency histogram into this one, saturating
+  /// at the int64 extremes. Merging stats from multiple servers (or
+  /// accumulation epochs) can therefore never wrap into nonsense.
+  void MergeFrom(const ServerStats& other);
 };
 
 /// Knobs of the server.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -26,6 +27,7 @@ void ScoreCache::Put(int64_t user, std::vector<double> scores) {
     index_.erase(lru_.back().user);
     lru_.pop_back();
     ++evictions_;
+    KUC_OBS_COUNT("serve.cache.evictions", 1);
   }
   lru_.push_front(Entry{user, std::move(scores), now});
   index_[user] = lru_.begin();
@@ -38,6 +40,7 @@ bool ScoreCache::Get(int64_t user, std::vector<double>* out,
   const auto it = index_.find(user);
   if (it == index_.end()) {
     ++misses_;
+    KUC_OBS_COUNT("serve.cache.misses", 1);
     return false;
   }
   const int64_t age = now - it->second->stored_micros;
@@ -46,11 +49,14 @@ bool ScoreCache::Get(int64_t user, std::vector<double>* out,
     lru_.erase(it->second);
     index_.erase(it);
     ++misses_;
+    KUC_OBS_COUNT("serve.cache.misses", 1);
+    KUC_OBS_COUNT("serve.cache.stale_evictions", 1);
     return false;
   }
   *out = it->second->scores;
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
+  KUC_OBS_COUNT("serve.cache.hits", 1);
   if (age_micros_out != nullptr) *age_micros_out = age;
   return true;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -113,6 +115,8 @@ Status Adam::RestoreState(const std::vector<Parameter*>& params,
 }
 
 void Adam::Step(const std::vector<Parameter*>& params) {
+  KUC_TRACE_SPAN("adam.step");
+  KUC_OBS_COUNT("adam.steps", 1);
   ++step_;
   const real_t bias_c1 = 1.0 - std::pow(options_.beta1, step_);
   const real_t bias_c2 = 1.0 - std::pow(options_.beta2, step_);

@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/checkpoint.h"
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace kucnet {
 
@@ -107,9 +109,15 @@ TrainResult TrainModel(RankModel& model, const Dataset& dataset,
   bool have_final_eval = false;
   int epoch = start_epoch + 1;
   while (epoch <= options.epochs) {
-    WallTimer epoch_timer;
-    const double loss = model.TrainEpoch(rng);
+    Stopwatch epoch_timer;
+    double loss;
+    {
+      KUC_TRACE_SPAN("train.epoch");
+      loss = model.TrainEpoch(rng);
+    }
+    KUC_OBS_COUNT("train.epochs", 1);
     train_seconds += epoch_timer.Seconds();
+    KUC_OBS_HISTOGRAM("train.epoch_micros", epoch_timer.ElapsedMicros());
 
     if (!std::isfinite(loss)) {
       KUC_CHECK(guard) << "non-finite loss (" << loss << ") at epoch "
@@ -124,6 +132,7 @@ TrainResult TrainModel(RankModel& model, const Dataset& dataset,
           << " rollback(s) with learning-rate backoff; giving up. Check the "
              "data and hyper-parameters (learning rate, depth).";
       ++result.rollbacks;
+      KUC_OBS_COUNT("train.rollbacks", 1);
       TrainSnapshotMeta meta;
       const Status st = DecodeTrainSnapshot(last_good, &meta, params, adam);
       KUC_CHECK(st.ok()) << "rollback failed: " << st.message();
@@ -152,6 +161,7 @@ TrainResult TrainModel(RankModel& model, const Dataset& dataset,
     const bool is_last = epoch == options.epochs;
     if (is_last ||
         (options.eval_every > 0 && epoch % options.eval_every == 0)) {
+      KUC_TRACE_SPAN("train.eval");
       const EvalResult eval = EvaluateRanking(model, dataset, eval_opts);
       record.recall = eval.recall;
       record.ndcg = eval.ndcg;
@@ -170,6 +180,7 @@ TrainResult TrainModel(RankModel& model, const Dataset& dataset,
     result.curve.push_back(record);
 
     if (guard || to_disk) {
+      KUC_TRACE_SPAN("train.snapshot");
       const std::string snapshot =
           CaptureSnapshot(epoch, train_seconds, result.rollbacks, rng,
                           result.curve, params, adam);
@@ -182,6 +193,7 @@ TrainResult TrainModel(RankModel& model, const Dataset& dataset,
             TrainSnapshotPath(options.checkpoint_dir, epoch);
         const Status st = AtomicWriteFile(fs, path, snapshot);
         if (st.ok()) {
+          KUC_OBS_COUNT("train.snapshots_written", 1);
           PruneTrainSnapshots(options.checkpoint_dir, options.keep_snapshots,
                               options.fs);
         } else {

@@ -111,6 +111,32 @@ class Deadline {
   int64_t deadline_micros_ = 0;
 };
 
+/// Elapsed-time stopwatch on the Clock seam; starts on construction. The one
+/// way to time a scope in this repo: benchmarks and learning curves read a
+/// Stopwatch, traced code uses KUC_TRACE_SPAN (obs/trace.h), and both become
+/// deterministic by substituting a FakeClock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock = RealClock())
+      : clock_(&clock), start_micros_(clock.NowMicros()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_micros_ = clock_->NowMicros(); }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  int64_t ElapsedMicros() const { return clock_->NowMicros() - start_micros_; }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const { return static_cast<double>(ElapsedMicros()) * 1e-6; }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return static_cast<double>(ElapsedMicros()) * 1e-3; }
+
+ private:
+  const Clock* clock_;
+  int64_t start_micros_;
+};
+
 }  // namespace kucnet
 
 #endif  // KUCNET_UTIL_CLOCK_H_

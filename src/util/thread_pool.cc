@@ -60,6 +60,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     KUC_CHECK(!shutting_down_);
     queue_.push(std::move(task));
     ++in_flight_;
+    ++tasks_submitted_;
   }
   task_available_.notify_one();
 }
@@ -70,6 +71,16 @@ void ThreadPool::Wait() {
 }
 
 bool ThreadPool::OnWorkerThread() const { return tls_current_pool == this; }
+
+int64_t ThreadPool::QueueDepth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+int64_t ThreadPool::TasksSubmitted() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return tasks_submitted_;
+}
 
 void ThreadPool::WorkerLoop() {
   tls_current_pool = this;
@@ -180,6 +191,16 @@ ThreadPool& GlobalPool() {
 int EffectiveParallelism() {
   const int p = g_parallelism.load(std::memory_order_relaxed);
   return p > 0 ? p : GlobalPool().num_threads();
+}
+
+int64_t GlobalPoolQueueDepth() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  return g_global_pool != nullptr ? g_global_pool->QueueDepth() : 0;
+}
+
+int64_t GlobalPoolTasksSubmitted() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  return g_global_pool != nullptr ? g_global_pool->TasksSubmitted() : 0;
 }
 
 void SetGlobalPoolThreads(int num_threads) {

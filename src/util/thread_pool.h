@@ -54,15 +54,22 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool OnWorkerThread() const;
 
+  /// Tasks currently enqueued but not yet picked up by a worker.
+  int64_t QueueDepth() const;
+
+  /// Total tasks ever submitted to this pool.
+  int64_t TasksSubmitted() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   int64_t in_flight_ = 0;
+  int64_t tasks_submitted_ = 0;
   bool shutting_down_ = false;
 };
 
@@ -110,6 +117,12 @@ int EffectiveParallelism();
 /// (0 = DefaultThreadCount()). For tests and benchmarks that compare thread
 /// counts within one process; must not race with in-flight pool work.
 void SetGlobalPoolThreads(int num_threads);
+
+/// Shared-pool introspection that does not force pool creation: both return
+/// 0 until GlobalPool() has been called. Safe to call from any thread; the
+/// observability layer samples these as callback gauges.
+int64_t GlobalPoolQueueDepth();
+int64_t GlobalPoolTasksSubmitted();
 
 }  // namespace kucnet
 

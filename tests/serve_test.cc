@@ -105,6 +105,52 @@ TEST(ScoreCacheTest, StalenessBoundDropsOldEntries) {
   EXPECT_EQ(cache.size(), 0);
 }
 
+TEST(ScoreCacheTest, PutRefreshesStalenessClock) {
+  FakeClock clock;
+  ScoreCacheOptions opts;
+  opts.max_age_micros = 1000;
+  ScoreCache cache(opts, &clock);
+  cache.Put(7, {0.5});
+  clock.AdvanceMicros(900);
+  cache.Put(7, {0.6});  // refresh restarts the staleness window
+  clock.AdvanceMicros(900);
+  std::vector<double> out;
+  int64_t age = -1;
+  ASSERT_TRUE(cache.Get(7, &out, &age));  // 900 < bound, measured from refresh
+  EXPECT_EQ(age, 900);
+  EXPECT_EQ(out[0], 0.6);
+}
+
+TEST(ScoreCacheTest, CapacityOneChurn) {
+  FakeClock clock;
+  ScoreCacheOptions opts;
+  opts.capacity = 1;
+  ScoreCache cache(opts, &clock);
+  std::vector<double> out;
+  // Every Put of a new user evicts the sole resident; every Get of the
+  // previous user misses. The cache never exceeds one entry and the
+  // counters account for every single operation.
+  constexpr int kRounds = 10;
+  for (int i = 0; i < kRounds; ++i) {
+    cache.Put(i, {static_cast<double>(i)});
+    EXPECT_EQ(cache.size(), 1);
+    ASSERT_TRUE(cache.Get(i, &out));
+    EXPECT_EQ(out[0], static_cast<double>(i));
+    if (i > 0) {
+      EXPECT_FALSE(cache.Get(i - 1, &out));
+    }
+  }
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.evictions(), kRounds - 1);
+  EXPECT_EQ(cache.hits(), kRounds);
+  EXPECT_EQ(cache.misses(), kRounds - 1);
+  // Re-putting the resident user churns nothing.
+  cache.Put(kRounds - 1, {42.0});
+  EXPECT_EQ(cache.evictions(), kRounds - 1);
+  ASSERT_TRUE(cache.Get(kRounds - 1, &out));
+  EXPECT_EQ(out[0], 42.0);
+}
+
 // ---- Admission / shedding ----------------------------------------------------
 
 TEST(RecServerTest, ShedsWhenQueueFullWithoutBlocking) {

@@ -5,11 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "util/clock.h"
 #include "util/io.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace kucnet {
 namespace {
@@ -150,8 +150,8 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
   }
 }
 
-TEST(TimerTest, MeasuresElapsed) {
-  WallTimer timer;
+TEST(StopwatchTest, MeasuresElapsedOnRealClock) {
+  Stopwatch timer;
   volatile double sink = 0.0;
   for (int i = 0; i < 1000000; ++i) sink = sink + i * 0.5;
   EXPECT_GE(timer.Seconds(), 0.0);
@@ -160,6 +160,20 @@ TEST(TimerTest, MeasuresElapsed) {
   EXPECT_GE(t2, t1);  // monotonic
   timer.Reset();
   EXPECT_LE(timer.Millis(), t2);  // reset restarts the clock
+}
+
+TEST(StopwatchTest, DeterministicUnderFakeClock) {
+  FakeClock clock(1000);
+  Stopwatch timer(clock);
+  EXPECT_EQ(timer.ElapsedMicros(), 0);
+  clock.AdvanceMicros(2500);
+  EXPECT_EQ(timer.ElapsedMicros(), 2500);
+  EXPECT_DOUBLE_EQ(timer.Millis(), 2.5);
+  EXPECT_DOUBLE_EQ(timer.Seconds(), 0.0025);
+  timer.Reset();
+  EXPECT_EQ(timer.ElapsedMicros(), 0);
+  clock.AdvanceMicros(7);
+  EXPECT_EQ(timer.ElapsedMicros(), 7);
 }
 
 TEST(IoTest, PairAndTripletRoundTrip) {
