@@ -6,6 +6,7 @@
 #include "graph/subgraph.h"
 #include "obs/trace.h"
 #include "tensor/serialize.h"
+#include "util/finite.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -270,7 +271,12 @@ Status Kucnet::TryForward(int64_t user, const ExecContext& ctx,
 }
 
 std::vector<double> Kucnet::ScoreItems(int64_t user) const {
-  return Forward(user).item_scores;
+  std::vector<double> scores = Forward(user).item_scores;
+  // Evaluation boundary: a non-finite score here (diverged weights, kernel
+  // overflow) would silently corrupt every metric computed downstream.
+  KUC_CHECK_FINITE(scores.data(), static_cast<int64_t>(scores.size()),
+                   "kucnet.ScoreItems");
+  return scores;
 }
 
 std::pair<double, int64_t> Kucnet::ScorePairOnUiGraph(int64_t user,

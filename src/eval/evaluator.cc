@@ -6,6 +6,7 @@
 #include "eval/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
+#include "util/finite.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -34,6 +35,8 @@ EvalResult EvaluateRanking(const Ranker& ranker, const Dataset& dataset,
     const int64_t user = test_users[k];
     const std::vector<double> scores = ranker.ScoreItems(user);
     KUC_CHECK_EQ(static_cast<int64_t>(scores.size()), dataset.num_items);
+    KUC_CHECK_FINITE(scores.data(), static_cast<int64_t>(scores.size()),
+                     "eval.ScoreItems");
     // Mask the user's training positives (all-ranking protocol), plus the
     // globally-masked items in the new-item setting.
     std::vector<bool> mask = global_mask;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/finite.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -45,11 +46,13 @@ std::vector<int64_t> TopNIndices(const std::vector<double>& scores, int64_t n,
     idx.push_back(i);
   }
   const int64_t k = std::min<int64_t>(n, static_cast<int64_t>(idx.size()));
+  // TotalScoreOrder, not a bare `scores[a] > scores[b]`: with NaN in the
+  // scores the naive comparator violates strict weak ordering (NaN compares
+  // non-equivalent to everything yet never ">"), which is undefined behavior
+  // in std::partial_sort. The total order sinks every non-finite score below
+  // all finite ones, deterministically (ties by index).
   std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
-                    [&scores](int64_t a, int64_t b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
-                      return a < b;
-                    });
+                    TotalScoreOrder{&scores});
   idx.resize(k);
   return idx;
 }

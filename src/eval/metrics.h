@@ -13,18 +13,32 @@ namespace kucnet {
 /// recall@N = |R_{1:N} ∩ T| / |T| (Eq. 15). `ranked` is the recommendation
 /// list in rank order (may be longer than N); `test` is the user's test set.
 /// Returns 0 when the test set is empty.
+///
+/// Short-list semantics (pinned; see tests/eval_test.cc and the differential
+/// oracle): when the candidate pool leaves fewer than N ranked items — the
+/// new-item split's global mask routinely does this — the denominator stays
+/// |T|. A truncated list genuinely misses items, so recall is capped below 1
+/// rather than re-normalized to the reachable pool.
 double RecallAtN(const std::vector<int64_t>& ranked,
                  const std::unordered_set<int64_t>& test, int64_t n);
 
 /// ndcg@N (Eq. 16): DCG of the list divided by the ideal DCG
 /// (sum_{i=1}^{min(|T|,N)} 1/log2(i+1)). Returns 0 when the test set is
 /// empty.
+///
+/// Short-list semantics (pinned): the ideal DCG always uses min(|T|, N)
+/// terms, independent of `ranked.size()`. A ranked list shorter than N (the
+/// new-item split with a small candidate pool) therefore cannot reach
+/// ndcg = 1 unless it covers the whole test set — same convention as recall.
 double NdcgAtN(const std::vector<int64_t>& ranked,
                const std::unordered_set<int64_t>& test, int64_t n);
 
 /// Indices of the top-n scores, in descending score order, skipping indices
 /// where `mask` (if non-null) is true. Ties break toward the lower index so
-/// results are deterministic.
+/// results are deterministic. The ordering is total even on corrupt input:
+/// non-finite scores (NaN, +Inf, -Inf) rank below every finite score, so a
+/// poisoned score vector degrades deterministically instead of invoking
+/// undefined comparator behavior.
 std::vector<int64_t> TopNIndices(const std::vector<double>& scores, int64_t n,
                                  const std::vector<bool>* mask = nullptr);
 

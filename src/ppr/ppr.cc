@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
+#include "util/finite.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -86,6 +87,15 @@ Status TryPprForwardPush(const Ckg& ckg, int64_t source, real_t alpha,
         queued[w] = true;
         queue.push_back(w);
       }
+    }
+  }
+  // PPR boundary: estimates feed pruning and the serving heuristic tier; a
+  // non-finite entry (degenerate alpha/epsilon, corrupt graph weights) must
+  // fail here rather than skew rankings downstream.
+  if (FiniteChecksEnabled()) {
+    for (const auto& [node, value] : estimate) {
+      KUC_CHECK(std::isfinite(value))
+          << "ppr.estimate: non-finite value " << value << " at node " << node;
     }
   }
   return Status::Ok();

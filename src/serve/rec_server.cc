@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/finite.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -40,6 +41,8 @@ void ServerStats::MergeFrom(const ServerStats& other) {
   completed = obs::SaturatingAdd(completed, other.completed);
   deadline_missed = obs::SaturatingAdd(deadline_missed, other.deadline_missed);
   fault_events = obs::SaturatingAdd(fault_events, other.fault_events);
+  nonfinite_scores =
+      obs::SaturatingAdd(nonfinite_scores, other.nonfinite_scores);
   degraded = obs::SaturatingAdd(degraded, other.degraded);
   for (int t = 0; t < kNumServeTiers; ++t) {
     tier_count[t] = obs::SaturatingAdd(tier_count[t], other.tier_count[t]);
@@ -201,12 +204,10 @@ bool RecServer::RankInto(int64_t user, const std::vector<double>& scores,
       candidates.push_back(item);
   }
   const int64_t n = std::min<int64_t>(top_n, candidates.size());
-  const auto better = [&scores](int64_t a, int64_t b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    return a < b;
-  };
+  // Total order (finite desc, non-finite sunk, ties by index): valid for
+  // std::partial_sort even if a fallback tier ever hands us corrupt scores.
   std::partial_sort(candidates.begin(), candidates.begin() + n,
-                    candidates.end(), better);
+                    candidates.end(), TotalScoreOrder{&scores});
   out->items.clear();
   out->items.reserve(n);
   for (int64_t k = 0; k < n; ++k) {
@@ -236,6 +237,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
   RecResponse response;
   bool request_deadline_missed = false;
   int64_t request_fault_events = 0;
+  int64_t request_nonfinite = 0;
   const auto note_failure = [&](const char* tier, const Status& status) {
     if (IsInjectedFault(status)) {
       ++request_fault_events;
@@ -269,14 +271,25 @@ RecResponse RecServer::Handle(const RecRequest& request,
       KucnetForward forward;
       const Status status = model_->TryForward(request.user, full_ctx, &forward);
       time_stage("full", t0);
-      if (status.ok()) {
+      if (!status.ok()) {
+        note_failure("full", status);
+      } else if (const int64_t bad = FirstNonFinite(forward.item_scores);
+                 bad >= 0) {
+        // A mid-divergence checkpoint produces NaN/Inf scores. Serving them
+        // would poison the ranking; caching them would keep poisoning every
+        // degraded request until max_age expiry. Reject the output here and
+        // fall through the degrade chain (cached → PPR → popularity).
+        ++request_nonfinite;
+        KUC_OBS_COUNT("serve.degrade.nonfinite", 1);
+        if (!response.degrade_reason.empty()) response.degrade_reason += "; ";
+        response.degrade_reason += "full: non-finite score at item ";
+        response.degrade_reason += std::to_string(bad);
+      } else {
         // Deposit for future degraded requests *before* ranking, so even a
         // ranking-size-zero catalogue edge case keeps the cache warm.
         cache_.Put(request.user, forward.item_scores);
         served = RankInto(request.user, forward.item_scores, top_n, &response);
         if (served) response.tier = ServeTier::kFull;
-      } else {
-        note_failure("full", status);
       }
     }
   }
@@ -368,6 +381,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
     if (response.degraded) ++stats_.degraded;
     if (request_deadline_missed) ++stats_.deadline_missed;
     stats_.fault_events += request_fault_events;
+    stats_.nonfinite_scores += request_nonfinite;
     stats_.latency.Record(response.total_micros);
   }
   KUC_OBS_COUNT("serve.completed", 1);

@@ -116,6 +116,11 @@ struct ServerStats {
   /// Stage failures attributed to injected faults (across all tiers;
   /// reconciles with FaultInjector::faults_fired in tests).
   int64_t fault_events = 0;
+  /// Full-tier forward passes rejected because they produced non-finite
+  /// scores (e.g. serving from a mid-divergence checkpoint). Such output is
+  /// never cached and never served; the request falls through the degrade
+  /// chain (cached → PPR → popularity) instead.
+  int64_t nonfinite_scores = 0;
   /// Responses produced by a tier below full.
   int64_t degraded = 0;
   /// Responses per tier, indexed by ServeTier.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/finite.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -191,6 +192,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   } else {
     row_block(0, n);
   }
+  KUC_CHECK_FINITE(c.data(), c.size(), "tensor.MatMul");
   return c;
 }
 
@@ -219,6 +221,7 @@ Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
   } else {
     row_block(0, n);
   }
+  KUC_CHECK_FINITE(c.data(), c.size(), "tensor.MatMulTransposedA");
   return c;
 }
 
@@ -245,6 +248,7 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
   } else {
     row_block(0, n);
   }
+  KUC_CHECK_FINITE(c.data(), c.size(), "tensor.MatMulTransposedB");
   return c;
 }
 

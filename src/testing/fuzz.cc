@@ -1,0 +1,636 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/kucnet.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "ppr/ppr.h"
+#include "serve/rec_server.h"
+#include "tensor/tape.h"
+#include "testing/oracle.h"
+#include "util/clock.h"
+#include "util/fault.h"
+#include "util/finite.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace kucnet {
+namespace testing {
+
+namespace {
+
+/// Collects mismatch descriptions for one case; empty = case passed.
+class CaseResult {
+ public:
+  explicit CaseResult(std::string context) : context_(std::move(context)) {}
+
+  std::ostringstream& Fail() {
+    failed_ = true;
+    if (!message_.str().empty()) message_ << "; ";
+    return message_;
+  }
+
+  bool failed() const { return failed_; }
+  std::string Describe() const { return context_ + ": " + message_.str(); }
+
+ private:
+  std::string context_;
+  std::ostringstream message_;
+  bool failed_ = false;
+};
+
+/// Driver shared by all subsystems: runs `cases` seeded cases and formats
+/// the first failure with a copy-pastable repro line.
+template <typename CaseFn>
+FuzzReport RunCases(const char* subsystem, const FuzzOptions& options,
+                    CaseFn&& run_case) {
+  FuzzReport report;
+  for (int64_t k = 0; k < options.cases; ++k) {
+    const uint64_t case_seed = options.seed + static_cast<uint64_t>(k);
+    CaseResult result(std::string(subsystem) + " case");
+    run_case(case_seed, result);
+    ++report.cases_run;
+    if (result.failed()) {
+      ++report.mismatches;
+      if (report.first_failure.empty()) {
+        std::ostringstream ss;
+        ss << "subsystem=" << subsystem << " seed=" << case_seed
+           << " repro: diff_fuzz --subsystem=" << subsystem
+           << " --seed=" << case_seed << " --cases=1\n  " << result.Describe();
+        report.first_failure = ss.str();
+      }
+    }
+  }
+  return report;
+}
+
+// ---- Tensor ------------------------------------------------------------------
+
+/// Shape classes: degenerate (0, 1), small, and large enough to cross the
+/// parallel thresholds in matrix.cc (64^3 flops > 2^17; 180*200 elements >
+/// 2^15 and > 2*4096 reduction chunks).
+int64_t RandomDim(Rng& rng) {
+  const double r = rng.Uniform();
+  if (r < 0.08) return 0;
+  if (r < 0.20) return 1;
+  if (r < 0.85) return 2 + rng.UniformInt(8);
+  return 48 + rng.UniformInt(33);  // 48..80
+}
+
+/// Value profiles: plain, mixed magnitudes (exponents capped so products and
+/// sums stay finite), sparse-with-exact-zeros (exercises the skip-zero fast
+/// path), denormal-heavy.
+double RandomValue(Rng& rng, int profile) {
+  switch (profile) {
+    case 1: {
+      const int exp10 = static_cast<int>(rng.UniformInt(161)) - 80;
+      return rng.Uniform(-1.0, 1.0) * std::pow(10.0, exp10);
+    }
+    case 2:
+      return rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(-1.0, 1.0);
+    case 3:
+      return static_cast<double>(rng.UniformInt(1'000'000)) * 5e-324 *
+             (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    default:
+      return rng.Uniform(-1.0, 1.0);
+  }
+}
+
+Matrix RandomMatrix(Rng& rng, int64_t rows, int64_t cols, int profile) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = RandomValue(rng, profile);
+  return m;
+}
+
+double SumAbs(const Matrix& m) {
+  double s = 0.0;
+  for (int64_t i = 0; i < m.size(); ++i) s += std::abs(m.data()[i]);
+  return s;
+}
+
+void CompareMatrices(const Matrix& opt, const Matrix& oracle, uint64_t max_ulp,
+                     const char* what, CaseResult& result) {
+  if (opt.rows() != oracle.rows() || opt.cols() != oracle.cols()) {
+    result.Fail() << what << " shape " << opt.rows() << "x" << opt.cols()
+                  << " vs oracle " << oracle.rows() << "x" << oracle.cols();
+    return;
+  }
+  for (int64_t i = 0; i < opt.size(); ++i) {
+    if (!NearlyEqualUlp(opt.data()[i], oracle.data()[i], max_ulp)) {
+      result.Fail() << what << " flat index " << i << ": opt=" << opt.data()[i]
+                    << " oracle=" << oracle.data()[i]
+                    << " ulp=" << UlpDistance(opt.data()[i], oracle.data()[i]);
+      return;
+    }
+  }
+}
+
+void TensorCase(uint64_t case_seed, CaseResult& result) {
+  Rng rng(case_seed);
+  ScopedFiniteChecks finite_checks;
+  const int profile = static_cast<int>(rng.UniformInt(4));
+  const int64_t n = RandomDim(rng);
+  const int64_t k = RandomDim(rng);
+  const int64_t m = RandomDim(rng);
+  const Matrix a = RandomMatrix(rng, n, k, profile);
+  const Matrix b = RandomMatrix(rng, k, m, profile);
+
+  // Matmul family: the optimized accumulation order per output element is
+  // identical to the naive dot product, so agreement is exact (±0 aside).
+  CompareMatrices(MatMul(a, b), OracleMatMul(a, b), 0, "matmul", result);
+  {
+    const Matrix at = RandomMatrix(rng, k, n, profile);
+    CompareMatrices(MatMulTransposedA(at, b), OracleMatMulTransposedA(at, b),
+                    0, "matmul_ta", result);
+  }
+  {
+    const Matrix bt = RandomMatrix(rng, m, k, profile);
+    CompareMatrices(MatMulTransposedB(a, bt), OracleMatMulTransposedB(a, bt),
+                    0, "matmul_tb", result);
+  }
+
+  // Elementwise: per-element independent, exact at any thread count.
+  {
+    const int64_t er = rng.Bernoulli(0.2) ? 180 : 1 + rng.UniformInt(12);
+    const int64_t ec = rng.Bernoulli(0.2) ? 200 : 1 + rng.UniformInt(12);
+    const Matrix x = RandomMatrix(rng, er, ec, profile);
+    const Matrix y = RandomMatrix(rng, er, ec, profile);
+    const real_t alpha = RandomValue(rng, 0);
+    Matrix add = x;
+    add.Add(y);
+    CompareMatrices(add, OracleAdd(x, y), 0, "add", result);
+    Matrix axpy = x;
+    axpy.Axpy(alpha, y);
+    CompareMatrices(axpy, OracleAxpy(alpha, x, y), 0, "axpy", result);
+    Matrix scale = x;
+    scale.Scale(alpha);
+    CompareMatrices(scale, OracleScale(alpha, x), 0, "scale", result);
+
+    // Reductions use a fixed-chunk tree, a different association than the
+    // sequential oracle: compare within a bound scaled by the term mass.
+    const double sum_tol = 1e-9 * SumAbs(x) + 1e-300;
+    if (std::abs(x.Sum() - OracleSum(x)) > sum_tol) {
+      result.Fail() << "sum: opt=" << x.Sum() << " oracle=" << OracleSum(x)
+                    << " tol=" << sum_tol;
+    }
+    double sq_mass = 0.0;
+    for (int64_t i = 0; i < x.size(); ++i)
+      sq_mass += x.data()[i] * x.data()[i];
+    const double sq_tol = 1e-9 * sq_mass + 1e-300;
+    if (std::abs(x.SquaredNorm() - OracleSquaredNorm(x)) > sq_tol) {
+      result.Fail() << "squared_norm: opt=" << x.SquaredNorm()
+                    << " oracle=" << OracleSquaredNorm(x) << " tol=" << sq_tol;
+    }
+  }
+
+  // Gather / segment-sum through the tape (the GNN message-passing
+  // primitives): CSR destination grouping preserves the naive accumulation
+  // order, so agreement is exact.
+  {
+    const int64_t rows = 1 + rng.UniformInt(rng.Bernoulli(0.15) ? 3000 : 16);
+    const int64_t cols = 1 + rng.UniformInt(12);
+    const Matrix src = RandomMatrix(rng, rows, cols, profile);
+    const int64_t edges = rng.UniformInt(rng.Bernoulli(0.15) ? 4000 : 40);
+    std::vector<int64_t> idx(edges);
+    for (auto& v : idx) v = rng.UniformInt(rows);
+    const int64_t segments = 1 + rng.UniformInt(10);
+    std::vector<int64_t> seg(edges);
+    for (auto& v : seg) v = rng.UniformInt(segments);
+
+    Tape tape;
+    const Var base = tape.Constant(src);
+    const Var gathered = tape.Gather(base, idx);
+    CompareMatrices(tape.value(gathered), OracleGather(src, idx), 0, "gather",
+                    result);
+    const Var summed = tape.SegmentSum(gathered, seg, segments);
+    CompareMatrices(tape.value(summed),
+                    OracleSegmentSum(OracleGather(src, idx), seg, segments), 0,
+                    "segment_sum", result);
+  }
+}
+
+// ---- PPR ---------------------------------------------------------------------
+
+/// Random CKG with adversarial topology: isolated users (no interactions),
+/// dangling KG entities (no triplets), sometimes no edges at all.
+Ckg RandomCkg(Rng& rng, int64_t* num_nodes_out) {
+  const int64_t users = 1 + rng.UniformInt(6);
+  const int64_t items = 1 + rng.UniformInt(10);
+  const int64_t kg_nodes = items + rng.UniformInt(7);
+  const int64_t relations = 1 + rng.UniformInt(3);
+  std::vector<std::array<int64_t, 2>> inter;
+  for (int64_t u = 0; u < users; ++u) {
+    if (rng.Bernoulli(0.75)) {
+      const int64_t cnt = 1 + rng.UniformInt(4);
+      for (int64_t c = 0; c < cnt; ++c) inter.push_back({u, rng.UniformInt(items)});
+    }  // else: isolated user (deg == 0 source)
+  }
+  std::vector<std::array<int64_t, 3>> kg;
+  const int64_t triplets = rng.UniformInt(16);
+  for (int64_t t = 0; t < triplets; ++t) {
+    const int64_t h = rng.UniformInt(kg_nodes);
+    int64_t tail = rng.UniformInt(kg_nodes);
+    if (tail == h) tail = (tail + 1) % kg_nodes;
+    if (tail == h) continue;  // kg_nodes == 1
+    kg.push_back({h, rng.UniformInt(relations), tail});
+  }
+  *num_nodes_out = users + kg_nodes;
+  return Ckg::Build(users, items, kg_nodes, relations, inter, kg);
+}
+
+void PprCase(uint64_t case_seed, CaseResult& result) {
+  Rng rng(case_seed);
+  ScopedFiniteChecks finite_checks;
+  int64_t num_nodes = 0;
+  const Ckg ckg = RandomCkg(rng, &num_nodes);
+  const int64_t source = rng.UniformInt(num_nodes);
+  const real_t alpha = rng.Uniform(0.05, 0.95);
+  const real_t epsilon = std::pow(10.0, -(3.0 + rng.Uniform() * 5.0));
+
+  const auto optimized = PprForwardPush(ckg, source, alpha, epsilon);
+  const OraclePprResult oracle = OraclePprPush(ckg, source, alpha, epsilon);
+
+  // Same queue discipline, same arithmetic order: bitwise agreement.
+  if (optimized.size() != oracle.estimate.size()) {
+    result.Fail() << "push support: opt=" << optimized.size()
+                  << " oracle=" << oracle.estimate.size() << " (source="
+                  << source << " alpha=" << alpha << " eps=" << epsilon << ")";
+    return;
+  }
+  for (const auto& [node, value] : oracle.estimate) {
+    const auto it = optimized.find(node);
+    if (it == optimized.end() || UlpDistance(it->second, value) != 0) {
+      result.Fail() << "push estimate at node " << node << ": opt="
+                    << (it == optimized.end() ? 0.0 : it->second)
+                    << " oracle=" << value << " (source=" << source
+                    << " alpha=" << alpha << " eps=" << epsilon << ")";
+      return;
+    }
+  }
+
+  // Mass conservation: estimate + terminal residual account for the full
+  // unit of restart mass.
+  if (std::abs(oracle.total_mass - 1.0) > 1e-9) {
+    result.Fail() << "mass conservation: estimate+residual=" << oracle.total_mass;
+  }
+
+  // Against the converged dense reference: push never overshoots, and the
+  // total undershoot is bounded by the termination threshold (residual[v] <
+  // epsilon * deg(v) for every node).
+  const OracleDensePpr dense = OraclePprDense(ckg, source, alpha, 600);
+  double push_total = 0.0, dense_total = 0.0, degree_total = 0.0;
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    const auto it = optimized.find(v);
+    const real_t est = it == optimized.end() ? 0.0 : it->second;
+    if (est > dense.estimate[v] + 1e-9) {
+      result.Fail() << "push overshoots dense reference at node " << v << ": "
+                    << est << " > " << dense.estimate[v];
+      return;
+    }
+    push_total += est;
+    dense_total += dense.estimate[v];
+    degree_total += static_cast<double>(ckg.OutDegree(v));
+  }
+  if (dense_total - push_total > epsilon * degree_total + 1e-8) {
+    result.Fail() << "undershoot " << (dense_total - push_total)
+                  << " exceeds epsilon*sum(deg)="
+                  << epsilon * degree_total;
+  }
+}
+
+// ---- Ranking / metrics -------------------------------------------------------
+
+void RankingCase(uint64_t case_seed, CaseResult& result) {
+  Rng rng(case_seed);
+  const int64_t size = rng.UniformInt(120);
+  const int profile = static_cast<int>(rng.UniformInt(5));
+  std::vector<double> scores(size);
+  for (auto& s : scores) {
+    switch (profile) {
+      case 1:  // NaN-laced
+        s = rng.Bernoulli(0.15) ? std::numeric_limits<double>::quiet_NaN()
+                                : rng.Uniform(-1.0, 1.0);
+        break;
+      case 2:  // Inf-laced
+        s = rng.Bernoulli(0.1)
+                ? (rng.Bernoulli(0.5) ? std::numeric_limits<double>::infinity()
+                                      : -std::numeric_limits<double>::infinity())
+                : rng.Uniform(-1.0, 1.0);
+        break;
+      case 3:  // all non-finite
+        s = rng.Bernoulli(0.5) ? std::numeric_limits<double>::quiet_NaN()
+                               : std::numeric_limits<double>::infinity();
+        break;
+      case 4:  // denormals and ties
+        s = rng.Bernoulli(0.4)
+                ? 0.0
+                : static_cast<double>(rng.UniformInt(50)) * 5e-324;
+        break;
+      default:
+        s = rng.Uniform(-1.0, 1.0);
+    }
+  }
+
+  // Mask profiles: none / random / all-masked (empty candidate pool) /
+  // heavy (candidate pool smaller than n).
+  std::vector<bool> mask(size, false);
+  const std::vector<bool>* mask_ptr = nullptr;
+  const double mask_kind = rng.Uniform();
+  if (mask_kind > 0.3 && size > 0) {
+    mask_ptr = &mask;
+    if (mask_kind > 0.9) {
+      mask.assign(size, true);  // the all-positive user: everything consumed
+    } else {
+      const double p = mask_kind > 0.7 ? 0.95 : rng.Uniform();
+      for (int64_t i = 0; i < size; ++i) mask[i] = rng.Bernoulli(p);
+    }
+  }
+  const int64_t n = rng.Bernoulli(0.05) ? 0 : 1 + rng.UniformInt(40);
+
+  const auto optimized = TopNIndices(scores, n, mask_ptr);
+  const auto oracle = OracleTopN(scores, n, mask_ptr);
+  if (optimized != oracle) {
+    std::ostringstream& out = result.Fail();
+    out << "topn mismatch (size=" << size << " n=" << n << " profile="
+        << profile << "): opt=[";
+    for (const int64_t i : optimized) out << i << ",";
+    out << "] oracle=[";
+    for (const int64_t i : oracle) out << i << ",";
+    out << "]";
+    return;
+  }
+
+  // Metrics on the ranked list (which may be shorter than n — the
+  // short-candidate-pool semantics are pinned here too).
+  std::unordered_set<int64_t> test;
+  const int64_t num_test = rng.UniformInt(11);
+  for (int64_t t = 0; t < num_test && size > 0; ++t) {
+    test.insert(rng.UniformInt(size));
+  }
+  const double recall = RecallAtN(optimized, test, n);
+  const double recall_oracle = OracleRecallAtN(optimized, test, n);
+  if (recall != recall_oracle) {
+    result.Fail() << "recall: opt=" << recall << " oracle=" << recall_oracle;
+  }
+  const double ndcg = NdcgAtN(optimized, test, n);
+  const double ndcg_oracle = OracleNdcgAtN(optimized, test, n);
+  if (std::abs(ndcg - ndcg_oracle) > 1e-12) {
+    result.Fail() << "ndcg: opt=" << ndcg << " oracle=" << ndcg_oracle;
+  }
+}
+
+// ---- Serving-tier replay -----------------------------------------------------
+
+struct ServeFuzzContext {
+  static Dataset MakeDataset() {
+    SyntheticConfig cfg;
+    cfg.seed = 911;
+    cfg.num_users = 24;
+    cfg.num_items = 40;
+    cfg.num_topics = 4;
+    cfg.interactions_per_user = 7;
+    Rng data_rng(7);
+    return TraditionalSplit(GenerateSynthetic(cfg).raw, 0.25, data_rng);
+  }
+
+  ServeFuzzContext()
+      : dataset(MakeDataset()),
+        ckg(dataset.BuildCkg()),
+        ppr(PprTable::Compute(ckg)) {
+    KucnetOptions model_opts;
+    model_opts.hidden_dim = 8;
+    model_opts.attention_dim = 3;
+    model_opts.depth = 2;
+    model_opts.sample_k = 8;
+    model = std::make_unique<Kucnet>(&dataset, &ckg, &ppr, model_opts);
+
+    RecServerOptions server_opts;
+    server_opts.num_workers = 0;  // ServeSync only: strictly sequential
+    server_opts.clock = &clock;
+    server_opts.fault = &fault;
+    server_opts.cache.capacity = 4096;  // no capacity evictions mid-case
+    max_age = server_opts.cache.max_age_micros;
+    server = std::make_unique<RecServer>(model.get(), &dataset, &ckg, &ppr,
+                                         server_opts);
+
+    train_items = dataset.TrainItemsByUser();
+    // Popularity replay: training interaction counts, count desc, id asc.
+    std::vector<int64_t> counts(dataset.num_items, 0);
+    for (const auto& [user, item] : dataset.train) ++counts[item];
+    popularity.resize(dataset.num_items);
+    for (int64_t i = 0; i < dataset.num_items; ++i) popularity[i] = i;
+    std::sort(popularity.begin(), popularity.end(),
+              [&counts](int64_t a, int64_t b) {
+                if (counts[a] != counts[b]) return counts[a] > counts[b];
+                return a < b;
+              });
+    popularity_counts = std::move(counts);
+  }
+
+  const std::vector<double>& FullScores(int64_t user) {
+    auto it = full_scores.find(user);
+    if (it == full_scores.end()) {
+      it = full_scores.emplace(user, model->Forward(user).item_scores).first;
+    }
+    return it->second;
+  }
+
+  std::vector<double> HeuristicScores(int64_t user) const {
+    std::vector<double> scores(dataset.num_items, 0.0);
+    for (int64_t item = 0; item < dataset.num_items; ++item) {
+      scores[item] = ppr.Score(user, ckg.ItemNode(item));
+    }
+    return scores;
+  }
+
+  Dataset dataset;
+  Ckg ckg;
+  PprTable ppr;
+  std::unique_ptr<Kucnet> model;
+  FakeClock clock;
+  FaultInjector fault;
+  std::unique_ptr<RecServer> server;
+  std::vector<std::vector<int64_t>> train_items;
+  std::vector<int64_t> popularity;        ///< item ids, best first
+  std::vector<int64_t> popularity_counts; ///< by item id
+  std::unordered_map<int64_t, std::vector<double>> full_scores;
+  int64_t max_age = 0;
+};
+
+/// Sequential replay of RecServer::RankInto: exclude the user's training
+/// items (unless that empties the pool), full sort under the total score
+/// order, truncate to top_n.
+std::vector<int64_t> ReplayRank(const ServeFuzzContext& ctx, int64_t user,
+                                const std::vector<double>& scores,
+                                int64_t top_n) {
+  const auto& exclude = ctx.train_items[user];
+  std::vector<bool> mask(scores.size(), false);
+  for (const int64_t item : exclude) mask[item] = true;
+  std::vector<int64_t> ranked = OracleTopN(scores, top_n, &mask);
+  if (ranked.empty()) ranked = OracleTopN(scores, top_n, nullptr);
+  return ranked;
+}
+
+void ServeCase(ServeFuzzContext& ctx, uint64_t case_seed, CaseResult& result) {
+  Rng rng(case_seed);
+  // Start cold: expire anything deposited by earlier cases, so a standalone
+  // --cases=1 repro sees the same cache state as the in-sequence run.
+  ctx.clock.AdvanceMicros(ctx.max_age + 1);
+
+  const int64_t user = rng.UniformInt(ctx.dataset.num_users);
+  const int64_t top_n = 1 + rng.UniformInt(30);
+  const bool warm = rng.Bernoulli(0.55);
+  if (warm) {
+    const RecResponse warmup = ctx.server->ServeSync({user, 0, 0});
+    if (warmup.tier != ServeTier::kFull) {
+      result.Fail() << "warmup did not serve from the full tier";
+      return;
+    }
+  }
+  const bool expired = warm && rng.Bernoulli(0.3);
+  if (expired) ctx.clock.AdvanceMicros(ctx.max_age + 1);
+
+  static constexpr const char* kFullStages[] = {"", "ppr", "subgraph",
+                                                "forward"};
+  static constexpr const char* kFallbackStages[] = {"", "cache", "heuristic",
+                                                    "popularity"};
+  const char* full_fault = kFullStages[rng.UniformInt(4)];
+  const char* fallback_fault =
+      rng.Bernoulli(0.55) ? "" : kFallbackStages[1 + rng.UniformInt(3)];
+  if (*full_fault) ctx.fault.Arm(full_fault, 1);
+  if (*fallback_fault) ctx.fault.Arm(fallback_fault, 1);
+
+  const RecResponse response = ctx.server->ServeSync({user, top_n, 0});
+  ctx.fault.DisarmAll();
+
+  const auto plan = [&]() {
+    std::ostringstream ss;
+    ss << "(user=" << user << " top_n=" << top_n << " warm=" << warm
+       << " expired=" << expired << " full_fault='" << full_fault
+       << "' fallback_fault='" << fallback_fault << "')";
+    return ss.str();
+  };
+
+  // Sequential replay of the degradation chain.
+  ServeTier expected_tier;
+  std::vector<double> tier_scores;
+  const bool full_ok = *full_fault == '\0';
+  const bool cache_fresh = warm && !expired;
+  if (full_ok) {
+    expected_tier = ServeTier::kFull;
+    tier_scores = ctx.FullScores(user);
+  } else if (std::string(fallback_fault) != "cache" && cache_fresh) {
+    expected_tier = ServeTier::kCached;
+    tier_scores = ctx.FullScores(user);  // the warmup deposited exactly these
+  } else if (std::string(fallback_fault) != "heuristic") {
+    expected_tier = ServeTier::kHeuristic;
+    tier_scores = ctx.HeuristicScores(user);
+  } else {
+    expected_tier = ServeTier::kPopularity;
+  }
+
+  if (response.status != ResponseStatus::kOk) {
+    result.Fail() << "status not kOk " << plan();
+    return;
+  }
+  if (response.tier != expected_tier) {
+    result.Fail() << "tier: got " << ServeTierName(response.tier)
+                  << " expected " << ServeTierName(expected_tier) << " "
+                  << plan();
+    return;
+  }
+  if (response.degraded != (expected_tier != ServeTier::kFull)) {
+    result.Fail() << "degraded flag wrong " << plan();
+    return;
+  }
+
+  std::vector<int64_t> expected_items;
+  std::vector<double> expected_scores;
+  if (expected_tier == ServeTier::kPopularity) {
+    const auto& exclude = ctx.train_items[user];
+    for (const int64_t item : ctx.popularity) {
+      if (static_cast<int64_t>(expected_items.size()) >= top_n) break;
+      if (std::binary_search(exclude.begin(), exclude.end(), item)) continue;
+      expected_items.push_back(item);
+    }
+    if (expected_items.empty()) {
+      for (const int64_t item : ctx.popularity) {
+        if (static_cast<int64_t>(expected_items.size()) >= top_n) break;
+        expected_items.push_back(item);
+      }
+    }
+    for (const int64_t item : expected_items) {
+      expected_scores.push_back(
+          static_cast<double>(ctx.popularity_counts[item]));
+    }
+  } else {
+    expected_items = ReplayRank(ctx, user, tier_scores, top_n);
+    for (const int64_t item : expected_items) {
+      expected_scores.push_back(tier_scores[item]);
+    }
+  }
+
+  if (response.items.size() != expected_items.size()) {
+    result.Fail() << "item count: got " << response.items.size()
+                  << " expected " << expected_items.size() << " " << plan();
+    return;
+  }
+  for (size_t i = 0; i < expected_items.size(); ++i) {
+    if (response.items[i].item != expected_items[i] ||
+        UlpDistance(response.items[i].score, expected_scores[i]) != 0) {
+      result.Fail() << "item " << i << ": got (" << response.items[i].item
+                    << ", " << response.items[i].score << ") expected ("
+                    << expected_items[i] << ", " << expected_scores[i] << ") "
+                    << plan();
+      return;
+    }
+    if (!std::isfinite(response.items[i].score)) {
+      result.Fail() << "non-finite served score " << plan();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+FuzzReport FuzzTensor(const FuzzOptions& options) {
+  return RunCases("tensor", options, TensorCase);
+}
+
+FuzzReport FuzzPpr(const FuzzOptions& options) {
+  return RunCases("ppr", options, PprCase);
+}
+
+FuzzReport FuzzRanking(const FuzzOptions& options) {
+  return RunCases("ranking", options, RankingCase);
+}
+
+FuzzReport FuzzServe(const FuzzOptions& options) {
+  ServeFuzzContext ctx;
+  return RunCases("serve", options,
+                  [&ctx](uint64_t seed, CaseResult& result) {
+                    ServeCase(ctx, seed, result);
+                  });
+}
+
+FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options) {
+  if (name == "tensor") return FuzzTensor(options);
+  if (name == "ppr") return FuzzPpr(options);
+  if (name == "ranking" || name == "topn") return FuzzRanking(options);
+  if (name == "serve") return FuzzServe(options);
+  KUC_CHECK(false) << "unknown fuzz subsystem '" << name
+                   << "' (want tensor|ppr|ranking|serve)";
+  return FuzzReport();
+}
+
+}  // namespace testing
+}  // namespace kucnet

@@ -1,0 +1,19 @@
+#include "util/finite.h"
+
+#include <atomic>
+
+namespace kucnet {
+
+namespace {
+std::atomic<bool> g_finite_checks{false};
+}  // namespace
+
+bool FiniteChecksEnabled() {
+  return g_finite_checks.load(std::memory_order_relaxed);
+}
+
+void SetFiniteChecksEnabled(bool enabled) {
+  g_finite_checks.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace kucnet

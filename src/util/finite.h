@@ -1,0 +1,109 @@
+#ifndef KUCNET_UTIL_FINITE_H_
+#define KUCNET_UTIL_FINITE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file
+/// Non-finite score hardening.
+///
+/// A NaN or infinity that escapes one layer (a diverged checkpoint, an
+/// overflowed kernel) silently corrupts every ranking computed downstream:
+/// NaN breaks comparator ordering, and a poisoned score cache keeps serving
+/// garbage until it expires. Two defenses live here:
+///
+///  1. `TotalScoreOrder` — a strict-weak (in fact total) "better score"
+///     ordering that every ranking path uses. Finite scores sort descending;
+///     all non-finite scores (NaN, +Inf, -Inf) deterministically sink below
+///     every finite score; ties (and non-finite vs non-finite) break toward
+///     the lower index. Unlike a bare `scores[a] > scores[b]`, this is a
+///     valid ordering even on NaN-laced input, so `std::partial_sort` is
+///     never handed undefined behavior.
+///
+///  2. `KUC_CHECK_FINITE` — opt-in boundary assertions (tensor kernel
+///     outputs, `ScoreItems` results, PPR estimates) that abort at the layer
+///     that *produced* a non-finite value instead of letting it flow into a
+///     ranking. Off by default (training intentionally survives divergence
+///     via rollback, see train/trainer.cc); the differential harness and
+///     targeted debugging sessions switch it on with
+///     `SetFiniteChecksEnabled(true)`.
+
+namespace kucnet {
+
+/// Index of the first non-finite element, or -1 if all are finite.
+inline int64_t FirstNonFinite(const double* data, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return i;
+  }
+  return -1;
+}
+
+inline int64_t FirstNonFinite(const std::vector<double>& v) {
+  return FirstNonFinite(v.data(), static_cast<int64_t>(v.size()));
+}
+
+/// True iff every element is finite (no NaN, no infinity).
+inline bool AllFinite(const std::vector<double>& v) {
+  return FirstNonFinite(v) < 0;
+}
+
+/// Total-order "a ranks better than b" comparison on (score, index) pairs:
+/// finite scores descending, non-finite scores below all finite ones, ties
+/// broken by ascending index. Safe for std::sort / std::partial_sort on any
+/// input, including NaN.
+inline bool ScoreBetter(double score_a, int64_t a, double score_b, int64_t b) {
+  const bool fa = std::isfinite(score_a);
+  const bool fb = std::isfinite(score_b);
+  if (fa != fb) return fa;  // the finite one wins
+  if (fa && score_a != score_b) return score_a > score_b;
+  return a < b;  // equal scores, or both non-finite: deterministic by index
+}
+
+/// Comparator over indices into a score vector, built on `ScoreBetter`.
+struct TotalScoreOrder {
+  const std::vector<double>* scores;
+  bool operator()(int64_t a, int64_t b) const {
+    return ScoreBetter((*scores)[a], a, (*scores)[b], b);
+  }
+};
+
+/// Process-wide switch for the KUC_CHECK_FINITE boundary assertions.
+/// Default off; flipping it affects all threads (relaxed atomic read on the
+/// checked paths, one branch when disabled).
+bool FiniteChecksEnabled();
+void SetFiniteChecksEnabled(bool enabled);
+
+/// RAII guard that enables finite checks for a scope (tests, fuzz drivers).
+class ScopedFiniteChecks {
+ public:
+  ScopedFiniteChecks() : previous_(FiniteChecksEnabled()) {
+    SetFiniteChecksEnabled(true);
+  }
+  ~ScopedFiniteChecks() { SetFiniteChecksEnabled(previous_); }
+
+  ScopedFiniteChecks(const ScopedFiniteChecks&) = delete;
+  ScopedFiniteChecks& operator=(const ScopedFiniteChecks&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace kucnet
+
+/// Aborts (with the offending index and value) when finite checks are
+/// enabled and `vec`-like data contains a non-finite element. `label` names
+/// the boundary, e.g. "kucnet.ScoreItems".
+#define KUC_CHECK_FINITE(data, n, label)                                     \
+  do {                                                                       \
+    if (::kucnet::FiniteChecksEnabled()) {                                   \
+      const int64_t kuc_nf_idx_ = ::kucnet::FirstNonFinite((data), (n));     \
+      KUC_CHECK(kuc_nf_idx_ < 0)                                             \
+          << label << ": non-finite value " << (data)[kuc_nf_idx_]           \
+          << " at index " << kuc_nf_idx_ << " of " << (n);                   \
+    }                                                                        \
+  } while (0)
+
+#endif  // KUCNET_UTIL_FINITE_H_

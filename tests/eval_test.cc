@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -6,6 +7,7 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "eval/metrics.h"
+#include "testing/oracle.h"
 
 namespace kucnet {
 namespace {
@@ -77,6 +79,68 @@ TEST(MetricsTest, TopNIndicesOrdersAndMasks) {
   // n larger than candidates.
   auto all = TopNIndices(scores, 100);
   EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(MetricsTest, TopNIndicesSurvivesNanScores) {
+  // Regression: the old comparator `scores[a] > scores[b]` is not a strict
+  // weak ordering when NaN is present (NaN > x and x > NaN are both false,
+  // yet NaN is not equivalent to every x), which is undefined behavior in
+  // std::partial_sort. The total order must instead sink every non-finite
+  // score below all finite ones, ties by index, on any NaN/Inf mixture.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> scores;
+  for (int i = 0; i < 64; ++i) {
+    scores.push_back(i % 3 == 0 ? nan : static_cast<double>(i % 7));
+  }
+  const auto top = TopNIndices(scores, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (const int64_t idx : top) {
+    EXPECT_TRUE(std::isfinite(scores[idx])) << "NaN leaked into top-10";
+  }
+  // Descending with index tie-break, and identical to the brute-force sort.
+  for (size_t k = 1; k < top.size(); ++k) {
+    EXPECT_TRUE(scores[top[k - 1]] > scores[top[k]] ||
+                (scores[top[k - 1]] == scores[top[k]] && top[k - 1] < top[k]));
+  }
+  EXPECT_EQ(top, testing::OracleTopN(scores, 10));
+}
+
+TEST(MetricsTest, TopNIndicesSinksInfinitiesBelowFinite) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores = {inf, 0.25, -inf, nan, 0.75};
+  // Non-finite (even +Inf — it cannot be a trustworthy score) ranks below
+  // every finite value; among non-finite, lower index first.
+  EXPECT_EQ(TopNIndices(scores, 5), (std::vector<int64_t>{4, 1, 0, 2, 3}));
+  EXPECT_EQ(TopNIndices(scores, 2), (std::vector<int64_t>{4, 1}));
+}
+
+TEST(MetricsTest, AllNanScoresDegradeToIndexOrder) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores(6, nan);
+  EXPECT_EQ(TopNIndices(scores, 4), (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(MetricsTest, ShortCandidatePoolKeepsTestSetDenominator) {
+  // The new-item split's global mask can leave fewer candidates than N.
+  // Pinned semantics: recall's denominator stays |T| and ndcg's ideal stays
+  // min(|T|, N) terms — a truncated list genuinely misses items, so neither
+  // metric is re-normalized to the reachable pool.
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6, 0.5};
+  std::vector<bool> mask = {false, false, true, true, true};
+  const auto ranked = TopNIndices(scores, 4, &mask);  // only 2 candidates
+  ASSERT_EQ(ranked, (std::vector<int64_t>{0, 1}));
+  const std::unordered_set<int64_t> test = {0, 1, 2};
+  // Both ranked items hit, but item 2 is unreachable: recall = 2/3 < 1.
+  EXPECT_NEAR(RecallAtN(ranked, test, 4), 2.0 / 3.0, 1e-12);
+  // DCG = 1/log2(2) + 1/log2(3); ideal = three terms (min(|T|, N) = 3).
+  const double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  const double ideal = dcg + 1.0 / std::log2(4.0);
+  EXPECT_NEAR(NdcgAtN(ranked, test, 4), dcg / ideal, 1e-12);
+  // And both match the definitional oracles exactly.
+  EXPECT_EQ(RecallAtN(ranked, test, 4), testing::OracleRecallAtN(ranked, test, 4));
+  EXPECT_NEAR(NdcgAtN(ranked, test, 4), testing::OracleNdcgAtN(ranked, test, 4),
+              1e-15);
 }
 
 // A ranker that scores item i as -i: ranks items in id order.
@@ -170,6 +234,57 @@ TEST(EvaluatorTest, TrainingPositivesAreMasked) {
   // All mass was on masked items; remaining ranking is arbitrary ties over
   // zero-score items, so recall should be near chance (20/600), far below 1.
   EXPECT_LT(r.recall, 0.3);
+}
+
+TEST(EvaluatorTest, NewItemSplitMatchesBruteForceOracle) {
+  // New-item protocol: the global mask hides every trained item from every
+  // user, so the candidate pool is just the held-out items — routinely
+  // smaller than top_n. The evaluator must agree with a brute-force replay
+  // (full sort + definitional metrics) user by user, including those short
+  // ranked lists.
+  SyntheticConfig cfg;
+  cfg.seed = 99;
+  cfg.num_users = 25;
+  cfg.num_items = 60;
+  cfg.num_topics = 4;
+  cfg.interactions_per_user = 6;
+  Rng rng(3);
+  const Dataset d = NewItemSplit(GenerateSynthetic(cfg).raw, 0.15, rng);
+  ASSERT_EQ(d.kind, SplitKind::kNewItem);
+  const IdOrderRanker ranker(d.num_items);
+
+  EvalOptions opts;
+  opts.parallel = false;
+  opts.top_n = 20;
+  const EvalResult result = EvaluateRanking(ranker, d, opts);
+
+  std::vector<bool> global_mask(d.num_items, false);
+  for (const auto& [u, i] : d.train) global_mask[i] = true;
+  // The held-out pool must actually be shorter than top_n for this test to
+  // exercise the short-list path.
+  int64_t candidates = 0;
+  for (const bool masked : global_mask) candidates += masked ? 0 : 1;
+  ASSERT_LT(candidates, opts.top_n);
+
+  const auto train_by_user = d.TrainItemsByUser();
+  const auto test_by_user = d.TestItemsByUser();
+  double recall_sum = 0.0, ndcg_sum = 0.0;
+  const auto test_users = d.TestUsers();
+  for (const int64_t user : test_users) {
+    const auto scores = ranker.ScoreItems(user);
+    std::vector<bool> mask = global_mask;
+    for (const int64_t item : train_by_user[user]) mask[item] = true;
+    const auto ranked = testing::OracleTopN(scores, opts.top_n, &mask);
+    const std::unordered_set<int64_t> test_set(test_by_user[user].begin(),
+                                               test_by_user[user].end());
+    recall_sum += testing::OracleRecallAtN(ranked, test_set, opts.top_n);
+    ndcg_sum += testing::OracleNdcgAtN(ranked, test_set, opts.top_n);
+  }
+  ASSERT_FALSE(test_users.empty());
+  EXPECT_NEAR(result.recall,
+              recall_sum / static_cast<double>(test_users.size()), 1e-12);
+  EXPECT_NEAR(result.ndcg, ndcg_sum / static_cast<double>(test_users.size()),
+              1e-12);
 }
 
 TEST(EvaluatorTest, ToStringFormat) {

@@ -5,6 +5,8 @@
 
 #include "graph/ckg.h"
 #include "ppr/ppr.h"
+#include "testing/fuzz.h"
+#include "testing/oracle.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -187,6 +189,74 @@ TEST(PprEdgeCaseTest, EdgeFreeGraphScoresZeroEverywhere) {
     // The stranded restart mass shows up at the user's own node.
     EXPECT_NEAR(table.Score(user, g.UserNode(user)), 1.0, 1e-9);
   }
+}
+
+TEST(PprOracleTest, PushMatchesOracleOnGraphWithDanglingNodes) {
+  // Entities 12..17 exist in the KG id space but appear in no triplet, so
+  // their nodes have no edges at all; user 3 is isolated too. The optimized
+  // push and the naive oracle push share the same queue discipline and
+  // arithmetic order, so their estimates must agree bitwise, dangling
+  // absorption included.
+  const std::vector<std::array<int64_t, 2>> inter = {
+      {0, 0}, {0, 1}, {1, 1}, {2, 0}, {2, 2}};
+  const std::vector<std::array<int64_t, 3>> kg = {
+      {0, 0, 3}, {1, 0, 3}, {2, 0, 4}, {4, 0, 5}};
+  Ckg g = Ckg::Build(4, 3, 18, 1, inter, kg);
+  for (int64_t source = 0; source < g.num_nodes(); ++source) {
+    const auto push = PprForwardPush(g, source, 0.2, 1e-7);
+    const testing::OraclePprResult oracle =
+        testing::OraclePprPush(g, source, 0.2, 1e-7);
+    ASSERT_EQ(push.size(), oracle.estimate.size()) << "source " << source;
+    for (const auto& [node, value] : oracle.estimate) {
+      const auto it = push.find(node);
+      ASSERT_NE(it, push.end()) << "source " << source << " node " << node;
+      EXPECT_EQ(testing::UlpDistance(it->second, value), 0u)
+          << "source " << source << " node " << node;
+    }
+    // Termination accounting: estimate plus terminal residual is the full
+    // unit of restart mass, dangling nodes or not.
+    EXPECT_NEAR(oracle.total_mass, 1.0, 1e-9) << "source " << source;
+  }
+}
+
+TEST(PprOracleTest, DanglingSourceAgainstDenseReference) {
+  // Edges are stored in both directions, so any *reachable* node has an
+  // out-edge; a dangling (edge-free) node can only ever be the source. Both
+  // cases appear here: the walk from user 0 is checked against the converged
+  // dense absorbing-walk reference within the push's undershoot bound, and
+  // the edge-free kg node 2 stays completely unranked.
+  const std::vector<std::array<int64_t, 2>> inter = {{0, 0}};
+  const std::vector<std::array<int64_t, 3>> kg = {{0, 0, 1}};
+  // Node layout: user 0, item node (kg id 0), entity node (kg id 1, only a
+  // back-edge from the item), plus kg id 2 fully dangling.
+  Ckg g = Ckg::Build(1, 1, 3, 1, inter, kg);
+  const real_t epsilon = 1e-8;
+  const auto push = PprForwardPush(g, g.UserNode(0), 0.15, epsilon);
+  const testing::OracleDensePpr dense =
+      testing::OraclePprDense(g, g.UserNode(0), 0.15, 600);
+  real_t degree_sum = 0.0, undershoot = 0.0;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    const auto it = push.find(v);
+    const real_t est = it == push.end() ? 0.0 : it->second;
+    EXPECT_LE(est, dense.estimate[v] + 1e-12) << "node " << v;
+    undershoot += dense.estimate[v] - est;
+    degree_sum += static_cast<real_t>(g.OutDegree(v));
+  }
+  EXPECT_LE(undershoot, epsilon * degree_sum + 1e-8);
+  // The fully dangling node is unreachable: no estimate at all.
+  EXPECT_EQ(push.count(g.KgNode(2)), 0u);
+}
+
+TEST(PprOracleTest, MassConservationUnderFuzz) {
+  // 200 random graphs with isolated users and dangling entities: every push
+  // transcript must conserve mass (estimate + residual == 1) and match the
+  // optimized implementation bitwise. FuzzPpr asserts both per case.
+  testing::FuzzOptions options;
+  options.seed = 424242;
+  options.cases = 200;
+  const testing::FuzzReport report = testing::FuzzPpr(options);
+  EXPECT_TRUE(report.ok()) << report.first_failure;
+  EXPECT_EQ(report.cases_run, 200);
 }
 
 }  // namespace

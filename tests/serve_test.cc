@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -373,6 +375,62 @@ TEST(RecServerFaultSweepTest, TransientFaultRecoversNextRequest) {
   const RecResponse recovered = f.server->ServeSync({2});
   EXPECT_EQ(recovered.tier, ServeTier::kFull);
   EXPECT_FALSE(recovered.degraded);
+}
+
+// ---- Non-finite model output -------------------------------------------------
+
+TEST(RecServerTest, NonFiniteScoresAreNeverCachedOrServed) {
+  // Regression: serving from a mid-divergence checkpoint produces NaN scores
+  // in the full tier. The server must reject that output — never cache it,
+  // never rank it — and fall through the degrade chain instead.
+  FakeClock clock;
+  ServeFixture f(SyncOptions(&clock));
+  // Poison the readout vector, the one weight every reachable item's score
+  // flows through. (Poisoning *earlier* layers would not do: ReLU squashes
+  // NaN activations to zero, and the matmul zero-skip then never touches the
+  // poisoned weights, so scores come out finite.)
+  Matrix& readout = f.model->Params().back()->value();
+  for (int64_t i = 0; i < readout.size(); ++i) {
+    readout.data()[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  const RecResponse response = f.server->ServeSync({3, 10, 0});
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  // Cold cache, so the fallback lands on the PPR heuristic tier.
+  EXPECT_EQ(response.tier, ServeTier::kHeuristic);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_NE(response.degrade_reason.find("non-finite"), std::string::npos);
+  ASSERT_FALSE(response.items.empty());
+  for (const ScoredItem& item : response.items) {
+    EXPECT_TRUE(std::isfinite(item.score)) << "item " << item.item;
+  }
+  // The poisoned vector was rejected *before* the cache deposit...
+  EXPECT_EQ(f.server->cache().size(), 0);
+  EXPECT_EQ(f.server->stats().nonfinite_scores, 1);
+  EXPECT_EQ(f.server->stats().tier_count[static_cast<int>(ServeTier::kFull)],
+            0);
+  // ...so a later request degrades the same clean way rather than serving
+  // NaN from a poisoned cache entry.
+  const RecResponse again = f.server->ServeSync({3, 10, 0});
+  EXPECT_EQ(again.tier, ServeTier::kHeuristic);
+  EXPECT_EQ(f.server->stats().nonfinite_scores, 2);
+}
+
+TEST(RecServerTest, NonFiniteFullTierFallsBackToWarmCache) {
+  // A warm, healthy cache entry outranks the PPR heuristic even when the
+  // model later starts emitting NaN: degrade order is cache before PPR.
+  FakeClock clock;
+  ServeFixture f(SyncOptions(&clock));
+  ASSERT_EQ(f.server->ServeSync({5, 10, 0}).tier, ServeTier::kFull);
+  Matrix& readout = f.model->Params().back()->value();
+  for (int64_t i = 0; i < readout.size(); ++i) {
+    readout.data()[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  const RecResponse response = f.server->ServeSync({5, 10, 0});
+  EXPECT_EQ(response.tier, ServeTier::kCached);
+  EXPECT_EQ(f.server->stats().nonfinite_scores, 1);
+  for (const ScoredItem& item : response.items) {
+    EXPECT_TRUE(std::isfinite(item.score));
+  }
 }
 
 // ---- Stats -------------------------------------------------------------------
