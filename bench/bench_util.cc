@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "util/logging.h"
@@ -223,6 +224,22 @@ void PrintRow(const std::string& model, const EvalResult& measured,
               paper.ndcg >= 0 ? Fmt(paper.ndcg).c_str() : "-");
 }
 
+const std::string& CpuModelName() {
+  static const std::string name = [] {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+      const auto colon = line.find(':');
+      if (line.rfind("model name", 0) == 0 && colon != std::string::npos) {
+        const auto start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) return line.substr(start);
+      }
+    }
+    return std::string("unknown");
+  }();
+  return name;
+}
+
 void WriteKernelBenchJson(const std::string& path,
                           const std::vector<KernelBenchResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -232,9 +249,11 @@ void WriteKernelBenchJson(const std::string& path,
     const KernelBenchResult& r = results[i];
     std::fprintf(f,
                  "  {\"kernel\": \"%s\", \"size\": \"%s\", \"threads\": %d, "
-                 "\"ns_per_op\": %.1f, \"speedup\": %.3f}%s\n",
+                 "\"ns_per_op\": %.1f, \"speedup\": %.3f, \"gflops\": %.2f, "
+                 "\"bytes_per_s\": %.3e, \"simd\": \"%s\", \"cpu\": \"%s\"}%s\n",
                  r.kernel.c_str(), r.size.c_str(), r.threads, r.ns_per_op,
-                 r.speedup, i + 1 < results.size() ? "," : "");
+                 r.speedup, r.gflops, r.bytes_per_s, r.simd.c_str(),
+                 r.cpu.c_str(), i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);

@@ -101,10 +101,18 @@ struct KernelBenchResult {
   int threads = 1;       ///< pool size the measurement ran under
   double ns_per_op = 0;  ///< best-of-reps wall time per operation
   double speedup = 1.0;  ///< serial ns_per_op / this ns_per_op
+  double gflops = 0;     ///< achieved arithmetic rate; 0 when not meaningful
+  double bytes_per_s = 0;  ///< achieved memory traffic rate; 0 when n/a
+  std::string simd;      ///< SIMD level the kernel dispatched to, e.g. "avx2"
+  std::string cpu;       ///< CPU model string the measurement ran on
 };
 
+/// The "model name" line of /proc/cpuinfo (or "unknown"), cached.
+const std::string& CpuModelName();
+
 /// Writes `results` to `path` as a machine-readable JSON array (one object
-/// per entry with keys kernel/size/threads/ns_per_op/speedup).
+/// per entry with keys kernel/size/threads/ns_per_op/speedup/gflops/
+/// bytes_per_s/simd/cpu).
 void WriteKernelBenchJson(const std::string& path,
                           const std::vector<KernelBenchResult>& results);
 

@@ -6,7 +6,9 @@
 // times each threaded kernel serially (1-worker pool) and with a multi-worker
 // pool, verifies the two produce bitwise-identical results, and writes a
 // machine-readable BENCH_kernels.json baseline (kernel, size, threads,
-// ns_per_op, speedup).
+// ns_per_op, speedup, gflops, bytes_per_s, simd, cpu). Matmul rows cover the
+// square acceptance shape, an odd non-tile-multiple shape, the forced-scalar
+// micro-kernel, and the re-associated fast mode.
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +25,7 @@
 #include "ppr/ppr.h"
 #include "tensor/adam.h"
 #include "tensor/matrix.h"
+#include "tensor/simd.h"
 #include "tensor/sparse.h"
 #include "tensor/sparse_ops.h"
 #include "tensor/tape.h"
@@ -179,11 +182,19 @@ double BestNs(int reps, const Fn& fn) {
   return best;
 }
 
+/// Known per-op work, for derived throughput columns. Either may be 0 when
+/// the metric is not meaningful for a kernel (reported as 0 in the JSON).
+struct OpWork {
+  double flops = 0;  ///< arithmetic operations per op
+  double bytes = 0;  ///< minimum memory traffic per op
+};
+
 /// Times `fn` under a 1-worker pool and a `threads`-worker pool, checks the
-/// returned matrices are bitwise identical, and appends both rows.
+/// returned matrices are bitwise identical, and appends both rows with
+/// achieved GFLOP/s and bytes/s plus the dispatched SIMD level and CPU model.
 template <typename Fn>
 void CompareKernel(const std::string& kernel, const std::string& size,
-                   int threads, int reps, const Fn& fn,
+                   int threads, int reps, OpWork work, const Fn& fn,
                    std::vector<bench::KernelBenchResult>* out) {
   SetGlobalPoolThreads(1);
   const Matrix serial_result = fn();
@@ -193,13 +204,24 @@ void CompareKernel(const std::string& kernel, const std::string& size,
   const double threaded_ns = BestNs(reps, fn);
   KUC_CHECK(serial_result.Equals(threaded_result))
       << kernel << " result differs between 1 and " << threads << " threads";
-  out->push_back({kernel, size, 1, serial_ns, 1.0});
-  out->push_back({kernel, size, threads, threaded_ns,
-                  threaded_ns > 0 ? serial_ns / threaded_ns : 0.0});
+  const std::string simd = SimdLevelName(ActiveSimdLevel());
+  const std::string& cpu = bench::CpuModelName();
+  auto row = [&](int t, double ns, double speedup) {
+    out->push_back({kernel, size, t, ns, speedup,
+                    ns > 0 ? work.flops / ns : 0.0,
+                    ns > 0 ? work.bytes / (ns * 1e-9) : 0.0, simd, cpu});
+  };
+  row(1, serial_ns, 1.0);
+  row(threads, threaded_ns, threaded_ns > 0 ? serial_ns / threaded_ns : 0.0);
+  const std::string rate =
+      work.flops > 0
+          ? " @ " + bench::Fmt(work.flops / serial_ns, 1) + " GFLOP/s"
+          : "";
   std::printf("%-16s %-14s 1 thread: %10.0f ns   %d threads: %10.0f ns   "
-              "speedup %.2fx\n",
+              "speedup %.2fx   %s%s\n",
               kernel.c_str(), size.c_str(), serial_ns, threads, threaded_ns,
-              threaded_ns > 0 ? serial_ns / threaded_ns : 0.0);
+              threaded_ns > 0 ? serial_ns / threaded_ns : 0.0, simd.c_str(),
+              rate.c_str());
 }
 
 int RunThreadsCompare(const std::string& json_path, int threads) {
@@ -213,12 +235,41 @@ int RunThreadsCompare(const std::string& json_path, int threads) {
     const int64_t n = 512;
     Matrix a = Matrix::RandomNormal(n, n, 1.0, rng);
     Matrix b = Matrix::RandomNormal(n, n, 1.0, rng);
-    CompareKernel("matmul", "512x512x512", threads, 5,
+    const OpWork w{2.0 * n * n * n, 4.0 * n * n * sizeof(real_t)};
+    CompareKernel("matmul", "512x512x512", threads, 5, w,
                   [&] { return MatMul(a, b); }, &results);
-    CompareKernel("matmul_tA", "512x512x512", threads, 5,
+    CompareKernel("matmul_tA", "512x512x512", threads, 5, w,
                   [&] { return MatMulTransposedA(a, b); }, &results);
-    CompareKernel("matmul_tB", "512x512x512", threads, 5,
+    CompareKernel("matmul_tB", "512x512x512", threads, 5, w,
                   [&] { return MatMulTransposedB(a, b); }, &results);
+    {  // Same problem pinned to the scalar micro-kernel: the vector payoff.
+      ScopedSimdLevel scalar_only(SimdLevel::kScalar);
+      CompareKernel("matmul_scalar", "512x512x512", threads, 5, w,
+                    [&] { return MatMul(a, b); }, &results);
+    }
+    {  // Re-associated fast mode (FMA where the ISA has it).
+      ScopedKernelMode fast(KernelMode::kFast);
+      CompareKernel("matmul_fast", "512x512x512", threads, 5, w,
+                    [&] { return MatMul(a, b); }, &results);
+    }
+  }
+
+  {  // Odd, non-tile-multiple shape: exercises every edge-tile path (M, N,
+     // and K all indivisible by the register tile or panel depth).
+    const int64_t m = 129, k = 67, n = 255;
+    Matrix a = Matrix::RandomNormal(m, k, 1.0, rng);
+    Matrix b = Matrix::RandomNormal(k, n, 1.0, rng);
+    const OpWork w{2.0 * m * n * k,
+                   static_cast<double>(m * k + k * n + 2 * m * n) *
+                       sizeof(real_t)};
+    CompareKernel("matmul", "129x67x255", threads, 5, w,
+                  [&] { return MatMul(a, b); }, &results);
+    Matrix at = Transpose(a);
+    CompareKernel("matmul_tA", "129x67x255", threads, 5, w,
+                  [&] { return MatMulTransposedA(at, b); }, &results);
+    Matrix bt = Transpose(b);
+    CompareKernel("matmul_tB", "129x67x255", threads, 5, w,
+                  [&] { return MatMulTransposedB(a, bt); }, &results);
   }
 
   {  // 10^6-edge segment-sum, dim 32 (acceptance kernel #2).
@@ -228,7 +279,11 @@ int RunThreadsCompare(const std::string& json_path, int threads) {
     Matrix h = Matrix::RandomNormal(edges, dim, 1.0, rng);
     std::vector<int64_t> seg(edges);
     for (int64_t e = 0; e < edges; ++e) seg[e] = rng.UniformInt(nodes);
-    CompareKernel("segment_sum", "1Mx32", threads, 5,
+    const OpWork seg_work{static_cast<double>(edges * dim),
+                          static_cast<double>((2 * edges + nodes) * dim *
+                                                  sizeof(real_t) +
+                                              edges * sizeof(int64_t))};
+    CompareKernel("segment_sum", "1Mx32", threads, 5, seg_work,
                   [&] {
                     Tape tape;
                     Var x = tape.Constant(h);
@@ -237,7 +292,10 @@ int RunThreadsCompare(const std::string& json_path, int threads) {
                   &results);
     std::vector<int64_t> idx(edges);
     for (int64_t e = 0; e < edges; ++e) idx[e] = rng.UniformInt(edges);
-    CompareKernel("gather", "1Mx32", threads, 5,
+    const OpWork gather_work{
+        0, static_cast<double>(2 * edges * dim * sizeof(real_t) +
+                               edges * sizeof(int64_t))};
+    CompareKernel("gather", "1Mx32", threads, 5, gather_work,
                   [&] {
                     Tape tape;
                     Var x = tape.Constant(h);
@@ -250,7 +308,10 @@ int RunThreadsCompare(const std::string& json_path, int threads) {
     const int64_t rows = 100000, dim = 32;
     Matrix init = Matrix::RandomNormal(rows, dim, 0.1, rng);
     Matrix grad = Matrix::RandomNormal(rows, dim, 0.01, rng);
+    // ~12 flops per element (moment updates, bias correction, write).
     CompareKernel("adam_step", "100kx32", threads, 5,
+                  OpWork{12.0 * rows * dim,
+                         static_cast<double>(5 * rows * dim * sizeof(real_t))},
                   [&] {
                     Parameter p("table", init);
                     p.AccumulateDense(grad);
@@ -266,7 +327,7 @@ int RunThreadsCompare(const std::string& json_path, int threads) {
     SetGlobalPoolThreads(threads);
     bench::Workload w =
         bench::MakeWorkload("synth-lastfm", SplitKind::kTraditional);
-    CompareKernel("train_epoch", "synth-lastfm", threads, 2,
+    CompareKernel("train_epoch", "synth-lastfm", threads, 2, OpWork{},
                   [&] {
                     Kucnet model(&w.dataset, &w.ckg, &w.ppr, KucnetOptions());
                     Rng epoch_rng(11);

@@ -1,0 +1,35 @@
+#include "tensor/kernels.h"
+
+namespace kucnet {
+namespace detail {
+
+const KernelSet& GetKernelSet(SimdLevel level) {
+  // Clamp to what this binary carries AND this CPU supports; fall through to
+  // the next level down otherwise.
+  const SimdLevel usable =
+      static_cast<int>(level) < static_cast<int>(DetectedSimdLevel())
+          ? level
+          : DetectedSimdLevel();
+  switch (usable) {
+    case SimdLevel::kAvx2:
+#if defined(KUCNET_HAVE_KERNELS_AVX2)
+      return KernelSetAvx2();
+#else
+      [[fallthrough]];
+#endif
+    case SimdLevel::kSse2:
+#if defined(KUCNET_HAVE_KERNELS_SSE2)
+      return KernelSetSse2();
+#else
+      [[fallthrough]];
+#endif
+    case SimdLevel::kScalar:
+      return KernelSetScalar();
+  }
+  return KernelSetScalar();
+}
+
+const KernelSet& ActiveKernelSet() { return GetKernelSet(ActiveSimdLevel()); }
+
+}  // namespace detail
+}  // namespace kucnet

@@ -9,13 +9,18 @@
 /// \file
 /// Dense row-major matrix of doubles: the value type of the autograd tape.
 ///
-/// Kernels are cache-friendly and, above a size threshold, threaded over the
-/// process-wide pool (see util/thread_pool.h). Parallel execution is
-/// bit-reproducible: matmuls parallelize over independent output rows with
-/// unchanged per-element accumulation order, and reductions (Sum,
-/// SquaredNorm) always use a fixed-chunk summation tree whose shape depends
-/// only on the input size, never on the thread count. Doubles keep
-/// finite-difference gradient checks tight.
+/// The matmul family runs on register-tiled, cache-blocked micro-kernels
+/// that are SIMD-vectorized behind a runtime CPUID dispatch (see
+/// tensor/simd.h); above a size threshold work is threaded over the
+/// process-wide pool (see util/thread_pool.h). In the default deterministic
+/// kernel mode execution is bit-reproducible across thread counts AND SIMD
+/// levels: each output element keeps a single ascending-k accumulation chain
+/// with separate mul+add rounding, threading splits only independent output
+/// row tiles, and reductions (Sum, SquaredNorm) always use a fixed-chunk
+/// summation tree whose shape depends only on the input size. The opt-in
+/// fast mode (KUCNET_FAST_KERNELS=1) lets kernels fuse multiply-adds for
+/// extra throughput at the cost of differently-rounded (ULP-bounded)
+/// results. Doubles keep finite-difference gradient checks tight.
 
 namespace kucnet {
 

@@ -1,0 +1,162 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+/// Test overrides, encoded as int (-1 = unset) so one atomic carries both
+/// "none" and every enum value.
+std::atomic<int> g_level_override{-1};
+std::atomic<int> g_mode_override{-1};
+
+SimdLevel Min(SimdLevel a, SimdLevel b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+/// KUCNET_SIMD environment clamp, resolved once. Values: scalar|sse2|avx2
+/// cap the dispatch level; "auto", empty, or unset mean "no clamp"; anything
+/// else warns once and is ignored.
+SimdLevel EnvSimdClamp() {
+  static const SimdLevel clamp = [] {
+    const char* env = std::getenv("KUCNET_SIMD");
+    if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+      return SimdLevel::kAvx2;  // no clamp
+    }
+    SimdLevel parsed;
+    if (ParseSimdLevel(env, &parsed)) return parsed;
+    KUC_LOG(Warning) << "ignoring invalid KUCNET_SIMD=\"" << env
+                     << "\" (want scalar|sse2|avx2|auto)";
+    return SimdLevel::kAvx2;
+  }();
+  return clamp;
+}
+
+/// KUCNET_FAST_KERNELS environment default, resolved once.
+KernelMode EnvKernelMode() {
+  static const KernelMode mode = [] {
+    const char* env = std::getenv("KUCNET_FAST_KERNELS");
+    if (env != nullptr && std::strcmp(env, "1") == 0) {
+      return KernelMode::kFast;
+    }
+    return KernelMode::kDeterministic;
+  }();
+  return mode;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const char* text, SimdLevel* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "sse2") == 0) {
+    *out = SimdLevel::kSse2;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = [] {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(KUCNET_HAVE_KERNELS_AVX2)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return SimdLevel::kAvx2;
+    }
+#endif
+#if defined(KUCNET_HAVE_KERNELS_SSE2)
+    if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+#endif
+#endif
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int override_level = g_level_override.load(std::memory_order_relaxed);
+  if (override_level >= 0) {
+    return Min(static_cast<SimdLevel>(override_level), DetectedSimdLevel());
+  }
+  static const SimdLevel ambient = [] {
+    const SimdLevel level = Min(EnvSimdClamp(), DetectedSimdLevel());
+    if (level != DetectedSimdLevel()) {
+      KUC_LOG(Info) << "SIMD dispatch clamped to " << SimdLevelName(level)
+                    << " by KUCNET_SIMD (detected "
+                    << SimdLevelName(DetectedSimdLevel()) << ")";
+    }
+    return level;
+  }();
+  return ambient;
+}
+
+void SetSimdLevelForTest(SimdLevel level) {
+  g_level_override.store(static_cast<int>(Min(level, DetectedSimdLevel())),
+                         std::memory_order_relaxed);
+}
+
+void ClearSimdLevelForTest() {
+  g_level_override.store(-1, std::memory_order_relaxed);
+}
+
+ScopedSimdLevel::ScopedSimdLevel(SimdLevel level)
+    : saved_override_(g_level_override.load(std::memory_order_relaxed)) {
+  SetSimdLevelForTest(level);
+}
+
+ScopedSimdLevel::~ScopedSimdLevel() {
+  g_level_override.store(saved_override_, std::memory_order_relaxed);
+}
+
+const char* KernelModeName(KernelMode mode) {
+  return mode == KernelMode::kFast ? "fast" : "deterministic";
+}
+
+KernelMode ActiveKernelMode() {
+  const int override_mode = g_mode_override.load(std::memory_order_relaxed);
+  if (override_mode >= 0) return static_cast<KernelMode>(override_mode);
+  return EnvKernelMode();
+}
+
+void SetKernelModeForTest(KernelMode mode) {
+  g_mode_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ClearKernelModeForTest() {
+  g_mode_override.store(-1, std::memory_order_relaxed);
+}
+
+ScopedKernelMode::ScopedKernelMode(KernelMode mode)
+    : saved_override_(g_mode_override.load(std::memory_order_relaxed)) {
+  SetKernelModeForTest(mode);
+}
+
+ScopedKernelMode::~ScopedKernelMode() {
+  g_mode_override.store(saved_override_, std::memory_order_relaxed);
+}
+
+}  // namespace kucnet

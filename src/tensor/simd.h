@@ -1,0 +1,94 @@
+#ifndef KUCNET_TENSOR_SIMD_H_
+#define KUCNET_TENSOR_SIMD_H_
+
+/// \file
+/// Runtime SIMD dispatch seam for the tensor kernels.
+///
+/// One binary carries scalar, SSE2, and AVX2(+FMA) instantiations of every
+/// hot kernel (see kernels.h); the level actually executed is chosen at
+/// runtime from CPUID, clamped by the `KUCNET_SIMD` environment variable
+/// (`scalar` | `sse2` | `avx2` | `auto`) and by per-test overrides. Because
+/// the deterministic kernels keep one accumulation chain per output element
+/// regardless of lane width, every level produces bitwise-identical results
+/// — forcing `KUCNET_SIMD=scalar` is a correctness flashlight, not a
+/// different numerical contract.
+///
+/// Orthogonally, kernels run in one of two modes:
+///  - `KernelMode::kDeterministic` (default): separate multiply+add rounding
+///    with the exact per-element accumulation order of the original
+///    (pre-SIMD) kernels, so training reproducibility and the 0-ULP
+///    differential oracles are preserved.
+///  - `KernelMode::kFast`: the same accumulation order but with FMA
+///    contraction where the hardware has it (AVX2 level only). Results are
+///    not bitwise-stable across levels; they are validated ULP/mass-bounded
+///    against the differential oracles. Enable with `KUCNET_FAST_KERNELS=1`
+///    or a scoped override.
+
+namespace kucnet {
+
+/// Instruction-set tiers the kernels are compiled for, in ascending order.
+/// Comparison operators reflect capability ordering.
+enum class SimdLevel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Human-readable name: "scalar" | "sse2" | "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses "scalar" / "sse2" / "avx2" (case-sensitive). Returns false (and
+/// leaves `*out` untouched) for anything else, including "auto".
+bool ParseSimdLevel(const char* text, SimdLevel* out);
+
+/// Best level this binary carries code for AND this CPU supports. Cached
+/// after the first call.
+SimdLevel DetectedSimdLevel();
+
+/// The level kernels will actually dispatch to: DetectedSimdLevel() clamped
+/// by KUCNET_SIMD (read once, at first use) and by SetSimdLevelForTest.
+/// Requests above the detected level clamp down with a one-time warning.
+SimdLevel ActiveSimdLevel();
+
+/// Forces ActiveSimdLevel() to min(level, DetectedSimdLevel()) until
+/// ClearSimdLevelForTest(). For tests and benchmarks only.
+void SetSimdLevelForTest(SimdLevel level);
+void ClearSimdLevelForTest();
+
+/// RAII SetSimdLevelForTest: restores the previous override on destruction.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level);
+  ~ScopedSimdLevel();
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  int saved_override_;  ///< encoded previous override (-1 = none)
+};
+
+/// Numerical contract the matmul family runs under; see file comment.
+enum class KernelMode : int { kDeterministic = 0, kFast = 1 };
+
+/// "deterministic" | "fast".
+const char* KernelModeName(KernelMode mode);
+
+/// kFast when KUCNET_FAST_KERNELS=1 (read once) or a test override says so;
+/// kDeterministic otherwise.
+KernelMode ActiveKernelMode();
+
+/// Overrides ActiveKernelMode() until ClearKernelModeForTest().
+void SetKernelModeForTest(KernelMode mode);
+void ClearKernelModeForTest();
+
+/// RAII SetKernelModeForTest: restores the previous override on destruction.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode);
+  ~ScopedKernelMode();
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  int saved_override_;  ///< encoded previous override (-1 = none)
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_TENSOR_SIMD_H_

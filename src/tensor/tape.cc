@@ -1,9 +1,11 @@
 #include "tensor/tape.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
 
+#include "tensor/kernels.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -45,6 +47,93 @@ RowGroups GroupByRow(const std::vector<int64_t>& rows, int64_t num_rows) {
     g.order[cursor[rows[k]]++] = static_cast<int64_t>(k);
   }
   return g;
+}
+
+/// How many indexed rows ahead to issue a software prefetch. Index-chasing
+/// loads (src.row(idx[k])) are the latency bound of gather/scatter kernels;
+/// eight rows ahead covers ~a memory round-trip at these row widths.
+constexpr int64_t kPrefetchAhead = 8;
+
+/// Widest row (in doubles) that the scatter path accumulates in a stack
+/// buffer: 64 * 8 B = one 512-byte tile, comfortably register/L1-resident.
+constexpr int64_t kLocalAccCols = 64;
+
+/// dst->row(rows[k]) += src.row(k) for all k, deterministically: each
+/// destination row receives its contributions in ascending-k order no matter
+/// the thread count.
+///
+/// Serial form is a direct scatter with software prefetch of upcoming
+/// indexed rows. The parallel form groups contributions by destination row
+/// (CSR counting sort) and then splits the destination index space into
+/// blocks balanced by *edge count*, with boundaries aligned to destination
+/// groups — a block always owns every contribution of each of its rows.
+/// Equal-row-count blocks (the old scheme) degenerate on power-law scatter
+/// patterns where a few hub rows hold most of the edges; equal-edge blocks
+/// keep workers busy. Rows with several contributions are accumulated in a
+/// cache-line-aligned stack tile so the destination row stays in registers
+/// while source rows stream past (the round-trip through the tile performs
+/// the same element-wise adds, so results are bit-identical to the in-place
+/// loop).
+void ScatterAddRows(const std::vector<int64_t>& rows, const Matrix& src,
+                    Matrix* dst) {
+  const int64_t d = src.cols();
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const detail::RowBinaryFn row_add = detail::ActiveKernelSet().row_add;
+  if (!(WantParallel(n * d) && dst->rows() > 1)) {
+    for (int64_t k = 0; k < n; ++k) {
+      if (k + kPrefetchAhead < n) {
+        __builtin_prefetch(dst->row(rows[k + kPrefetchAhead]));
+      }
+      row_add(dst->row(rows[k]), src.row(k), d);
+    }
+    return;
+  }
+  const RowGroups groups = GroupByRow(rows, dst->rows());
+  // Edge-balanced blocks: cut after ~target edges, only at group boundaries.
+  // Block placement affects scheduling only — every destination row's
+  // accumulation chain lives entirely inside one block — so sizing blocks by
+  // the current worker count cannot change results.
+  const int64_t target = std::max<int64_t>(
+      kRowGrain, n / (static_cast<int64_t>(EffectiveParallelism()) * 4));
+  std::vector<int64_t> cuts;
+  cuts.push_back(0);
+  int64_t acc = 0;
+  for (int64_t r = 0; r < dst->rows(); ++r) {
+    acc += groups.offsets[r + 1] - groups.offsets[r];
+    if (acc >= target && r + 1 < dst->rows()) {
+      cuts.push_back(r + 1);
+      acc = 0;
+    }
+  }
+  cuts.push_back(dst->rows());
+  ParallelFor(
+      static_cast<int64_t>(cuts.size()) - 1,
+      [&groups, &cuts, &src, dst, d, row_add](int64_t blk) {
+        alignas(64) real_t tile[kLocalAccCols];
+        for (int64_t r = cuts[blk]; r < cuts[blk + 1]; ++r) {
+          const int64_t e0 = groups.offsets[r];
+          const int64_t e1 = groups.offsets[r + 1];
+          if (e0 == e1) continue;
+          real_t* dstrow = dst->row(r);
+          if (d <= kLocalAccCols && e1 - e0 > 1) {
+            for (int64_t j = 0; j < d; ++j) tile[j] = dstrow[j];
+            for (int64_t e = e0; e < e1; ++e) {
+              if (e + kPrefetchAhead < e1) {
+                __builtin_prefetch(src.row(groups.order[e + kPrefetchAhead]));
+              }
+              row_add(tile, src.row(groups.order[e]), d);
+            }
+            for (int64_t j = 0; j < d; ++j) dstrow[j] = tile[j];
+          } else {
+            for (int64_t e = e0; e < e1; ++e) {
+              if (e + kPrefetchAhead < e1) {
+                __builtin_prefetch(src.row(groups.order[e + kPrefetchAhead]));
+              }
+              row_add(dstrow, src.row(groups.order[e]), d);
+            }
+          }
+        }
+      });
 }
 
 }  // namespace
@@ -452,12 +541,15 @@ Var Tape::Gather(Var a, std::vector<int64_t> idx) {
   }
   Matrix y(k_count, d);
   // Forward: each output row is written exactly once — embarrassingly
-  // parallel and trivially deterministic.
-  auto gather_rows = [&y, &av, &idx, d](int64_t lo, int64_t hi) {
+  // parallel and trivially deterministic. Prefetch upcoming indexed source
+  // rows; the index chain, not the copy, is the latency bound.
+  const detail::RowBinaryFn row_copy = detail::ActiveKernelSet().row_copy;
+  auto gather_rows = [&y, &av, &idx, d, row_copy](int64_t lo, int64_t hi) {
     for (int64_t k = lo; k < hi; ++k) {
-      const real_t* src = av.row(idx[k]);
-      real_t* dst = y.row(k);
-      for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+      if (k + kPrefetchAhead < hi) {
+        __builtin_prefetch(av.row(idx[k + kPrefetchAhead]));
+      }
+      row_copy(y.row(k), av.row(idx[k]), d);
     }
   };
   if (WantParallel(k_count * d)) {
@@ -472,32 +564,10 @@ Var Tape::Gather(Var a, std::vector<int64_t> idx) {
   nodes_[id].backward = [id, a, idx = std::move(idx)](Tape& t) {
     const Matrix& dy = t.nodes_[id].grad;
     Matrix& da = t.node(a).grad;
-    const int64_t dd = dy.cols();
-    const int64_t n = static_cast<int64_t>(idx.size());
-    // Backward is a scatter-add: da.row(idx[k]) += dy.row(k). Threaded via
-    // per-target-row grouping so each source row's contributions are summed
-    // in original k order — bit-identical to the serial loop, no atomics.
-    if (WantParallel(n * dd) && da.rows() > 1) {
-      const RowGroups groups = GroupByRow(idx, da.rows());
-      ParallelForRanges(
-          da.rows(), kRowGrain,
-          [&groups, &da, &dy, dd](int64_t lo, int64_t hi) {
-            for (int64_t r = lo; r < hi; ++r) {
-              real_t* dst = da.row(r);
-              for (int64_t e = groups.offsets[r]; e < groups.offsets[r + 1];
-                   ++e) {
-                const real_t* src = dy.row(groups.order[e]);
-                for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
-              }
-            }
-          });
-      return;
-    }
-    for (int64_t k = 0; k < n; ++k) {
-      real_t* dst = da.row(idx[k]);
-      const real_t* src = dy.row(k);
-      for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
-    }
+    // Backward is a scatter-add: da.row(idx[k]) += dy.row(k), grouped and
+    // edge-balanced by ScatterAddRows — bit-identical to the serial loop at
+    // any thread count, no atomics.
+    ScatterAddRows(idx, dy, &da);
   };
   return out;
 }
@@ -512,30 +582,10 @@ Var Tape::SegmentSum(Var a, std::vector<int64_t> seg, int64_t num_segments) {
     KUC_CHECK_LT(seg[k], num_segments);
   }
   Matrix y(num_segments, d);
-  // Forward is a scatter-add over segments; the grouped parallel form sums
-  // each segment's member rows in original edge order (bit-identical to the
-  // sequential loop at any thread count).
-  if (WantParallel(edges * d) && num_segments > 1) {
-    const RowGroups groups = GroupByRow(seg, num_segments);
-    ParallelForRanges(
-        num_segments, kRowGrain,
-        [&groups, &y, &av, d](int64_t lo, int64_t hi) {
-          for (int64_t s = lo; s < hi; ++s) {
-            real_t* dst = y.row(s);
-            for (int64_t e = groups.offsets[s]; e < groups.offsets[s + 1];
-                 ++e) {
-              const real_t* src = av.row(groups.order[e]);
-              for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-            }
-          }
-        });
-  } else {
-    for (int64_t k = 0; k < edges; ++k) {
-      real_t* dst = y.row(seg[k]);
-      const real_t* src = av.row(k);
-      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-    }
-  }
+  // Forward is a scatter-add over segments, grouped and edge-balanced by
+  // ScatterAddRows: each segment sums its member rows in original edge
+  // order, bit-identical to the sequential loop at any thread count.
+  ScatterAddRows(seg, av, &y);
   const bool ng = NeedsGrad(a);
   Var out = NewNode(std::move(y), ng, nullptr);
   if (!ng) return out;
@@ -545,12 +595,15 @@ Var Tape::SegmentSum(Var a, std::vector<int64_t> seg, int64_t num_segments) {
     Matrix& da = t.node(a).grad;
     const int64_t dd = dy.cols();
     const int64_t n = static_cast<int64_t>(seg.size());
-    // Backward is a gather: da.row(k) += dy.row(seg[k]) — independent writes.
-    auto scatter_back = [&da, &dy, &seg, dd](int64_t lo, int64_t hi) {
+    // Backward is a gather: da.row(k) += dy.row(seg[k]) — independent
+    // writes; prefetch the indexed gradient rows ahead of the adds.
+    const detail::RowBinaryFn row_add = detail::ActiveKernelSet().row_add;
+    auto scatter_back = [&da, &dy, &seg, dd, row_add](int64_t lo, int64_t hi) {
       for (int64_t k = lo; k < hi; ++k) {
-        const real_t* src = dy.row(seg[k]);
-        real_t* dst = da.row(k);
-        for (int64_t j = 0; j < dd; ++j) dst[j] += src[j];
+        if (k + kPrefetchAhead < hi) {
+          __builtin_prefetch(dy.row(seg[k + kPrefetchAhead]));
+        }
+        row_add(da.row(k), dy.row(seg[k]), dd);
       }
     };
     if (WantParallel(n * dd)) {

@@ -15,6 +15,7 @@
 #include "eval/metrics.h"
 #include "ppr/ppr.h"
 #include "serve/rec_server.h"
+#include "tensor/simd.h"
 #include "tensor/tape.h"
 #include "testing/oracle.h"
 #include "util/clock.h"
@@ -75,15 +76,19 @@ FuzzReport RunCases(const char* subsystem, const FuzzOptions& options,
 
 // ---- Tensor ------------------------------------------------------------------
 
-/// Shape classes: degenerate (0, 1), small, and large enough to cross the
-/// parallel thresholds in matrix.cc (64^3 flops > 2^17; 180*200 elements >
-/// 2^15 and > 2*4096 reduction chunks).
+/// Shape classes: degenerate (0, 1), small (2..9 straddles every register
+/// tile edge: MR-1/MR/MR+1 for MR in {4, 6} and NR-1/NR/NR+1 for NR in
+/// {4, 8}), mid-size crossing the parallel thresholds in matrix.cc (64^3
+/// flops > 2^17; 180*200 elements > 2^15 and > 2*4096 reduction chunks),
+/// and occasionally a K-panel boundary dim (254..258 around kKc = 256) so
+/// the packed-panel round-trip through C gets fuzzed too.
 int64_t RandomDim(Rng& rng) {
   const double r = rng.Uniform();
   if (r < 0.08) return 0;
   if (r < 0.20) return 1;
-  if (r < 0.85) return 2 + rng.UniformInt(8);
-  return 48 + rng.UniformInt(33);  // 48..80
+  if (r < 0.82) return 2 + rng.UniformInt(8);
+  if (r < 0.96) return 48 + rng.UniformInt(33);  // 48..80
+  return 254 + rng.UniformInt(5);                // 254..258
 }
 
 /// Value profiles: plain, mixed magnitudes (exponents capped so products and
@@ -134,10 +139,68 @@ void CompareMatrices(const Matrix& opt, const Matrix& oracle, uint64_t max_ulp,
   }
 }
 
+/// |m| elementwise, for mass-scaled fast-mode bounds.
+Matrix AbsOf(const Matrix& m) {
+  Matrix out = m;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::abs(out.data()[i]);
+  }
+  return out;
+}
+
+/// Fast-mode matmul check: contraction re-rounds but never re-orders, so
+/// each element must sit within a tiny multiple of its term mass
+/// (sum_k |a_ik||b_kj|) of the oracle value. A fixed ULP bound would be
+/// wrong here — catastrophic cancellation makes the result's own ulp
+/// arbitrarily small relative to the accumulated rounding.
+void CompareMassBounded(const Matrix& opt, const Matrix& oracle,
+                        const Matrix& mass, const char* what,
+                        CaseResult& result) {
+  if (opt.rows() != oracle.rows() || opt.cols() != oracle.cols()) {
+    result.Fail() << what << " shape " << opt.rows() << "x" << opt.cols()
+                  << " vs oracle " << oracle.rows() << "x" << oracle.cols();
+    return;
+  }
+  for (int64_t i = 0; i < opt.size(); ++i) {
+    const double bound = 1e-12 * mass.data()[i] + 1e-300;
+    if (!(std::abs(opt.data()[i] - oracle.data()[i]) <= bound)) {
+      result.Fail() << what << " flat index " << i << ": opt=" << opt.data()[i]
+                    << " oracle=" << oracle.data()[i] << " bound=" << bound;
+      return;
+    }
+  }
+}
+
+std::vector<SimdLevel> AvailableSimdLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (static_cast<int>(DetectedSimdLevel()) >=
+      static_cast<int>(SimdLevel::kSse2)) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (static_cast<int>(DetectedSimdLevel()) >=
+      static_cast<int>(SimdLevel::kAvx2)) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
 void TensorCase(uint64_t case_seed, CaseResult& result) {
   Rng rng(case_seed);
   ScopedFiniteChecks finite_checks;
   const int profile = static_cast<int>(rng.UniformInt(4));
+  // Each case also draws a dispatch level (among those this CPU supports)
+  // and a kernel mode, so the differential contract is fuzzed under every
+  // combination the runtime can select. Deterministic mode must match the
+  // oracle exactly at any level; fast mode is mass-bounded for matmuls.
+  // Everything not built on the matmul micro-kernel (elementwise ops,
+  // gather/segment-sum) stays exact in both modes.
+  const std::vector<SimdLevel> levels = AvailableSimdLevels();
+  const SimdLevel level =
+      levels[rng.UniformInt(static_cast<int64_t>(levels.size()))];
+  const bool fast = rng.Bernoulli(0.25);
+  ScopedSimdLevel forced_level(level);
+  ScopedKernelMode forced_mode(fast ? KernelMode::kFast
+                                    : KernelMode::kDeterministic);
   const int64_t n = RandomDim(rng);
   const int64_t k = RandomDim(rng);
   const int64_t m = RandomDim(rng);
@@ -145,17 +208,38 @@ void TensorCase(uint64_t case_seed, CaseResult& result) {
   const Matrix b = RandomMatrix(rng, k, m, profile);
 
   // Matmul family: the optimized accumulation order per output element is
-  // identical to the naive dot product, so agreement is exact (±0 aside).
-  CompareMatrices(MatMul(a, b), OracleMatMul(a, b), 0, "matmul", result);
+  // identical to the naive dot product, so deterministic-mode agreement is
+  // exact (±0 aside).
+  if (fast) {
+    CompareMassBounded(MatMul(a, b), OracleMatMul(a, b),
+                       OracleMatMul(AbsOf(a), AbsOf(b)), "matmul(fast)",
+                       result);
+  } else {
+    CompareMatrices(MatMul(a, b), OracleMatMul(a, b), 0, "matmul", result);
+  }
   {
     const Matrix at = RandomMatrix(rng, k, n, profile);
-    CompareMatrices(MatMulTransposedA(at, b), OracleMatMulTransposedA(at, b),
-                    0, "matmul_ta", result);
+    if (fast) {
+      CompareMassBounded(MatMulTransposedA(at, b),
+                         OracleMatMulTransposedA(at, b),
+                         OracleMatMulTransposedA(AbsOf(at), AbsOf(b)),
+                         "matmul_ta(fast)", result);
+    } else {
+      CompareMatrices(MatMulTransposedA(at, b), OracleMatMulTransposedA(at, b),
+                      0, "matmul_ta", result);
+    }
   }
   {
     const Matrix bt = RandomMatrix(rng, m, k, profile);
-    CompareMatrices(MatMulTransposedB(a, bt), OracleMatMulTransposedB(a, bt),
-                    0, "matmul_tb", result);
+    if (fast) {
+      CompareMassBounded(MatMulTransposedB(a, bt),
+                         OracleMatMulTransposedB(a, bt),
+                         OracleMatMulTransposedB(AbsOf(a), AbsOf(bt)),
+                         "matmul_tb(fast)", result);
+    } else {
+      CompareMatrices(MatMulTransposedB(a, bt), OracleMatMulTransposedB(a, bt),
+                      0, "matmul_tb", result);
+    }
   }
 
   // Elementwise: per-element independent, exact at any thread count.

@@ -32,6 +32,42 @@ ThreadPool* g_global_pool = nullptr;
 /// 0 means "pool not created yet".
 std::atomic<int> g_parallelism{0};
 
+/// Oversubscription policy override: -1 = follow KUCNET_OVERSUBSCRIBE,
+/// 0 = force clamp, 1 = force allow.
+std::atomic<int> g_oversubscribe_override{-1};
+
+bool OversubscribeAllowed() {
+  const int o = g_oversubscribe_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool env_allowed = [] {
+    const char* env = std::getenv("KUCNET_OVERSUBSCRIBE");
+    return env != nullptr && *env != '\0' && *env != '0';
+  }();
+  return env_allowed;
+}
+
+int HardwareThreads() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 4;
+}
+
+/// Caps a requested worker count at the machine's hardware threads unless
+/// oversubscription was explicitly requested. More workers than cores cannot
+/// make any kernel faster here (results are thread-count-invariant by
+/// contract), and measurably made them slower: the extra workers just take
+/// turns on the same cores, adding context-switch and wake-up latency.
+int ClampPoolThreads(int requested) {
+  if (requested <= 1 || OversubscribeAllowed()) return requested;
+  const int hw = HardwareThreads();
+  if (requested > hw) {
+    KUC_LOG(Info) << "clamping pool to " << hw << " hardware thread"
+                  << (hw == 1 ? "" : "s") << " (requested " << requested
+                  << "; set KUCNET_OVERSUBSCRIBE=1 to lift)";
+    return hw;
+  }
+  return requested;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -175,7 +211,7 @@ int DefaultThreadCount() {
 ThreadPool& GlobalPool() {
   std::lock_guard<std::mutex> lock(g_global_pool_mu);
   if (g_global_pool == nullptr) {
-    const int n = DefaultThreadCount();
+    const int n = ClampPoolThreads(DefaultThreadCount());
     KUC_LOG(Info) << "compute thread pool: " << n << " worker"
                   << (n == 1 ? " (serial)" : "s")
                   << (std::getenv("KUCNET_NUM_THREADS") != nullptr
@@ -206,9 +242,17 @@ int64_t GlobalPoolTasksSubmitted() {
 void SetGlobalPoolThreads(int num_threads) {
   std::lock_guard<std::mutex> lock(g_global_pool_mu);
   delete g_global_pool;
-  g_global_pool =
-      new ThreadPool(num_threads > 0 ? num_threads : DefaultThreadCount());
+  g_global_pool = new ThreadPool(
+      ClampPoolThreads(num_threads > 0 ? num_threads : DefaultThreadCount()));
   g_parallelism.store(g_global_pool->num_threads(), std::memory_order_relaxed);
+}
+
+void SetOversubscribeForTest(bool allowed) {
+  g_oversubscribe_override.store(allowed ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ClearOversubscribeForTest() {
+  g_oversubscribe_override.store(-1, std::memory_order_relaxed);
 }
 
 }  // namespace kucnet

@@ -116,7 +116,23 @@ int EffectiveParallelism();
 /// Destroys and re-creates the shared pool with `num_threads` workers
 /// (0 = DefaultThreadCount()). For tests and benchmarks that compare thread
 /// counts within one process; must not race with in-flight pool work.
+///
+/// Worker counts beyond hardware_concurrency() are clamped: oversubscribing
+/// a smaller machine only adds scheduling noise (it cannot change results —
+/// see the concurrency contract above) and used to *lose* time to context
+/// switches on 1-core hosts. Set KUCNET_OVERSUBSCRIBE=1 (or
+/// SetOversubscribeForTest) to lift the clamp, e.g. for determinism tests
+/// that want genuinely concurrent workers on any machine.
 void SetGlobalPoolThreads(int num_threads);
+
+/// Test-only override of the oversubscription policy: `true` lets
+/// SetGlobalPoolThreads/GlobalPool create more workers than hardware
+/// threads, `false` forces the clamp regardless of KUCNET_OVERSUBSCRIBE.
+/// Takes effect on the next pool (re)creation.
+void SetOversubscribeForTest(bool allowed);
+
+/// Restores the environment-driven oversubscription policy.
+void ClearOversubscribeForTest();
 
 /// Shared-pool introspection that does not force pool creation: both return
 /// 0 until GlobalPool() has been called. Safe to call from any thread; the

@@ -23,9 +23,12 @@ namespace {
 constexpr int kThreadCounts[] = {1, 2, 8};
 
 /// Runs `fn` under each thread count and checks all results are bitwise
-/// equal to the 1-thread result.
+/// equal to the 1-thread result. Oversubscription is forced on so the 2- and
+/// 8-worker pools are real (not clamped away) even on single-core machines —
+/// the whole point is to race genuinely concurrent workers.
 template <typename Fn>
 void ExpectThreadCountInvariant(const char* what, const Fn& fn) {
+  SetOversubscribeForTest(true);
   SetGlobalPoolThreads(1);
   const Matrix reference = fn();
   for (const int threads : kThreadCounts) {
@@ -36,6 +39,7 @@ void ExpectThreadCountInvariant(const char* what, const Fn& fn) {
         << " threads (max abs diff = " << reference.MaxAbsDiff(got) << ")";
   }
   SetGlobalPoolThreads(1);
+  ClearOversubscribeForTest();
 }
 
 TEST(ParallelDeterminismTest, MatMulFamily) {

@@ -114,6 +114,9 @@ TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
 }
 
 TEST(ThreadPoolTest, SetGlobalPoolThreadsChangesEffectiveParallelism) {
+  // With oversubscription forced on, the requested count sticks even when it
+  // exceeds this machine's hardware threads.
+  SetOversubscribeForTest(true);
   SetGlobalPoolThreads(3);
   EXPECT_EQ(EffectiveParallelism(), 3);
   EXPECT_EQ(GlobalPool().num_threads(), 3);
@@ -122,6 +125,27 @@ TEST(ThreadPoolTest, SetGlobalPoolThreadsChangesEffectiveParallelism) {
   EXPECT_EQ(sum.load(), 999 * 1000 / 2);
   SetGlobalPoolThreads(1);
   EXPECT_EQ(EffectiveParallelism(), 1);
+  ClearOversubscribeForTest();
+}
+
+TEST(ThreadPoolTest, SetGlobalPoolThreadsClampsToHardwareConcurrency) {
+  // Without the override, requests beyond hardware_concurrency() are capped:
+  // extra workers on the same cores only add context-switch overhead and can
+  // never change results (the concurrency contract fixes accumulation order
+  // independently of thread count).
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int cap = hw > 0 ? hw : 4;
+  SetOversubscribeForTest(false);
+  SetGlobalPoolThreads(cap + 7);
+  EXPECT_EQ(GlobalPool().num_threads(), cap);
+  EXPECT_EQ(EffectiveParallelism(), cap);
+  // In-range requests are untouched.
+  SetGlobalPoolThreads(1);
+  EXPECT_EQ(EffectiveParallelism(), 1);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(1000, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+  ClearOversubscribeForTest();
 }
 
 TEST(ThreadPoolTest, SerialPoolRunsInline) {
