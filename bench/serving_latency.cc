@@ -6,7 +6,10 @@
 // their deadline, and the tier mix the fallback chain produced. The point of
 // the exercise is visible graceful degradation: as offered load passes
 // capacity, responses shift from the full tier to cache/heuristic tiers and
-// the queue sheds instead of growing without bound.
+// the queue sheds instead of growing without bound. The score cache is warmed
+// for every user at startup (warm_cache_users), so the cached tier is a live
+// rung of the ladder: at 4x load the bench asserts it actually absorbed
+// traffic instead of silently reporting zero forever.
 //
 //   serving_latency [OUTPUT.json] [REQUESTS_PER_LEVEL]
 //
@@ -73,6 +76,12 @@ LoadLevelResult RunLoadLevel(const Kucnet& model, const bench::Workload& w,
   // Tight enough that a growing queue turns into visible degradation: the
   // full tier gets roughly 4 average service times including queue wait.
   opts.default_deadline_micros = 4 * service_us;
+  // Warm every user's scores so the cached tier is reachable: without this
+  // the degrade chain skips straight to heuristic and the "cached" column
+  // of BENCH_serving.json is dead weight. The cache must hold every user or
+  // LRU eviction undoes the warming before the first request.
+  opts.warm_cache_users = w.dataset.num_users;
+  opts.cache.capacity = w.dataset.num_users;
   RecServer server(&model, &w.dataset, &w.ckg, &w.ppr, opts);
 
   // Offered rate = offered_load * capacity; capacity = workers / service.
@@ -109,6 +118,13 @@ LoadLevelResult RunLoadLevel(const Kucnet& model, const bench::Workload& w,
   result.p99_us = snapshot.PercentileUpperBound(0.99);
   result.deadline_missed = stats.deadline_missed;
   result.tier_count = stats.tier_count;
+  if (offered_load >= 4.0) {
+    // Past capacity with a warm cache, deadline pressure must push some
+    // answers into the cached tier; zero means the warming (or the tier
+    // selection) regressed.
+    KUC_CHECK(result.tier_count[static_cast<int>(ServeTier::kCached)] > 0)
+        << "cached tier served nothing at " << offered_load << "x load";
+  }
   return result;
 }
 

@@ -8,6 +8,9 @@
 //   kucnet_cli evaluate --data DIR --model KUCNet --ckpt FILE
 //   kucnet_cli serve    --data DIR [--ckpt FILE] --requests N --workers W
 //                       [--deadline_us N] [--top_n N] [--queue N]
+//                       [--shards N] [--retries N] [--hedge_us N]
+//                       [--tenant_quota N] [--tenant_window_us N]
+//                       [--warm_cache N]
 //   kucnet_cli models                       # list registered model names
 //
 // Splits: traditional | new-item | new-user.
@@ -15,7 +18,13 @@
 // `serve` runs the deadline-aware serving layer (src/serve/) over the
 // dataset: requests flow through the bounded admission queue, degrade
 // through the fallback chain on deadline misses, and the command prints the
-// resulting tier mix, shed rate and latency percentiles.
+// resulting tier mix, shed rate and latency percentiles. With --shards > 1
+// it runs the sharded fleet instead (src/serve/fleet/): users partition
+// across replicas by consistent hashing, failed shards are retried on
+// siblings (--retries), slow answers can be hedged (--hedge_us > 0 enables
+// hedging past that latency), per-tenant admission is bounded by
+// --tenant_quota per --tenant_window_us, and --warm_cache pre-fills each
+// shard's score cache with the N most active users.
 //
 // Long runs are interruptible: with --checkpoint_dir the trainer writes a
 // crash-safe full-state snapshot (weights, Adam moments, RNG stream,
@@ -27,6 +36,7 @@
 #include <cstdlib>
 #include <future>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -37,6 +47,7 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "obs/export.h"
+#include "serve/fleet/shard_router.h"
 #include "serve/rec_server.h"
 #include "train/trainer.h"
 #include "util/logging.h"
@@ -53,6 +64,8 @@ const char kUsage[] =
     "  evaluate --data DIR --model NAME [--ckpt FILE] [--k N] [--depth N]\n"
     "  serve    --data DIR [--ckpt FILE] [--k N] [--depth N] [--requests N]\n"
     "           [--workers W] [--deadline_us N] [--top_n N] [--queue N]\n"
+    "           [--shards N] [--retries N] [--hedge_us N] [--tenant_quota N]\n"
+    "           [--tenant_window_us N] [--warm_cache N]\n"
     "  models\n"
     "train/evaluate/serve also accept [--metrics_out FILE] (Prometheus text)\n"
     "and [--trace_out FILE] (chrome://tracing JSON); either flag turns the\n"
@@ -222,11 +235,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   KucnetOptions model_opts;
   model_opts.sample_k = std::stoll(FlagOr(flags, "k", "30"));
   model_opts.depth = std::stoi(FlagOr(flags, "depth", "3"));
-  Kucnet model(&dataset, &ckg, &ppr, model_opts);
-  if (!ckpt.empty()) {
-    model.LoadCheckpoint(ckpt);
-    std::printf("loaded checkpoint %s\n", ckpt.c_str());
-  }
+  const int shards = std::stoi(FlagOr(flags, "shards", "1"));
+  KUC_CHECK(shards >= 1) << "--shards must be >= 1";
 
   RecServerOptions server_opts;
   server_opts.num_workers = std::stoi(FlagOr(flags, "workers", "2"));
@@ -234,6 +244,82 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   server_opts.default_deadline_micros =
       std::stoll(FlagOr(flags, "deadline_us", "50000"));
   server_opts.default_top_n = std::stoll(FlagOr(flags, "top_n", "20"));
+  server_opts.warm_cache_users = std::stoll(FlagOr(flags, "warm_cache", "0"));
+  if (server_opts.warm_cache_users > server_opts.cache.capacity) {
+    server_opts.cache.capacity = server_opts.warm_cache_users;
+  }
+
+  if (shards > 1) {
+    // Fleet mode: one replica per shard behind the consistent-hash router,
+    // every replica carrying the same weights.
+    std::vector<std::unique_ptr<Kucnet>> owned;
+    std::vector<Kucnet*> models;
+    for (int s = 0; s < shards; ++s) {
+      owned.push_back(
+          std::make_unique<Kucnet>(&dataset, &ckg, &ppr, model_opts));
+      if (!ckpt.empty()) owned.back()->LoadCheckpoint(ckpt);
+      models.push_back(owned.back().get());
+    }
+    if (!ckpt.empty()) {
+      std::printf("loaded checkpoint %s into %d shards\n", ckpt.c_str(),
+                  shards);
+    }
+    ShardRouterOptions fleet_opts;
+    fleet_opts.server = server_opts;
+    fleet_opts.max_retries = std::stoi(FlagOr(flags, "retries", "2"));
+    const int64_t hedge_us = std::stoll(FlagOr(flags, "hedge_us", "0"));
+    fleet_opts.hedging = hedge_us > 0;
+    if (hedge_us > 0) fleet_opts.hedge_latency_micros = hedge_us;
+    fleet_opts.tenant.quota = std::stoll(FlagOr(flags, "tenant_quota", "0"));
+    fleet_opts.tenant.window_micros =
+        std::stoll(FlagOr(flags, "tenant_window_us", "1000000"));
+    ShardRouter router(models, &dataset, &ckg, &ppr, fleet_opts);
+
+    int64_t served = 0;
+    for (int64_t r = 0; r < requests; ++r) {
+      FleetRequest request;
+      request.request.user = r % dataset.num_users;
+      const FleetResponse response = router.Route(request);
+      served += response.response.status == ResponseStatus::kOk;
+    }
+    router.Shutdown();
+
+    const FleetStats stats = router.stats();
+    std::printf("fleet of %d shards served %lld/%lld  (quota shed %lld, "
+                "retries %lld, hedges %lld won %lld, fallback %lld, "
+                "breaker transitions %lld)\n",
+                shards, static_cast<long long>(served),
+                static_cast<long long>(stats.submitted),
+                static_cast<long long>(stats.quota_shed),
+                static_cast<long long>(stats.retries),
+                static_cast<long long>(stats.hedges),
+                static_cast<long long>(stats.hedges_won),
+                static_cast<long long>(stats.fallback_answers),
+                static_cast<long long>(stats.breaker_transitions));
+    std::printf("tier mix:");
+    for (int t = 0; t < kNumServeTiers; ++t) {
+      std::printf("  %s %lld", ServeTierName(static_cast<ServeTier>(t)),
+                  static_cast<long long>(stats.tier_count[t]));
+    }
+    std::printf("\npath mix:");
+    for (int p = 0; p < kNumFleetPaths; ++p) {
+      std::printf("  %s %lld", FleetPathName(static_cast<FleetPath>(p)),
+                  static_cast<long long>(stats.path_count[p]));
+    }
+    std::printf(
+        "\nlatency p50 <= %lldus  p99 <= %lldus\n",
+        static_cast<long long>(stats.shards.latency.PercentileUpperBound(0.5)),
+        static_cast<long long>(
+            stats.shards.latency.PercentileUpperBound(0.99)));
+    MaybeExportObs(flags);
+    return 0;
+  }
+
+  Kucnet model(&dataset, &ckg, &ppr, model_opts);
+  if (!ckpt.empty()) {
+    model.LoadCheckpoint(ckpt);
+    std::printf("loaded checkpoint %s\n", ckpt.c_str());
+  }
   RecServer server(&model, &dataset, &ckg, &ppr, server_opts);
 
   std::vector<std::future<RecResponse>> futures;
@@ -282,7 +368,8 @@ int Run(int argc, char** argv) {
        {"data", "model", "ckpt", "k", "depth", "metrics_out", "trace_out"}},
       {"serve",
        {"data", "ckpt", "k", "depth", "requests", "workers", "deadline_us",
-        "top_n", "queue", "metrics_out", "trace_out"}},
+        "top_n", "queue", "shards", "retries", "hedge_us", "tenant_quota",
+        "tenant_window_us", "warm_cache", "metrics_out", "trace_out"}},
       {"models", {}},
   };
   const auto known = kKnownFlags.find(command);

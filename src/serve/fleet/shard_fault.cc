@@ -1,0 +1,68 @@
+#include "serve/fleet/shard_fault.h"
+
+namespace kucnet {
+
+void ShardFaultInjector::Kill(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_[shard].killed = true;
+}
+
+void ShardFaultInjector::Revive(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_[shard].killed = false;
+}
+
+void ShardFaultInjector::Stall(int shard, int64_t stall_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_[shard].stall_micros = stall_micros;
+}
+
+void ShardFaultInjector::Flap(int shard, int64_t period) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardState& state = shards_[shard];
+  state.flap_period = period;
+  state.flap_anchor = state.attempts;
+}
+
+ShardFaultInjector::Verdict ShardFaultInjector::OnAttempt(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardState& state = shards_[shard];
+  const int64_t index = state.attempts - state.flap_anchor;
+  ++state.attempts;
+  Verdict verdict;
+  verdict.down = state.killed ||
+                 (state.flap_period > 0 &&
+                  (index / state.flap_period) % 2 == 0);  // phase starts down
+  if (verdict.down) {
+    ++faults_fired_;
+    return verdict;  // a down shard cannot stall: it fails instantly
+  }
+  verdict.stall_micros = state.stall_micros;
+  if (verdict.stall_micros > 0) ++stalls_fired_;
+  return verdict;
+}
+
+int64_t ShardFaultInjector::attempts(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.attempts;
+}
+
+int64_t ShardFaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_fired_;
+}
+
+int64_t ShardFaultInjector::stalls_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stalls_fired_;
+}
+
+void ShardFaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.clear();
+  faults_fired_ = 0;
+  stalls_fired_ = 0;
+}
+
+}  // namespace kucnet

@@ -1,0 +1,83 @@
+#ifndef KUCNET_SERVE_FLEET_SHARD_FAULT_H_
+#define KUCNET_SERVE_FLEET_SHARD_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+/// \file
+/// Shard-granular fault injection for the fleet layer.
+///
+/// `util/fault.h`'s FaultInjector fails a named *compute stage* inside one
+/// server; this injector models whole-replica failure modes the router must
+/// survive:
+///
+///   kill   the shard is down — every attempt fails instantly, until Revive
+///   stall  the shard eats `stall_micros` of wall (or FakeClock) time per
+///          attempt before answering: the deadline-eating slow replica
+///   flap   the shard alternates dead/alive every `period` attempts,
+///          starting dead — the crash-looping replica that keeps "coming
+///          back" just long enough to trip retries
+///
+/// The router consults `OnAttempt(shard)` before every attempt; the verdict
+/// is deterministic in the per-shard attempt count, so a FakeClock test
+/// replays an identical failure story every run. Thread-safe.
+
+namespace kucnet {
+
+/// Deterministically fails or stalls attempts against whole shards.
+class ShardFaultInjector {
+ public:
+  /// What the current attempt experiences.
+  struct Verdict {
+    bool down = false;          ///< attempt fails without reaching the shard
+    int64_t stall_micros = 0;   ///< time burned before the shard answers
+  };
+
+  /// Marks `shard` down until Revive.
+  void Kill(int shard);
+
+  /// Clears a Kill on `shard` (flap/stall, if armed, still apply).
+  void Revive(int shard);
+
+  /// Every attempt on `shard` burns `stall_micros` first (0 clears).
+  void Stall(int shard, int64_t stall_micros);
+
+  /// `shard` alternates down/up every `period` attempts, starting down
+  /// (the aggressive phase: the first attempt after arming fails). 0
+  /// clears. Re-arming resets the phase.
+  void Flap(int shard, int64_t period);
+
+  /// Counts one routing attempt against `shard` and returns its fate.
+  Verdict OnAttempt(int shard);
+
+  /// Attempts observed on `shard` since construction.
+  int64_t attempts(int shard) const;
+
+  /// Total down verdicts across all shards.
+  int64_t faults_fired() const;
+
+  /// Total stalled attempts across all shards.
+  int64_t stalls_fired() const;
+
+  /// Clears every armed fault and all counters.
+  void Reset();
+
+ private:
+  struct ShardState {
+    bool killed = false;
+    int64_t stall_micros = 0;
+    int64_t flap_period = 0;    ///< 0 = not flapping
+    int64_t flap_anchor = 0;    ///< attempt count when Flap was armed
+    int64_t attempts = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<int, ShardState> shards_;
+  int64_t faults_fired_ = 0;
+  int64_t stalls_fired_ = 0;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_SERVE_FLEET_SHARD_FAULT_H_

@@ -43,6 +43,7 @@ void ServerStats::MergeFrom(const ServerStats& other) {
   fault_events = obs::SaturatingAdd(fault_events, other.fault_events);
   nonfinite_scores =
       obs::SaturatingAdd(nonfinite_scores, other.nonfinite_scores);
+  cache_warmed = obs::SaturatingAdd(cache_warmed, other.cache_warmed);
   degraded = obs::SaturatingAdd(degraded, other.degraded);
   for (int t = 0; t < kNumServeTiers; ++t) {
     tier_count[t] = obs::SaturatingAdd(tier_count[t], other.tier_count[t]);
@@ -83,6 +84,8 @@ RecServer::RecServer(const Kucnet* model, const Dataset* dataset,
               if (a.score != b.score) return a.score > b.score;
               return a.item < b.item;
             });
+
+  if (options_.warm_cache_users > 0) WarmCache(options_.warm_cache_users);
 
   workers_.reserve(options_.num_workers);
   for (int w = 0; w < options_.num_workers; ++w) {
@@ -161,6 +164,49 @@ void RecServer::Shutdown() {
 ServerStats RecServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+int64_t RecServer::WarmCache(int64_t max_users) {
+  // Hottest first: the users with the most training interactions are the
+  // best proxy for request popularity available before traffic arrives.
+  std::vector<std::pair<int64_t, int64_t>> activity;  // (count, user)
+  activity.reserve(train_items_.size());
+  for (int64_t user = 0; user < static_cast<int64_t>(train_items_.size());
+       ++user) {
+    activity.push_back({static_cast<int64_t>(train_items_[user].size()), user});
+  }
+  std::sort(activity.begin(), activity.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const int64_t n =
+      std::min<int64_t>(max_users, static_cast<int64_t>(activity.size()));
+  int64_t warmed = 0;
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t user = activity[k].second;
+    const int64_t generation = cache_.generation();
+    KucnetForward forward;
+    // Unbounded, fault-free context: warming is background work, not a
+    // request — it must neither consume armed test faults nor miss deadlines.
+    if (!model_->TryForward(user, ExecContext(), &forward).ok()) continue;
+    if (FirstNonFinite(forward.item_scores) >= 0) continue;
+    cache_.Put(user, std::move(forward.item_scores), generation);
+    ++warmed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.cache_warmed = obs::SaturatingAdd(stats_.cache_warmed, warmed);
+  }
+  KUC_OBS_COUNT("serve.cache.warmed", warmed);
+  return warmed;
+}
+
+void RecServer::InvalidateCache() { cache_.BumpGeneration(); }
+
+int64_t RecServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return static_cast<int64_t>(queue_.size());
 }
 
 void RecServer::WorkerLoop() {
@@ -268,6 +314,10 @@ RecResponse RecServer::Handle(const RecRequest& request,
                                   "(queued past the latency budget)");
       time_stage("full", t0);
     } else {
+      // Snapshot the cache generation *before* the forward pass: if the
+      // model is hot-swapped while this pass runs, the deposit below is
+      // discarded instead of planting stale-model scores in a fresh cache.
+      const int64_t cache_generation = cache_.generation();
       KucnetForward forward;
       const Status status = model_->TryForward(request.user, full_ctx, &forward);
       time_stage("full", t0);
@@ -287,7 +337,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
       } else {
         // Deposit for future degraded requests *before* ranking, so even a
         // ranking-size-zero catalogue edge case keeps the cache warm.
-        cache_.Put(request.user, forward.item_scores);
+        cache_.Put(request.user, forward.item_scores, cache_generation);
         served = RankInto(request.user, forward.item_scores, top_n, &response);
         if (served) response.tier = ServeTier::kFull;
       }

@@ -121,6 +121,9 @@ struct ServerStats {
   /// never cached and never served; the request falls through the degrade
   /// chain (cached → PPR → popularity) instead.
   int64_t nonfinite_scores = 0;
+  /// Cache entries deposited proactively (startup warm-up or post-swap
+  /// rewarm), outside any request.
+  int64_t cache_warmed = 0;
   /// Responses produced by a tier below full.
   int64_t degraded = 0;
   /// Responses per tier, indexed by ServeTier.
@@ -145,6 +148,12 @@ struct RecServerOptions {
   /// Hide each user's training items from their ranked list (standard
   /// serving practice: do not re-recommend consumed items).
   bool exclude_train_items = true;
+  /// Proactive cache warm-up at construction: full forward passes for the
+  /// `warm_cache_users` most active users (by training interaction count)
+  /// are deposited into the score cache before the first request, so early
+  /// degraded requests land on cached scores instead of the PPR heuristic.
+  /// 0 disables warming.
+  int64_t warm_cache_users = 0;
   ScoreCacheOptions cache;
   /// Time seam (null = the real clock). Tests pass a FakeClock.
   const Clock* clock = nullptr;
@@ -180,6 +189,22 @@ class RecServer {
 
   /// Snapshot of the counters (consistent under the stats mutex).
   ServerStats stats() const;
+
+  /// Proactively computes and caches full-tier scores for the `max_users`
+  /// most active users (by training interaction count, ties by id). Used at
+  /// construction (options.warm_cache_users) and after a model hot-swap to
+  /// repopulate the invalidated cache. Non-finite forward output is skipped,
+  /// never cached. Returns the number of users warmed.
+  int64_t WarmCache(int64_t max_users);
+
+  /// Invalidates every cached score by bumping the cache generation: called
+  /// when the model behind this server is hot-swapped, so no request —
+  /// including one retried here from a failed sibling shard — can be served
+  /// scores the previous model produced.
+  void InvalidateCache();
+
+  /// Queued (admitted, unstarted) requests right now.
+  int64_t queue_depth() const;
 
   const ScoreCache& cache() const { return cache_; }
   const RecServerOptions& options() const { return options_; }

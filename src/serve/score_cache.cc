@@ -14,12 +14,30 @@ ScoreCache::ScoreCache(ScoreCacheOptions options, const Clock* clock)
 }
 
 void ScoreCache::Put(int64_t user, std::vector<double> scores) {
-  const int64_t now = clock_->NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(user, std::move(scores), generation_);
+}
+
+void ScoreCache::Put(int64_t user, std::vector<double> scores,
+                     int64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_) {
+    // The model that produced these scores was swapped away mid-flight;
+    // depositing them would resurrect v1 output under a v2 generation.
+    KUC_OBS_COUNT("serve.cache.stale_generation_puts", 1);
+    return;
+  }
+  PutLocked(user, std::move(scores), generation);
+}
+
+void ScoreCache::PutLocked(int64_t user, std::vector<double> scores,
+                           int64_t generation) {
+  const int64_t now = clock_->NowMicros();
   const auto it = index_.find(user);
   if (it != index_.end()) {
     it->second->scores = std::move(scores);
     it->second->stored_micros = now;
+    it->second->generation = generation;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -29,7 +47,7 @@ void ScoreCache::Put(int64_t user, std::vector<double> scores) {
     ++evictions_;
     KUC_OBS_COUNT("serve.cache.evictions", 1);
   }
-  lru_.push_front(Entry{user, std::move(scores), now});
+  lru_.push_front(Entry{user, std::move(scores), now, generation});
   index_[user] = lru_.begin();
 }
 
@@ -41,6 +59,17 @@ bool ScoreCache::Get(int64_t user, std::vector<double>* out,
   if (it == index_.end()) {
     ++misses_;
     KUC_OBS_COUNT("serve.cache.misses", 1);
+    return false;
+  }
+  if (it->second->generation != generation_) {
+    // Generation bound: the entry predates a model swap. Serving it would
+    // hand out scores from a model that no longer exists.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    ++generation_evictions_;
+    KUC_OBS_COUNT("serve.cache.misses", 1);
+    KUC_OBS_COUNT("serve.cache.generation_evictions", 1);
     return false;
   }
   const int64_t age = now - it->second->stored_micros;
@@ -59,6 +88,22 @@ bool ScoreCache::Get(int64_t user, std::vector<double>* out,
   KUC_OBS_COUNT("serve.cache.hits", 1);
   if (age_micros_out != nullptr) *age_micros_out = age;
   return true;
+}
+
+int64_t ScoreCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void ScoreCache::BumpGeneration() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  KUC_OBS_COUNT("serve.cache.generation_bumps", 1);
+}
+
+int64_t ScoreCache::generation_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_evictions_;
 }
 
 int64_t ScoreCache::size() const {

@@ -15,8 +15,16 @@
 /// A successful full forward pass deposits its score vector here; when a
 /// later request for the same user misses its deadline (or a fault fires),
 /// the server answers from this cache instead of failing. Staleness is
-/// bounded — an entry older than `max_age_micros` is treated as a miss and
-/// dropped, so a degraded answer is never older than the configured bound.
+/// bounded two ways:
+///  - by *age*: an entry older than `max_age_micros` is treated as a miss
+///    and dropped, so a degraded answer is never older than the configured
+///    bound;
+///  - by *generation*: `BumpGeneration()` (called on model hot-swap)
+///    invalidates every entry deposited under the previous model, and a
+///    `Put` tagged with a pre-bump generation is silently discarded — so a
+///    forward pass that started before the swap can never deposit v1 scores
+///    into a v2 cache, and a request retried onto another replica can never
+///    be answered from scores the dead model produced.
 
 namespace kucnet {
 
@@ -35,25 +43,47 @@ class ScoreCache {
   /// `clock` must outlive the cache (null = the real clock).
   explicit ScoreCache(ScoreCacheOptions options, const Clock* clock = nullptr);
 
-  /// Inserts or refreshes the scores for `user` (stamped with now).
+  /// Inserts or refreshes the scores for `user` (stamped with now, tagged
+  /// with the current generation).
   void Put(int64_t user, std::vector<double> scores);
 
-  /// True and fills `*out` when a fresh entry exists; refreshes recency.
-  /// A stale entry is erased and reported as a miss. On a hit,
-  /// `*age_micros_out` (when non-null) receives the entry's age.
+  /// Generation-checked insert: the deposit is silently discarded when
+  /// `generation` is no longer current. Callers snapshot `generation()`
+  /// *before* starting the forward pass that produces `scores`, so output
+  /// computed by a model that was hot-swapped away mid-flight never lands.
+  void Put(int64_t user, std::vector<double> scores, int64_t generation);
+
+  /// True and fills `*out` when a fresh, current-generation entry exists;
+  /// refreshes recency. A stale or previous-generation entry is erased and
+  /// reported as a miss. On a hit, `*age_micros_out` (when non-null)
+  /// receives the entry's age.
   bool Get(int64_t user, std::vector<double>* out,
            int64_t* age_micros_out = nullptr);
 
+  /// The current generation tag (starts at 0).
+  int64_t generation() const;
+
+  /// Invalidates every cached entry by advancing the generation: old entries
+  /// are dropped lazily on probe, and in-flight Puts tagged with the old
+  /// generation are discarded. Called on model hot-swap.
+  void BumpGeneration();
+
+  /// Live entries, including not-yet-collected previous-generation ones.
   int64_t size() const;
   int64_t hits() const;
   int64_t misses() const;
   int64_t evictions() const;
+  /// Misses caused by a generation mismatch (stale-model entries dropped).
+  int64_t generation_evictions() const;
 
  private:
+  void PutLocked(int64_t user, std::vector<double> scores, int64_t generation);
+
   struct Entry {
     int64_t user;
     std::vector<double> scores;
     int64_t stored_micros;
+    int64_t generation;
   };
 
   ScoreCacheOptions options_;
@@ -62,9 +92,11 @@ class ScoreCache {
   mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recent
   std::unordered_map<int64_t, std::list<Entry>::iterator> index_;
+  int64_t generation_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t generation_evictions_ = 0;
 };
 
 }  // namespace kucnet

@@ -14,6 +14,8 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "ppr/ppr.h"
+#include "serve/fleet/shard_fault.h"
+#include "serve/fleet/shard_router.h"
 #include "serve/rec_server.h"
 #include "tensor/simd.h"
 #include "tensor/tape.h"
@@ -553,10 +555,10 @@ struct ServeFuzzContext {
 /// Sequential replay of RecServer::RankInto: exclude the user's training
 /// items (unless that empties the pool), full sort under the total score
 /// order, truncate to top_n.
-std::vector<int64_t> ReplayRank(const ServeFuzzContext& ctx, int64_t user,
-                                const std::vector<double>& scores,
-                                int64_t top_n) {
-  const auto& exclude = ctx.train_items[user];
+std::vector<int64_t> ReplayRank(
+    const std::vector<std::vector<int64_t>>& train_items, int64_t user,
+    const std::vector<double>& scores, int64_t top_n) {
+  const auto& exclude = train_items[user];
   std::vector<bool> mask(scores.size(), false);
   for (const int64_t item : exclude) mask[item] = true;
   std::vector<int64_t> ranked = OracleTopN(scores, top_n, &mask);
@@ -657,7 +659,7 @@ void ServeCase(ServeFuzzContext& ctx, uint64_t case_seed, CaseResult& result) {
           static_cast<double>(ctx.popularity_counts[item]));
     }
   } else {
-    expected_items = ReplayRank(ctx, user, tier_scores, top_n);
+    expected_items = ReplayRank(ctx.train_items, user, tier_scores, top_n);
     for (const int64_t item : expected_items) {
       expected_scores.push_back(tier_scores[item]);
     }
@@ -684,6 +686,248 @@ void ServeCase(ServeFuzzContext& ctx, uint64_t case_seed, CaseResult& result) {
   }
 }
 
+// ---- Fleet -------------------------------------------------------------------
+
+/// Shared corpus for the fleet sweep: one dataset and three identically
+/// seeded shard models (so every shard's full tier is bitwise identical and
+/// one memoized forward pass predicts any shard's answer). The router,
+/// clock, and both injectors are recreated per case — breakers, tenant
+/// windows and shard-fault state start fresh, so any case replays standalone
+/// with --cases=1.
+struct FleetFuzzContext {
+  static constexpr int kShards = 3;
+
+  FleetFuzzContext()
+      : dataset(ServeFuzzContext::MakeDataset()),
+        ckg(dataset.BuildCkg()),
+        ppr(PprTable::Compute(ckg)) {
+    KucnetOptions model_opts;
+    model_opts.hidden_dim = 8;
+    model_opts.attention_dim = 3;
+    model_opts.depth = 2;
+    model_opts.sample_k = 8;
+    for (int s = 0; s < kShards; ++s) {
+      models.push_back(
+          std::make_unique<Kucnet>(&dataset, &ckg, &ppr, model_opts));
+      model_ptrs.push_back(models.back().get());
+    }
+    train_items = dataset.TrainItemsByUser();
+    std::vector<int64_t> counts(dataset.num_items, 0);
+    for (const auto& [user, item] : dataset.train) ++counts[item];
+    popularity.resize(dataset.num_items);
+    for (int64_t i = 0; i < dataset.num_items; ++i) popularity[i] = i;
+    std::sort(popularity.begin(), popularity.end(),
+              [&counts](int64_t a, int64_t b) {
+                if (counts[a] != counts[b]) return counts[a] > counts[b];
+                return a < b;
+              });
+    popularity_counts = std::move(counts);
+  }
+
+  const std::vector<double>& FullScores(int64_t user) {
+    auto it = full_scores.find(user);
+    if (it == full_scores.end()) {
+      it = full_scores.emplace(user, models[0]->Forward(user).item_scores)
+               .first;
+    }
+    return it->second;
+  }
+
+  /// The popularity replay shared with ServeCase, as (item, score) pairs.
+  std::vector<int64_t> PopularityItems(int64_t user, int64_t top_n) const {
+    std::vector<int64_t> items;
+    const auto& exclude = train_items[user];
+    for (const int64_t item : popularity) {
+      if (static_cast<int64_t>(items.size()) >= top_n) break;
+      if (std::binary_search(exclude.begin(), exclude.end(), item)) continue;
+      items.push_back(item);
+    }
+    if (items.empty()) {
+      for (const int64_t item : popularity) {
+        if (static_cast<int64_t>(items.size()) >= top_n) break;
+        items.push_back(item);
+      }
+    }
+    return items;
+  }
+
+  Dataset dataset;
+  Ckg ckg;
+  PprTable ppr;
+  std::vector<std::unique_ptr<Kucnet>> models;
+  std::vector<Kucnet*> model_ptrs;
+  std::vector<std::vector<int64_t>> train_items;
+  std::vector<int64_t> popularity;
+  std::vector<int64_t> popularity_counts;
+  std::unordered_map<int64_t, std::vector<double>> full_scores;
+};
+
+void FleetCase(FleetFuzzContext& ctx, uint64_t case_seed, CaseResult& result) {
+  Rng rng(case_seed);
+  FakeClock clock;
+  ShardFaultInjector shard_fault;
+  FaultInjector stage_fault;
+  ShardRouterOptions opts;
+  opts.server.num_workers = 0;  // ServeSync: strictly sequential replay
+  opts.clock = &clock;
+  opts.shard_fault = &shard_fault;
+  opts.stage_fault = &stage_fault;
+  opts.wait_micros = [&clock](int64_t micros) { clock.AdvanceMicros(micros); };
+  opts.max_retries = static_cast<int>(rng.UniformInt(3));  // 0..2
+  opts.hedging = rng.Bernoulli(0.3);
+  opts.jitter_seed = case_seed;
+  ShardRouter router(ctx.model_ptrs, &ctx.dataset, &ctx.ckg, &ctx.ppr, opts);
+
+  const int64_t user = rng.UniformInt(ctx.dataset.num_users);
+  const std::vector<int> prefs = router.PreferenceOrder(user);
+
+  // One whole-shard fault site per case, biased toward the user's primary
+  // shard (faults elsewhere are mostly invisible to this user's requests).
+  enum Kind { kNone, kKillOne, kKillAll, kStall, kFlap };
+  const Kind kind = static_cast<Kind>(rng.UniformInt(5));
+  const int target =
+      rng.Bernoulli(0.7) ? prefs[0]
+                         : static_cast<int>(rng.UniformInt(
+                               FleetFuzzContext::kShards));
+  switch (kind) {
+    case kNone:
+      break;
+    case kKillOne:
+      shard_fault.Kill(target);
+      break;
+    case kKillAll:
+      for (int s = 0; s < FleetFuzzContext::kShards; ++s) shard_fault.Kill(s);
+      break;
+    case kStall:
+      shard_fault.Stall(target, 1000 + rng.UniformInt(50'000));
+      break;
+    case kFlap:
+      shard_fault.Flap(target, 1 + rng.UniformInt(3));
+      break;
+  }
+
+  // Optionally a per-stage compute fault, armed fresh before each request:
+  // whichever shard reaches the stage first consumes it.
+  static constexpr const char* kStageSites[] = {
+      "", "ppr", "subgraph", "forward", "cache", "heuristic", "popularity"};
+  const char* site = kStageSites[rng.UniformInt(7)];
+
+  const int64_t requests = 1 + rng.UniformInt(3);
+  const auto plan = [&](int64_t k) {
+    std::ostringstream ss;
+    ss << "(user=" << user << " kind=" << static_cast<int>(kind)
+       << " target=" << target << " site='" << site << "'"
+       << " retries=" << opts.max_retries << " hedging=" << opts.hedging
+       << " request=" << k << ")";
+    return ss.str();
+  };
+
+  for (int64_t k = 0; k < requests; ++k) {
+    if (*site) stage_fault.Arm(site, 1);
+    const int64_t top_n = 1 + rng.UniformInt(20);
+    FleetRequest request;
+    request.request.user = user;
+    request.request.top_n = top_n;
+    const FleetResponse got = router.Route(request);
+
+    // The fleet contract: with quotas off, every request is answered with a
+    // non-empty, finite ranked list — no matter what was injected.
+    if (got.response.status != ResponseStatus::kOk) {
+      result.Fail() << "status not kOk " << plan(k);
+      return;
+    }
+    if (got.response.items.empty()) {
+      result.Fail() << "empty ranked list " << plan(k);
+      return;
+    }
+    for (const ScoredItem& scored : got.response.items) {
+      if (!std::isfinite(scored.score)) {
+        result.Fail() << "non-finite served score " << plan(k);
+        return;
+      }
+    }
+
+    if (kind == kNone && *site == '\0') {
+      // Clean fleet: the primary shard answers at full tier on the first
+      // attempt, and (all shard models being identical) the items are
+      // exactly the memoized full-scores replay.
+      if (got.path != FleetPath::kPrimary || got.shard != prefs[0] ||
+          got.attempts != 1 || got.response.tier != ServeTier::kFull) {
+        result.Fail() << "clean fleet did not serve full-tier on primary "
+                      << plan(k);
+        return;
+      }
+      const std::vector<int64_t> expected =
+          ReplayRank(ctx.train_items, user, ctx.FullScores(user), top_n);
+      if (got.response.items.size() != expected.size()) {
+        result.Fail() << "full replay size mismatch " << plan(k);
+        return;
+      }
+      for (size_t i = 0; i < expected.size(); ++i) {
+        if (got.response.items[i].item != expected[i]) {
+          result.Fail() << "full replay item " << i << " mismatch " << plan(k);
+          return;
+        }
+      }
+    }
+
+    if (kind == kKillAll) {
+      // Every shard down: the cross-shard popularity fallback answers, and
+      // its ranking is exactly the popularity replay.
+      if (got.path != FleetPath::kFallback || got.shard != -1 ||
+          got.response.tier != ServeTier::kPopularity) {
+        result.Fail() << "all-down fleet did not hit the fallback "
+                      << plan(k);
+        return;
+      }
+      const std::vector<int64_t> expected = ctx.PopularityItems(user, top_n);
+      if (got.response.items.size() != expected.size()) {
+        result.Fail() << "fallback size mismatch " << plan(k);
+        return;
+      }
+      for (size_t i = 0; i < expected.size(); ++i) {
+        if (got.response.items[i].item != expected[i] ||
+            UlpDistance(got.response.items[i].score,
+                        static_cast<double>(
+                            ctx.popularity_counts[expected[i]])) != 0) {
+          result.Fail() << "fallback item " << i << " mismatch " << plan(k);
+          return;
+        }
+      }
+    }
+  }
+
+  // Counter reconciliation across the whole case: the router consulted the
+  // shard injector on every attempt, every down verdict was recorded, and
+  // stage faults that fired inside shards surface in the merged stats.
+  const FleetStats stats = router.stats();
+  int64_t injector_attempts = 0;
+  for (int s = 0; s < FleetFuzzContext::kShards; ++s) {
+    injector_attempts += shard_fault.attempts(s);
+  }
+  if (stats.attempts != injector_attempts) {
+    result.Fail() << "attempts " << stats.attempts << " != injector "
+                  << injector_attempts << " " << plan(-1);
+    return;
+  }
+  if (stats.shard_down_failures != shard_fault.faults_fired()) {
+    result.Fail() << "down failures " << stats.shard_down_failures
+                  << " != injector " << shard_fault.faults_fired() << " "
+                  << plan(-1);
+    return;
+  }
+  if (stats.shards.fault_events != stage_fault.faults_fired()) {
+    result.Fail() << "stage fault events " << stats.shards.fault_events
+                  << " != injector " << stage_fault.faults_fired() << " "
+                  << plan(-1);
+    return;
+  }
+  if (stats.answered != requests) {
+    result.Fail() << "answered " << stats.answered << " != routed "
+                  << requests << " " << plan(-1);
+  }
+}
+
 }  // namespace
 
 FuzzReport FuzzTensor(const FuzzOptions& options) {
@@ -706,13 +950,22 @@ FuzzReport FuzzServe(const FuzzOptions& options) {
                   });
 }
 
+FuzzReport FuzzFleet(const FuzzOptions& options) {
+  FleetFuzzContext ctx;
+  return RunCases("fleet", options,
+                  [&ctx](uint64_t seed, CaseResult& result) {
+                    FleetCase(ctx, seed, result);
+                  });
+}
+
 FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options) {
   if (name == "tensor") return FuzzTensor(options);
   if (name == "ppr") return FuzzPpr(options);
   if (name == "ranking" || name == "topn") return FuzzRanking(options);
   if (name == "serve") return FuzzServe(options);
+  if (name == "fleet") return FuzzFleet(options);
   KUC_CHECK(false) << "unknown fuzz subsystem '" << name
-                   << "' (want tensor|ppr|ranking|serve)";
+                   << "' (want tensor|ppr|ranking|serve|fleet)";
   return FuzzReport();
 }
 

@@ -57,8 +57,15 @@ FuzzReport FuzzRanking(const FuzzOptions& options);
 /// the degradation chain that predicts the tier and the exact ranked items.
 FuzzReport FuzzServe(const FuzzOptions& options);
 
-/// Runs one subsystem by name ("tensor", "ppr", "ranking", "topn", "serve").
-/// Aborts on an unknown name.
+/// Sharded-fleet replay: randomized shard faults (kill one / kill all /
+/// stall / flap), stage faults, retry/hedge knobs, and request batches
+/// against a three-shard router of identically-seeded models; checks the
+/// fleet always answers, exact-replays the full tier and the popularity
+/// fallback, and reconciles router counters with the injectors.
+FuzzReport FuzzFleet(const FuzzOptions& options);
+
+/// Runs one subsystem by name ("tensor", "ppr", "ranking", "topn", "serve",
+/// "fleet"). Aborts on an unknown name.
 FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options);
 
 }  // namespace testing

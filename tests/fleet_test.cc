@@ -1,0 +1,625 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kucnet.h"
+#include "data/synthetic.h"
+#include "serve/fleet/shard_fault.h"
+#include "serve/fleet/shard_health.h"
+#include "serve/fleet/shard_router.h"
+#include "tensor/serialize.h"
+#include "util/clock.h"
+#include "util/fault.h"
+
+namespace kucnet {
+namespace {
+
+Dataset TinyDataset(uint64_t seed = 42) {
+  SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.num_users = 30;
+  cfg.num_items = 50;
+  cfg.num_topics = 4;
+  cfg.interactions_per_user = 8;
+  cfg.entities_per_topic = 5;
+  cfg.num_shared_entities = 6;
+  cfg.kg_noise = 0.05;
+  cfg.entity_entity_edges_per_topic = 5;
+  Rng rng(seed);
+  const RawData raw = GenerateSynthetic(cfg).raw;
+  return TraditionalSplit(raw, 0.25, rng);
+}
+
+KucnetOptions SmallModelOptions(uint64_t seed = 13) {
+  KucnetOptions opts;
+  opts.hidden_dim = 8;
+  opts.attention_dim = 3;
+  opts.depth = 3;
+  opts.sample_k = 8;
+  opts.seed = seed;
+  return opts;
+}
+
+/// Router options for deterministic single-threaded tests: synchronous
+/// shards, a FakeClock everywhere, and waits that advance that clock.
+ShardRouterOptions SyncFleetOptions(FakeClock* clock,
+                                    ShardFaultInjector* shard_fault = nullptr,
+                                    FaultInjector* stage_fault = nullptr) {
+  ShardRouterOptions opts;
+  opts.server.num_workers = 0;
+  opts.clock = clock;
+  opts.shard_fault = shard_fault;
+  opts.stage_fault = stage_fault;
+  opts.wait_micros = [clock](int64_t micros) { clock->AdvanceMicros(micros); };
+  return opts;
+}
+
+/// Dataset + CKG + PPR + one identically-seeded model per shard + router.
+/// All shard models share options and seed, so every shard's full tier is
+/// bitwise identical — any shard's answer can be checked against one
+/// reference forward pass.
+struct FleetFixture {
+  FleetFixture(int num_shards, ShardRouterOptions options)
+      : dataset(TinyDataset()), ckg(dataset.BuildCkg()) {
+    ppr = PprTable::Compute(ckg);
+    std::vector<Kucnet*> raw;
+    for (int s = 0; s < num_shards; ++s) {
+      models.push_back(
+          std::make_unique<Kucnet>(&dataset, &ckg, &ppr, SmallModelOptions()));
+      raw.push_back(models.back().get());
+    }
+    router = std::make_unique<ShardRouter>(raw, &dataset, &ckg, &ppr,
+                                           std::move(options));
+  }
+
+  FleetResponse Route(int64_t user, int64_t tenant = 0) {
+    FleetRequest request;
+    request.request.user = user;
+    request.tenant = tenant;
+    return router->Route(request);
+  }
+
+  Dataset dataset;
+  Ckg ckg;
+  PprTable ppr;
+  std::vector<std::unique_ptr<Kucnet>> models;
+  std::unique_ptr<ShardRouter> router;
+};
+
+void ExpectSameItems(const std::vector<ScoredItem>& a,
+                     const std::vector<ScoredItem>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item) << "rank " << i;
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << "rank " << i;
+  }
+}
+
+// ---- Consistent-hash routing -------------------------------------------------
+
+TEST(ShardRouterTest, RoutingIsDeterministicAndCoversAllShards) {
+  FakeClock clock_a, clock_b;
+  FleetFixture a(3, SyncFleetOptions(&clock_a));
+  FleetFixture b(3, SyncFleetOptions(&clock_b));
+  std::set<int> homes;
+  for (int64_t user = 0; user < 1000; ++user) {
+    const int home = a.router->ShardForUser(user);
+    // Same config => same ring => same placement, across router instances.
+    EXPECT_EQ(home, b.router->ShardForUser(user));
+    homes.insert(home);
+    const std::vector<int> prefs = a.router->PreferenceOrder(user);
+    ASSERT_EQ(prefs.size(), 3u);
+    EXPECT_EQ(prefs[0], home);  // home shard leads the failover order
+    EXPECT_EQ(std::set<int>(prefs.begin(), prefs.end()).size(), 3u);
+    EXPECT_EQ(prefs, b.router->PreferenceOrder(user));
+  }
+  // 1000 users on a 48-point ring: every shard owns a slice.
+  EXPECT_EQ(homes.size(), 3u);
+}
+
+// ---- Healthy fleet -----------------------------------------------------------
+
+TEST(ShardRouterTest, HealthyFleetServesFullTierOnPrimary) {
+  FakeClock clock;
+  FleetFixture fleet(3, SyncFleetOptions(&clock));
+
+  // One reference server over an identically-seeded model: the oracle for
+  // what any healthy shard's full tier must return.
+  Kucnet reference(&fleet.dataset, &fleet.ckg, &fleet.ppr,
+                   SmallModelOptions());
+  RecServerOptions ref_options;
+  ref_options.num_workers = 0;
+  ref_options.clock = &clock;
+  RecServer ref_server(&reference, &fleet.dataset, &fleet.ckg, &fleet.ppr,
+                       ref_options);
+
+  for (int64_t user = 0; user < fleet.dataset.num_users; ++user) {
+    const FleetResponse got = fleet.Route(user);
+    ASSERT_EQ(got.response.status, ResponseStatus::kOk);
+    EXPECT_EQ(got.response.tier, ServeTier::kFull);
+    EXPECT_FALSE(got.response.degraded);
+    EXPECT_EQ(got.path, FleetPath::kPrimary);
+    EXPECT_EQ(got.shard, fleet.router->ShardForUser(user));
+    EXPECT_EQ(got.attempts, 1);
+    EXPECT_EQ(got.retries, 0);
+    EXPECT_TRUE(got.fleet_reason.empty());
+    RecRequest ref_request;
+    ref_request.user = user;
+    ExpectSameItems(got.response.items,
+                    ref_server.ServeSync(ref_request).items);
+  }
+  const FleetStats stats = fleet.router->stats();
+  EXPECT_EQ(stats.submitted, fleet.dataset.num_users);
+  EXPECT_EQ(stats.answered, fleet.dataset.num_users);
+  EXPECT_EQ(stats.shard_answers, fleet.dataset.num_users);
+  EXPECT_EQ(stats.fallback_answers, 0);
+  EXPECT_EQ(stats.attempts, fleet.dataset.num_users);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.tier_count[static_cast<int>(ServeTier::kFull)],
+            fleet.dataset.num_users);
+  EXPECT_EQ(stats.path_count[static_cast<int>(FleetPath::kPrimary)],
+            fleet.dataset.num_users);
+  // The merged per-shard view must account for every request exactly once.
+  EXPECT_EQ(stats.shards.completed, fleet.dataset.num_users);
+}
+
+// ---- Retries -----------------------------------------------------------------
+
+TEST(ShardRouterTest, KilledPrimaryRetriesToSibling) {
+  FakeClock clock;
+  ShardFaultInjector faults;
+  FleetFixture fleet(3, SyncFleetOptions(&clock, &faults));
+  const int64_t user = 4;
+  const std::vector<int> prefs = fleet.router->PreferenceOrder(user);
+  faults.Kill(prefs[0]);
+
+  const FleetResponse got = fleet.Route(user);
+  ASSERT_EQ(got.response.status, ResponseStatus::kOk);
+  EXPECT_EQ(got.response.tier, ServeTier::kFull);  // sibling is fully healthy
+  EXPECT_EQ(got.path, FleetPath::kRetry);
+  EXPECT_EQ(got.shard, prefs[1]);
+  EXPECT_EQ(got.attempts, 2);
+  EXPECT_EQ(got.retries, 1);
+  EXPECT_NE(got.fleet_reason.find("down"), std::string::npos);
+  EXPECT_GT(got.total_micros, 0);  // the retry backoff burned fleet time
+
+  const FleetStats stats = fleet.router->stats();
+  EXPECT_EQ(stats.shard_down_failures, 1);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(faults.faults_fired(), 1);
+}
+
+TEST(ShardRouterTest, BackoffScheduleIsDeterministicAndExponential) {
+  const auto run = [] {
+    FakeClock clock;
+    ShardFaultInjector faults;
+    FleetFixture fleet(3, SyncFleetOptions(&clock, &faults));
+    const std::vector<int> prefs = fleet.router->PreferenceOrder(9);
+    faults.Kill(prefs[0]);
+    faults.Kill(prefs[1]);  // force both retries; the third shard answers
+    return fleet.Route(9);
+  };
+  const FleetResponse first = run();
+  ASSERT_EQ(first.response.status, ResponseStatus::kOk);
+  EXPECT_EQ(first.attempts, 3);
+  EXPECT_EQ(first.retries, 2);
+  // Defaults: base 1000us, multiplier 2 => waits of 1000+j1 and 2000+j2
+  // with jitter in [0, 256). Everything on the FakeClock, so total latency
+  // is exactly the backoff schedule.
+  EXPECT_GE(first.total_micros, 3000);
+  EXPECT_LT(first.total_micros, 3000 + 2 * 256);
+  // Seeded jitter: an identical fleet replays the identical schedule.
+  EXPECT_EQ(first.total_micros, run().total_micros);
+}
+
+// ---- Circuit breaker ---------------------------------------------------------
+
+TEST(ShardRouterTest, BreakerOpensAfterThresholdAndRecoversViaProbe) {
+  FakeClock clock;
+  ShardFaultInjector faults;
+  ShardRouterOptions options = SyncFleetOptions(&clock, &faults);
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_cooldown_micros = 1'000'000;
+  FleetFixture fleet(2, options);
+  const int64_t user = 2;
+  const std::vector<int> prefs = fleet.router->PreferenceOrder(user);
+  const int home = prefs[0];
+  faults.Kill(home);
+
+  // Three failed attempts trip the home shard's breaker open; the sibling
+  // answers each time.
+  for (int i = 0; i < 3; ++i) {
+    const FleetResponse got = fleet.Route(user);
+    ASSERT_EQ(got.response.status, ResponseStatus::kOk);
+    EXPECT_EQ(got.shard, prefs[1]);
+  }
+  EXPECT_EQ(fleet.router->shard_health(home), ShardHealth::kOpen);
+
+  // While open the home shard is skipped without an attempt: the request
+  // goes straight to the sibling on its first attempt.
+  const FleetResponse while_open = fleet.Route(user);
+  EXPECT_EQ(while_open.shard, prefs[1]);
+  EXPECT_EQ(while_open.attempts, 1);
+  EXPECT_EQ(while_open.path, FleetPath::kPrimary);
+  EXPECT_NE(while_open.fleet_reason.find("breaker open"), std::string::npos);
+  EXPECT_GT(fleet.router->stats().breaker_rejections, 0);
+  EXPECT_EQ(faults.attempts(home), 3);  // no traffic reached it while open
+
+  // Cooldown elapses and the shard comes back: the next request is admitted
+  // as a half-open probe, succeeds, and closes the breaker.
+  faults.Revive(home);
+  clock.AdvanceMicros(1'000'000);
+  const FleetResponse probe = fleet.Route(user);
+  ASSERT_EQ(probe.response.status, ResponseStatus::kOk);
+  EXPECT_EQ(probe.shard, home);
+  EXPECT_EQ(fleet.router->shard_health(home), ShardHealth::kClosed);
+
+  const FleetStats stats = fleet.router->stats();
+  // closed -> open -> half-open -> closed.
+  EXPECT_EQ(stats.breaker_transitions, 3);
+  EXPECT_GE(stats.half_open_probes, 1);
+}
+
+// ---- Hedging -----------------------------------------------------------------
+
+TEST(ShardRouterTest, StalledShardTriggersHedgeThatWins) {
+  FakeClock clock;
+  ShardFaultInjector faults;
+  ShardRouterOptions options = SyncFleetOptions(&clock, &faults);
+  options.hedging = true;
+  options.hedge_latency_micros = 20'000;
+  options.unhealthy_latency_micros = 20'000;
+  FleetFixture fleet(3, options);
+  const int64_t user = 11;
+  const std::vector<int> prefs = fleet.router->PreferenceOrder(user);
+  faults.Stall(prefs[0], 50'000);
+
+  const FleetResponse got = fleet.Route(user);
+  ASSERT_EQ(got.response.status, ResponseStatus::kOk);
+  EXPECT_TRUE(got.hedged);
+  EXPECT_TRUE(got.hedge_won);  // same tier, 0us beats 50'000us
+  EXPECT_EQ(got.path, FleetPath::kHedge);
+  EXPECT_EQ(got.shard, prefs[1]);
+  EXPECT_EQ(got.attempts, 2);
+  EXPECT_EQ(got.retries, 0);  // a hedge is not a retry
+
+  const FleetStats stats = fleet.router->stats();
+  EXPECT_EQ(stats.hedges, 1);
+  EXPECT_EQ(stats.hedges_won, 1);
+  EXPECT_EQ(stats.hedges_lost, 0);
+  EXPECT_EQ(faults.stalls_fired(), 1);
+  // The slow answer also counted against the stalling shard's health.
+  EXPECT_EQ(stats.slow_attempt_failures, 1);
+  EXPECT_EQ(fleet.router->shard_health(prefs[0]), ShardHealth::kClosed);
+}
+
+TEST(ShardRouterTest, FastPrimaryNeverHedges) {
+  FakeClock clock;
+  ShardRouterOptions options = SyncFleetOptions(&clock);
+  options.hedging = true;
+  FleetFixture fleet(3, options);
+  const FleetResponse got = fleet.Route(11);
+  EXPECT_FALSE(got.hedged);
+  EXPECT_EQ(got.attempts, 1);
+  EXPECT_EQ(fleet.router->stats().hedges, 0);
+}
+
+// ---- Fleet fallback ----------------------------------------------------------
+
+TEST(ShardRouterTest, AllShardsDownFallsBackToPopularity) {
+  FakeClock clock;
+  ShardFaultInjector faults;
+  FleetFixture fleet(3, SyncFleetOptions(&clock, &faults));
+  for (int s = 0; s < 3; ++s) faults.Kill(s);
+
+  const int64_t user = 6;
+  const FleetResponse got = fleet.Route(user);
+  ASSERT_EQ(got.response.status, ResponseStatus::kOk);
+  EXPECT_EQ(got.path, FleetPath::kFallback);
+  EXPECT_EQ(got.shard, -1);
+  EXPECT_EQ(got.response.tier, ServeTier::kPopularity);
+  EXPECT_TRUE(got.response.degraded);
+  EXPECT_EQ(got.attempts, 3);  // 1 + max_retries, all refused
+  ASSERT_FALSE(got.response.items.empty());
+
+  // The fallback ranking is exactly training popularity (count desc, id
+  // asc) minus the user's own training items.
+  std::vector<int64_t> counts(fleet.dataset.num_items, 0);
+  for (const auto& [u, item] : fleet.dataset.train) ++counts[item];
+  const std::vector<std::vector<int64_t>> train_items =
+      fleet.dataset.TrainItemsByUser();
+  int64_t prev_count = counts[got.response.items[0].item];
+  for (const ScoredItem& scored : got.response.items) {
+    EXPECT_FALSE(std::binary_search(train_items[user].begin(),
+                                    train_items[user].end(), scored.item));
+    EXPECT_LE(counts[scored.item], prev_count);  // popularity-sorted
+    prev_count = counts[scored.item];
+    EXPECT_EQ(scored.score, static_cast<double>(counts[scored.item]));
+  }
+
+  // Keep routing until every breaker opens; the fleet still answers with
+  // zero attempts per request.
+  for (int i = 0; i < 10; ++i) fleet.Route(user);
+  const FleetResponse after = fleet.Route(user);
+  EXPECT_EQ(after.response.status, ResponseStatus::kOk);
+  EXPECT_EQ(after.path, FleetPath::kFallback);
+  EXPECT_EQ(after.attempts, 0);  // all breakers open: no attempt wasted
+  EXPECT_EQ(fleet.router->stats().fallback_answers, 12);
+}
+
+// ---- Tenant quotas -----------------------------------------------------------
+
+TEST(ShardRouterTest, TenantQuotaShedsAndWindowRollsOver) {
+  FakeClock clock;
+  ShardRouterOptions options = SyncFleetOptions(&clock);
+  options.tenant.quota = 2;
+  options.tenant.window_micros = 1'000;
+  FleetFixture fleet(2, options);
+
+  EXPECT_EQ(fleet.Route(1, /*tenant=*/7).response.status, ResponseStatus::kOk);
+  EXPECT_EQ(fleet.Route(2, /*tenant=*/7).response.status, ResponseStatus::kOk);
+  const FleetResponse shed = fleet.Route(3, /*tenant=*/7);
+  EXPECT_EQ(shed.response.status, ResponseStatus::kOverloaded);
+  EXPECT_EQ(shed.path, FleetPath::kQuotaShed);
+  EXPECT_EQ(shed.attempts, 0);  // shed at admission: no shard touched
+  EXPECT_NE(shed.fleet_reason.find("quota"), std::string::npos);
+
+  // Quotas are per tenant: another tenant is unaffected.
+  EXPECT_EQ(fleet.Route(3, /*tenant=*/8).response.status, ResponseStatus::kOk);
+
+  // A new window re-admits the shed tenant.
+  clock.AdvanceMicros(1'000);
+  EXPECT_EQ(fleet.Route(3, /*tenant=*/7).response.status, ResponseStatus::kOk);
+
+  const FleetStats stats = fleet.router->stats();
+  EXPECT_EQ(stats.quota_shed, 1);
+  EXPECT_EQ(stats.path_count[static_cast<int>(FleetPath::kQuotaShed)], 1);
+  EXPECT_EQ(stats.submitted, 5);
+  EXPECT_EQ(stats.answered, 4);
+}
+
+// ---- Rolling swap ------------------------------------------------------------
+
+TEST(ShardRouterTest, RollingSwapServesThroughoutAndLoadsNewWeights) {
+  FakeClock clock;
+  ShardRouterOptions options = SyncFleetOptions(&clock);
+  options.server.warm_cache_users = 4;
+  FleetFixture fleet(2, options);
+
+  // The v2 checkpoint: same architecture, different seed => different
+  // weights, observably different scores.
+  Kucnet v2(&fleet.dataset, &fleet.ckg, &fleet.ppr, SmallModelOptions(99));
+  const std::string path = ::testing::TempDir() + "/fleet_swap_v2.ckpt";
+  ASSERT_TRUE(TrySaveParameters(v2.Params(), path).ok());
+
+  // Mid-swap traffic: while each shard drains, a request for a user homed
+  // on it must be answered by the sibling.
+  std::vector<std::string> phases;
+  int64_t mid_swap_checks = 0;
+  const int64_t home0_user = [&] {
+    for (int64_t u = 0;; ++u) {
+      if (fleet.router->ShardForUser(u) == 0) return u;
+    }
+  }();
+  const int64_t home1_user = [&] {
+    for (int64_t u = 0;; ++u) {
+      if (fleet.router->ShardForUser(u) == 1) return u;
+    }
+  }();
+  // Rebuild the router with a swap observer installed (the observer needs
+  // the router, so configure via mutable options on a fresh fixture).
+  ShardRouterOptions observed = SyncFleetOptions(&clock);
+  observed.server.warm_cache_users = 4;
+  observed.swap_observer = [&](int shard, const char* phase) {
+    phases.push_back(std::to_string(shard) + ":" + phase);
+    if (std::string(phase) == "draining") {
+      const int64_t user = shard == 0 ? home0_user : home1_user;
+      const FleetResponse mid = fleet.Route(user);
+      EXPECT_EQ(mid.response.status, ResponseStatus::kOk);
+      EXPECT_NE(mid.shard, shard);  // the draining shard is skipped
+      ++mid_swap_checks;
+    }
+  };
+  fleet.router = nullptr;  // tear down before re-wiring the same models
+  std::vector<Kucnet*> raw;
+  for (auto& m : fleet.models) raw.push_back(m.get());
+  fleet.router = std::make_unique<ShardRouter>(raw, &fleet.dataset, &fleet.ckg,
+                                               &fleet.ppr, observed);
+
+  const Status swapped = fleet.router->RollingSwap(path);
+  ASSERT_TRUE(swapped.ok()) << swapped.message();
+  EXPECT_EQ(mid_swap_checks, 2);
+  const std::vector<std::string> want = {"0:draining", "0:swapped",
+                                         "0:readmitted", "1:draining",
+                                         "1:swapped", "1:readmitted"};
+  EXPECT_EQ(phases, want);
+  EXPECT_FALSE(fleet.router->shard_draining(0));
+  EXPECT_FALSE(fleet.router->shard_draining(1));
+
+  const FleetStats stats = fleet.router->stats();
+  EXPECT_EQ(stats.swaps, 2);
+  EXPECT_EQ(stats.draining_skips, 2);
+  // Each shard's cache was invalidated exactly once, then rewarmed.
+  EXPECT_EQ(fleet.router->shard(0).cache().generation(), 1);
+  EXPECT_EQ(fleet.router->shard(1).cache().generation(), 1);
+  EXPECT_GE(stats.shards.cache_warmed, 2 * 4);  // construction + rewarm
+
+  // Post-swap answers come from the v2 weights on every shard.
+  RecServerOptions ref_options;
+  ref_options.num_workers = 0;
+  ref_options.clock = &clock;
+  RecServer ref_server(&v2, &fleet.dataset, &fleet.ckg, &fleet.ppr,
+                       ref_options);
+  for (const int64_t user : {home0_user, home1_user}) {
+    const FleetResponse got = fleet.Route(user);
+    ASSERT_EQ(got.response.tier, ServeTier::kFull);
+    RecRequest ref_request;
+    ref_request.user = user;
+    ExpectSameItems(got.response.items,
+                    ref_server.ServeSync(ref_request).items);
+  }
+}
+
+TEST(ShardRouterTest, RollingSwapRejectsBogusCheckpointAndStaysServing) {
+  FakeClock clock;
+  FleetFixture fleet(2, SyncFleetOptions(&clock));
+  const Status status = fleet.router->RollingSwap("/nonexistent/ckpt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(fleet.router->shard_draining(0));
+  EXPECT_FALSE(fleet.router->shard_draining(1));
+  EXPECT_EQ(fleet.router->stats().swaps, 0);
+  EXPECT_EQ(fleet.Route(5).response.status, ResponseStatus::kOk);
+}
+
+// The cache-staleness regression the swap machinery exists to prevent: after
+// a hot swap, a degraded request retried onto the shard must NOT be served
+// scores the pre-swap model computed.
+TEST(ShardRouterTest, RetriedRequestCannotReadPreSwapCacheEntry) {
+  FakeClock clock;
+  FaultInjector stage_faults;
+  ShardRouterOptions options = SyncFleetOptions(&clock, nullptr, &stage_faults);
+  options.warm_after_swap_users = 0;  // no rewarm: the stale entry would be
+                                      // the only cached candidate
+  FleetFixture fleet(2, options);
+  const int64_t user = 3;
+  const int home = fleet.router->ShardForUser(user);
+
+  // Pre-swap: a full-tier answer deposits v1 scores in the home shard's
+  // cache.
+  const FleetResponse before = fleet.Route(user);
+  ASSERT_EQ(before.response.tier, ServeTier::kFull);
+  ASSERT_EQ(before.shard, home);
+  const std::vector<ScoredItem> v1_items = before.response.items;
+  ASSERT_GT(fleet.router->shard(home).cache().size(), 0u);
+
+  // Hot-swap to different weights.
+  Kucnet v2(&fleet.dataset, &fleet.ckg, &fleet.ppr, SmallModelOptions(99));
+  const std::string path = ::testing::TempDir() + "/fleet_stale_v2.ckpt";
+  ASSERT_TRUE(TrySaveParameters(v2.Params(), path).ok());
+  ASSERT_TRUE(fleet.router->RollingSwap(path).ok());
+
+  // Post-swap degraded request: the full tier fails (injected), so the
+  // shard reaches its cached tier — where the v1 entry still physically
+  // sits. The generation tag must reject it.
+  stage_faults.Arm("ppr", 1);
+  const FleetResponse after = fleet.Route(user);
+  ASSERT_EQ(after.response.status, ResponseStatus::kOk);
+  EXPECT_NE(after.response.tier, ServeTier::kCached);
+  EXPECT_EQ(after.response.tier, ServeTier::kHeuristic);
+  EXPECT_GE(fleet.router->shard(home).cache().generation_evictions(), 1);
+}
+
+// ---- Asynchronous shards -----------------------------------------------------
+
+TEST(ShardRouterTest, AsyncWorkersServeTheFleet) {
+  // Real clock, real worker threads: the TSan-relevant configuration.
+  ShardRouterOptions options;
+  options.server.num_workers = 2;
+  FleetFixture fleet(3, options);
+  for (int64_t user = 0; user < 10; ++user) {
+    const FleetResponse got = fleet.Route(user);
+    EXPECT_EQ(got.response.status, ResponseStatus::kOk);
+    EXPECT_FALSE(got.response.items.empty());
+  }
+  fleet.router->Shutdown();
+  EXPECT_EQ(fleet.router->stats().answered, 10);
+}
+
+// ---- The acceptance sweep ----------------------------------------------------
+
+// Every whole-shard fault x every target shard x every per-stage fault site,
+// with a rolling swap in the middle of each scenario: the fleet must answer
+// every single request, and the failure counters must reconcile exactly
+// with what the injectors report.
+TEST(ShardRouterTest, FaultSweepNeverLeavesARequestUnanswered) {
+  Dataset dataset = TinyDataset();
+  Ckg ckg = dataset.BuildCkg();
+  PprTable ppr = PprTable::Compute(ckg);
+  constexpr int kShards = 3;
+  std::vector<std::unique_ptr<Kucnet>> models;
+  std::vector<Kucnet*> raw;
+  for (int s = 0; s < kShards; ++s) {
+    models.push_back(
+        std::make_unique<Kucnet>(&dataset, &ckg, &ppr, SmallModelOptions()));
+    raw.push_back(models.back().get());
+  }
+  // The swap checkpoint reloads the same weights: the sweep exercises the
+  // drain/invalidate/rewarm machinery without perturbing scores.
+  const std::string ckpt = ::testing::TempDir() + "/fleet_sweep.ckpt";
+  ASSERT_TRUE(TrySaveParameters(models[0]->Params(), ckpt).ok());
+
+  const char* kShardFaults[] = {"kill", "stall", "flap"};
+  const char* kStageSites[] = {"",          "ppr",       "subgraph",
+                               "forward",   "cache",     "heuristic",
+                               "popularity"};
+  for (const char* shard_fault_kind : kShardFaults) {
+    for (int target = 0; target < kShards; ++target) {
+      for (const char* site : kStageSites) {
+        SCOPED_TRACE(std::string(shard_fault_kind) + " shard " +
+                     std::to_string(target) + " stage '" + site + "'");
+        FakeClock clock;
+        ShardFaultInjector shard_faults;
+        FaultInjector stage_faults;
+        ShardRouterOptions options =
+            SyncFleetOptions(&clock, &shard_faults, &stage_faults);
+        ShardRouter router(raw, &dataset, &ckg, &ppr, options);
+
+        if (std::string(shard_fault_kind) == "kill") {
+          shard_faults.Kill(target);
+        } else if (std::string(shard_fault_kind) == "stall") {
+          shard_faults.Stall(target, 10'000);
+        } else {
+          shard_faults.Flap(target, 1);  // down/up on alternating attempts
+        }
+
+        int64_t answered = 0;
+        const auto route_users = [&](int64_t from, int64_t to) {
+          for (int64_t user = from; user < to; ++user) {
+            if (site[0] != '\0') stage_faults.Arm(site, 1);
+            FleetRequest request;
+            request.request.user = user;
+            const FleetResponse got = router.Route(request);
+            ASSERT_EQ(got.response.status, ResponseStatus::kOk);
+            ASSERT_FALSE(got.response.items.empty());
+            for (const ScoredItem& scored : got.response.items) {
+              ASSERT_TRUE(std::isfinite(scored.score));
+            }
+            ++answered;
+          }
+        };
+        route_users(0, 6);
+        // Mid-scenario rolling swap: drain/reload/rewarm every shard while
+        // the injected fault stays armed. Faults during the swap's own
+        // warm-up are fine — warming is fault-free by design.
+        ASSERT_TRUE(router.RollingSwap(ckpt).ok());
+        route_users(6, 12);
+
+        const FleetStats stats = router.stats();
+        EXPECT_EQ(stats.answered, answered);
+        EXPECT_EQ(stats.quota_shed, 0);
+        EXPECT_EQ(stats.shard_answers + stats.fallback_answers, answered);
+        // Attempt accounting: the router consulted the shard injector on
+        // every attempt it made, and every "down" verdict is one recorded
+        // shard_down failure.
+        int64_t injector_attempts = 0;
+        for (int s = 0; s < kShards; ++s) {
+          injector_attempts += shard_faults.attempts(s);
+        }
+        EXPECT_EQ(stats.attempts, injector_attempts);
+        EXPECT_EQ(stats.shard_down_failures, shard_faults.faults_fired());
+        // Per-stage faults that fired inside shards surface in the merged
+        // server stats.
+        EXPECT_EQ(stats.shards.fault_events, stage_faults.faults_fired());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kucnet

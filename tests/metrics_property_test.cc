@@ -1,13 +1,16 @@
-// Property tests for the ranking metrics: randomized rankings and test sets
+// Property tests for the ranking metrics (randomized rankings and test sets
 // must satisfy the metric axioms for every (seed, list size, test size, N)
-// combination in the sweep.
+// combination in the sweep) and for ServerStats::MergeFrom (the fleet's
+// cross-shard aggregation must behave like saturating vector addition).
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
 
 #include "eval/metrics.h"
+#include "serve/rec_server.h"
 #include "util/rng.h"
 
 namespace kucnet {
@@ -98,6 +101,132 @@ TEST_P(MetricsPropertyTest, TopNIndicesConsistentWithMetrics) {
   for (int64_t i = 0; i < expect; ++i) {
     EXPECT_EQ(top[i], ranked_[i]);
   }
+}
+
+// ---- ServerStats::MergeFrom --------------------------------------------------
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+/// Random-but-reproducible ServerStats, including histogram contents.
+ServerStats RandomStats(Rng& rng) {
+  ServerStats stats;
+  stats.submitted = rng.UniformInt(1000);
+  stats.admitted = rng.UniformInt(1000);
+  stats.shed = rng.UniformInt(100);
+  stats.completed = rng.UniformInt(1000);
+  stats.deadline_missed = rng.UniformInt(50);
+  stats.fault_events = rng.UniformInt(50);
+  stats.nonfinite_scores = rng.UniformInt(10);
+  stats.cache_warmed = rng.UniformInt(100);
+  stats.degraded = rng.UniformInt(500);
+  for (int t = 0; t < kNumServeTiers; ++t) {
+    stats.tier_count[t] = rng.UniformInt(300);
+  }
+  const int64_t samples = rng.UniformInt(50);
+  for (int64_t i = 0; i < samples; ++i) {
+    stats.latency.Record(rng.UniformInt(1'000'000));
+  }
+  return stats;
+}
+
+TEST(ServerStatsMergeTest, EmptyIsTheIdentity) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    const ServerStats original = RandomStats(rng);
+    // x + 0 == x ...
+    ServerStats merged = original;
+    merged.MergeFrom(ServerStats());
+    EXPECT_EQ(merged.completed, original.completed);
+    EXPECT_EQ(merged.latency.total, original.latency.total);
+    EXPECT_EQ(merged.latency.sum, original.latency.sum);
+    // ... and 0 + x == x.
+    ServerStats from_empty;
+    from_empty.MergeFrom(original);
+    EXPECT_EQ(from_empty.submitted, original.submitted);
+    EXPECT_EQ(from_empty.degraded, original.degraded);
+    for (int t = 0; t < kNumServeTiers; ++t) {
+      EXPECT_EQ(from_empty.tier_count[t], original.tier_count[t]);
+    }
+    EXPECT_EQ(from_empty.latency.counts, original.latency.counts);
+  }
+}
+
+TEST(ServerStatsMergeTest, MergeIsComponentwiseAdditionAndCommutes) {
+  Rng rng(78);
+  for (int round = 0; round < 20; ++round) {
+    const ServerStats a = RandomStats(rng);
+    const ServerStats b = RandomStats(rng);
+    ServerStats ab = a;
+    ab.MergeFrom(b);
+    ServerStats ba = b;
+    ba.MergeFrom(a);
+    EXPECT_EQ(ab.submitted, a.submitted + b.submitted);
+    EXPECT_EQ(ab.completed, a.completed + b.completed);
+    EXPECT_EQ(ab.cache_warmed, a.cache_warmed + b.cache_warmed);
+    for (int t = 0; t < kNumServeTiers; ++t) {
+      EXPECT_EQ(ab.tier_count[t], a.tier_count[t] + b.tier_count[t]);
+    }
+    EXPECT_EQ(ab.latency.total, a.latency.total + b.latency.total);
+    EXPECT_EQ(ab.latency.sum, a.latency.sum + b.latency.sum);
+    // Commutativity: the fleet may merge shards in any order.
+    EXPECT_EQ(ab.submitted, ba.submitted);
+    EXPECT_EQ(ab.latency.counts, ba.latency.counts);
+    EXPECT_EQ(ab.latency.sum, ba.latency.sum);
+  }
+}
+
+TEST(ServerStatsMergeTest, SaturatesInsteadOfWrapping) {
+  // A counter already at the int64 ceiling must stay there, not wrap
+  // negative, no matter how many shards merge into it.
+  ServerStats saturated;
+  saturated.submitted = kInt64Max;
+  saturated.completed = kInt64Max - 1;
+  saturated.tier_count[0] = kInt64Max;
+  Rng rng(79);
+  for (int round = 0; round < 5; ++round) {
+    saturated.MergeFrom(RandomStats(rng));
+  }
+  EXPECT_EQ(saturated.submitted, kInt64Max);
+  EXPECT_GE(saturated.completed, kInt64Max - 1);
+  EXPECT_EQ(saturated.tier_count[0], kInt64Max);
+}
+
+TEST(ServerStatsMergeTest, SaturatedHistogramBucketsStaySaturated) {
+  ServerStats a;
+  // Saturate one finite bucket and the +Inf bucket directly.
+  a.latency.counts[3] = kInt64Max;
+  a.latency.counts.back() = kInt64Max;
+  a.latency.total = kInt64Max;
+  ServerStats b;
+  b.latency.Record(7);                  // lands in a finite bucket
+  b.latency.Record(kInt64Max / 2);      // lands in the +Inf bucket
+  const int64_t inf_before = b.latency.counts.back();
+  EXPECT_GE(inf_before, 1);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.latency.counts[3], kInt64Max);
+  EXPECT_EQ(a.latency.counts.back(), kInt64Max);
+  EXPECT_EQ(a.latency.total, kInt64Max);
+  // The mirror merge adds the saturated buckets into the small ones.
+  ServerStats c;
+  c.latency.Record(7);
+  ServerStats d;
+  d.latency.counts.back() = kInt64Max;
+  c.latency.MergeFrom(d.latency);
+  EXPECT_EQ(c.latency.counts.back(), kInt64Max);
+}
+
+TEST(ServerStatsMergeTest, PlusInfBucketCountsAddAcrossShards) {
+  // Three shards each saw some pathological >2^38us requests: the merged
+  // +Inf bucket is their exact sum and the percentile surfaces it.
+  ServerStats merged;
+  for (int shard = 0; shard < 3; ++shard) {
+    ServerStats s;
+    for (int i = 0; i <= shard; ++i) s.latency.Record(kInt64Max / 4);
+    merged.MergeFrom(s);
+  }
+  EXPECT_EQ(merged.latency.counts.back(), 1 + 2 + 3);
+  EXPECT_EQ(merged.latency.total, 6);
+  EXPECT_EQ(merged.latency.PercentileUpperBound(1.0), kInt64Max);
 }
 
 INSTANTIATE_TEST_SUITE_P(

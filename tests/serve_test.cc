@@ -459,6 +459,86 @@ TEST(RecServerTest, StatsReconcileAcrossMixedTraffic) {
   EXPECT_EQ(stats.latency.total, stats.completed);
 }
 
+// ---- Cache generations and warming -------------------------------------------
+
+TEST(ScoreCacheTest, GenerationBumpInvalidatesEveryEntry) {
+  FakeClock clock;
+  ScoreCache cache(ScoreCacheOptions(), &clock);
+  cache.Put(1, {1.0});
+  cache.Put(2, {2.0});
+  cache.BumpGeneration();
+  EXPECT_EQ(cache.generation(), 1);
+  std::vector<double> out;
+  // Old-generation entries are dropped on probe, not served.
+  EXPECT_FALSE(cache.Get(1, &out));
+  EXPECT_FALSE(cache.Get(2, &out));
+  EXPECT_EQ(cache.generation_evictions(), 2);
+  EXPECT_EQ(cache.size(), 0);
+  // The cache works normally in the new generation.
+  cache.Put(1, {3.0});
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out[0], 3.0);
+}
+
+TEST(ScoreCacheTest, StaleGenerationPutIsDiscarded) {
+  FakeClock clock;
+  ScoreCache cache(ScoreCacheOptions(), &clock);
+  // A forward pass snapshots the generation, then the model is swapped
+  // while it runs: its deposit must be dropped, not planted in the fresh
+  // cache.
+  const int64_t snapshot = cache.generation();
+  cache.BumpGeneration();
+  cache.Put(9, {1.0}, snapshot);
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Get(9, &out));
+  EXPECT_EQ(cache.size(), 0);
+  // A deposit tagged with the *current* generation lands normally.
+  cache.Put(9, {2.0}, cache.generation());
+  EXPECT_TRUE(cache.Get(9, &out));
+}
+
+TEST(RecServerTest, WarmCacheFillsHottestUsersAtStartup) {
+  FakeClock clock;
+  RecServerOptions options = SyncOptions(&clock);
+  options.warm_cache_users = 5;
+  ServeFixture f(options);
+  EXPECT_EQ(f.server->cache().size(), 5);
+  EXPECT_EQ(f.server->stats().cache_warmed, 5);
+  // The warmed entries are real full-tier scores: knock out the full tier
+  // and the hottest user is served from cache, not the PPR heuristic.
+  const std::vector<std::vector<int64_t>> train_items =
+      f.dataset.TrainItemsByUser();
+  int64_t hottest = 0;
+  for (int64_t u = 1; u < static_cast<int64_t>(train_items.size()); ++u) {
+    if (train_items[u].size() > train_items[hottest].size()) hottest = u;
+  }
+  FaultInjector injector;
+  RecServerOptions faulted = SyncOptions(&clock, &injector);
+  faulted.warm_cache_users = 5;
+  ServeFixture g(faulted);
+  injector.Arm("ppr", 1);
+  const RecResponse response = g.server->ServeSync({hottest});
+  EXPECT_EQ(response.tier, ServeTier::kCached);
+  EXPECT_FALSE(response.items.empty());
+}
+
+TEST(RecServerTest, InvalidateCacheDropsWarmEntries) {
+  FakeClock clock;
+  FaultInjector injector;
+  RecServerOptions options = SyncOptions(&clock, &injector);
+  options.warm_cache_users = 30;  // every user
+  ServeFixture f(options);
+  // Sanity: warm entry answers a degraded request.
+  injector.Arm("ppr", 1);
+  ASSERT_EQ(f.server->ServeSync({2}).tier, ServeTier::kCached);
+  // After invalidation the same degraded request skips the (stale) cache.
+  f.server->InvalidateCache();
+  injector.Arm("ppr", 1);
+  const RecResponse response = f.server->ServeSync({2});
+  EXPECT_EQ(response.tier, ServeTier::kHeuristic);
+  EXPECT_GE(f.server->cache().generation_evictions(), 1);
+}
+
 TEST(LatencyHistogramTest, PercentileBounds) {
   LatencyHistogram histogram;
   for (int i = 0; i < 90; ++i) histogram.Record(3);     // bucket upper bound 3
