@@ -14,7 +14,8 @@ namespace kucnet::bench {
 Workload MakeWorkload(const std::string& config_name, SplitKind kind,
                       uint64_t split_seed) {
   const SyntheticConfig cfg = SynthConfigByName(config_name);
-  const RawData raw = GenerateSynthetic(cfg).raw;
+  const SyntheticData synth = GenerateSynthetic(cfg);
+  const RawData& raw = synth.raw;
   Rng rng(split_seed);
   Dataset dataset;
   switch (kind) {
@@ -26,6 +27,9 @@ Workload MakeWorkload(const std::string& config_name, SplitKind kind,
       break;
     case SplitKind::kNewUser:
       dataset = NewUserSplit(raw, 0.2, rng);
+      break;
+    case SplitKind::kTemporal:
+      dataset = TemporalSplit(raw, synth.arrival_order, 0.8);
       break;
   }
   Workload w{std::move(dataset), Ckg::Build(0, 0, 0, 0, {}, {}),

@@ -11,9 +11,19 @@
 //                       [--shards N] [--retries N] [--hedge_us N]
 //                       [--tenant_quota N] [--tenant_window_us N]
 //                       [--warm_cache N]
+//   kucnet_cli stream   --data DIR --wal DIR [--updates N] [--workers W]
+//                       [--warm_cache N]
 //   kucnet_cli models                       # list registered model names
 //
-// Splits: traditional | new-item | new-user.
+// Splits: traditional | new-item | new-user | temporal.
+//
+// `stream` replays a temporal dataset's held-out suffix as *live graph
+// updates* (src/stream/): each interaction is appended to the WAL-backed
+// StreamingCkg, incremental PPR repair runs, and exactly the users whose
+// neighborhoods changed have their cached scores invalidated while a
+// RecServer keeps answering interleaved requests. The WAL in --wal DIR is
+// durable: re-running the command recovers the previous run's updates
+// (reported as `recovered`) and continues the stream after them.
 //
 // `serve` runs the deadline-aware serving layer (src/serve/) over the
 // dataset: requests flow through the bounded admission queue, degrade
@@ -32,9 +42,11 @@
 // command with --resume true continues from the newest valid snapshot and
 // produces a final model bitwise identical to an uninterrupted run.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -49,14 +61,17 @@
 #include "obs/export.h"
 #include "serve/fleet/shard_router.h"
 #include "serve/rec_server.h"
+#include "stream/streaming_ckg.h"
 #include "train/trainer.h"
+#include "util/fs.h"
 #include "util/logging.h"
 
 namespace kucnet {
 namespace {
 
 const char kUsage[] =
-    "usage: kucnet_cli <generate|train|evaluate|serve|models> [--flags]\n"
+    "usage: kucnet_cli <generate|train|evaluate|serve|stream|models> "
+    "[--flags]\n"
     "  generate --config NAME --split KIND --out DIR [--seed N]\n"
     "  train    --data DIR --model NAME [--epochs N] [--k N] [--depth N]\n"
     "           [--ckpt FILE] [--checkpoint_dir DIR] [--checkpoint_every N]\n"
@@ -66,6 +81,8 @@ const char kUsage[] =
     "           [--workers W] [--deadline_us N] [--top_n N] [--queue N]\n"
     "           [--shards N] [--retries N] [--hedge_us N] [--tenant_quota N]\n"
     "           [--tenant_window_us N] [--warm_cache N]\n"
+    "  stream   --data DIR --wal DIR [--updates N] [--workers W]\n"
+    "           [--warm_cache N]\n"
     "  models\n"
     "train/evaluate/serve also accept [--metrics_out FILE] (Prometheus text)\n"
     "and [--trace_out FILE] (chrome://tracing JSON); either flag turns the\n"
@@ -98,6 +115,33 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
                    const std::string& key, const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+/// Strict numeric flag parse: the whole value must be a base-10 integer in
+/// [min_value, max_value]. On a nonsensical value (garbage, `--shards 0`,
+/// a negative `--retries`, ...) the offending flag is reported with usage
+/// and false is returned, so commands can exit 2 *before* loading data or
+/// building models instead of aborting mid-run on a KUC_CHECK.
+bool ParseIntFlag(const std::map<std::string, std::string>& flags,
+                  const std::string& key, int64_t fallback, int64_t min_value,
+                  int64_t max_value, int64_t* out) {
+  const std::string text = FlagOr(flags, key, std::to_string(fallback));
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "--%s: '%s' is not an integer\n%s", key.c_str(),
+                 text.c_str(), kUsage);
+    return false;
+  }
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr, "--%s: %lld is out of range [%lld, %lld]\n%s",
+                 key.c_str(), value, static_cast<long long>(min_value),
+                 static_cast<long long>(max_value), kUsage);
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 /// Enables the observability layer when --metrics_out / --trace_out is
@@ -137,7 +181,8 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   const std::string out = FlagOr(flags, "out", ".");
   const uint64_t seed = std::stoull(FlagOr(flags, "seed", "1"));
 
-  const RawData raw = GenerateSynthetic(SynthConfigByName(config_name)).raw;
+  const SyntheticData synth = GenerateSynthetic(SynthConfigByName(config_name));
+  const RawData& raw = synth.raw;
   Rng rng(seed);
   Dataset dataset;
   if (split == "traditional") {
@@ -146,6 +191,10 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
     dataset = NewItemSplit(raw, 0.2, rng);
   } else if (split == "new-user") {
     dataset = NewUserSplit(raw, 0.2, rng);
+  } else if (split == "temporal") {
+    // Streaming setting: the arrival-order prefix trains, the suffix is the
+    // replay stream (`kucnet_cli stream` appends it as live updates).
+    dataset = TemporalSplit(raw, synth.arrival_order, 0.8);
   } else {
     KUC_CHECK(false) << "unknown split: " << split;
   }
@@ -216,10 +265,32 @@ int CmdTrainOrEvaluate(const std::map<std::string, std::string>& flags,
 }
 
 int CmdServe(const std::map<std::string, std::string>& flags) {
+  // Numeric flags are validated up front — a nonsensical topology
+  // (`--shards 0`, a negative retry budget or tenant quota) is a usage
+  // error, reported before the dataset is even loaded.
+  int64_t requests, shards, retries, hedge_us, tenant_quota, tenant_window_us;
+  int64_t workers, queue, deadline_us, top_n, warm_cache, sample_k, depth;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (!ParseIntFlag(flags, "requests", 200, 0, kMax, &requests) ||
+      !ParseIntFlag(flags, "shards", 1, 1, 1024, &shards) ||
+      !ParseIntFlag(flags, "retries", 2, 0, kMax, &retries) ||
+      !ParseIntFlag(flags, "hedge_us", 0, 0, kMax, &hedge_us) ||
+      !ParseIntFlag(flags, "tenant_quota", 0, 0, kMax, &tenant_quota) ||
+      !ParseIntFlag(flags, "tenant_window_us", 1'000'000, 1, kMax,
+                    &tenant_window_us) ||
+      !ParseIntFlag(flags, "workers", 2, 0, 1024, &workers) ||
+      !ParseIntFlag(flags, "queue", 64, 1, kMax, &queue) ||
+      !ParseIntFlag(flags, "deadline_us", 50'000, 1, kMax, &deadline_us) ||
+      !ParseIntFlag(flags, "top_n", 20, 1, kMax, &top_n) ||
+      !ParseIntFlag(flags, "warm_cache", 0, 0, kMax, &warm_cache) ||
+      !ParseIntFlag(flags, "k", 30, 1, kMax, &sample_k) ||
+      !ParseIntFlag(flags, "depth", 3, 1, 64, &depth)) {
+    return 2;
+  }
+
   MaybeEnableObs(flags);
   const std::string data_dir = FlagOr(flags, "data", ".");
   const std::string ckpt = FlagOr(flags, "ckpt", "");
-  const int64_t requests = std::stoll(FlagOr(flags, "requests", "200"));
 
   Dataset dataset;
   const Status loaded = TryLoadDataset(data_dir, &dataset);
@@ -233,18 +304,15 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   const PprTable ppr = PprTable::Compute(ckg, PprTableOptions(), &GlobalPool());
 
   KucnetOptions model_opts;
-  model_opts.sample_k = std::stoll(FlagOr(flags, "k", "30"));
-  model_opts.depth = std::stoi(FlagOr(flags, "depth", "3"));
-  const int shards = std::stoi(FlagOr(flags, "shards", "1"));
-  KUC_CHECK(shards >= 1) << "--shards must be >= 1";
+  model_opts.sample_k = sample_k;
+  model_opts.depth = static_cast<int>(depth);
 
   RecServerOptions server_opts;
-  server_opts.num_workers = std::stoi(FlagOr(flags, "workers", "2"));
-  server_opts.queue_capacity = std::stoll(FlagOr(flags, "queue", "64"));
-  server_opts.default_deadline_micros =
-      std::stoll(FlagOr(flags, "deadline_us", "50000"));
-  server_opts.default_top_n = std::stoll(FlagOr(flags, "top_n", "20"));
-  server_opts.warm_cache_users = std::stoll(FlagOr(flags, "warm_cache", "0"));
+  server_opts.num_workers = static_cast<int>(workers);
+  server_opts.queue_capacity = queue;
+  server_opts.default_deadline_micros = deadline_us;
+  server_opts.default_top_n = top_n;
+  server_opts.warm_cache_users = warm_cache;
   if (server_opts.warm_cache_users > server_opts.cache.capacity) {
     server_opts.cache.capacity = server_opts.warm_cache_users;
   }
@@ -262,17 +330,15 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     }
     if (!ckpt.empty()) {
       std::printf("loaded checkpoint %s into %d shards\n", ckpt.c_str(),
-                  shards);
+                  static_cast<int>(shards));
     }
     ShardRouterOptions fleet_opts;
     fleet_opts.server = server_opts;
-    fleet_opts.max_retries = std::stoi(FlagOr(flags, "retries", "2"));
-    const int64_t hedge_us = std::stoll(FlagOr(flags, "hedge_us", "0"));
+    fleet_opts.max_retries = static_cast<int>(retries);
     fleet_opts.hedging = hedge_us > 0;
     if (hedge_us > 0) fleet_opts.hedge_latency_micros = hedge_us;
-    fleet_opts.tenant.quota = std::stoll(FlagOr(flags, "tenant_quota", "0"));
-    fleet_opts.tenant.window_micros =
-        std::stoll(FlagOr(flags, "tenant_window_us", "1000000"));
+    fleet_opts.tenant.quota = tenant_quota;
+    fleet_opts.tenant.window_micros = tenant_window_us;
     ShardRouter router(models, &dataset, &ckg, &ppr, fleet_opts);
 
     int64_t served = 0;
@@ -288,7 +354,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     std::printf("fleet of %d shards served %lld/%lld  (quota shed %lld, "
                 "retries %lld, hedges %lld won %lld, fallback %lld, "
                 "breaker transitions %lld)\n",
-                shards, static_cast<long long>(served),
+                static_cast<int>(shards), static_cast<long long>(served),
                 static_cast<long long>(stats.submitted),
                 static_cast<long long>(stats.quota_shed),
                 static_cast<long long>(stats.retries),
@@ -353,6 +419,115 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdStream(const std::map<std::string, std::string>& flags) {
+  int64_t updates, workers, warm_cache, sample_k, depth;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (!ParseIntFlag(flags, "updates", -1, -1, kMax, &updates) ||
+      !ParseIntFlag(flags, "workers", 0, 0, 1024, &workers) ||
+      !ParseIntFlag(flags, "warm_cache", 0, 0, kMax, &warm_cache) ||
+      !ParseIntFlag(flags, "k", 30, 1, kMax, &sample_k) ||
+      !ParseIntFlag(flags, "depth", 3, 1, 64, &depth)) {
+    return 2;
+  }
+  const std::string wal_dir = FlagOr(flags, "wal", "");
+  if (wal_dir.empty()) {
+    std::fprintf(stderr, "stream requires --wal DIR\n%s", kUsage);
+    return 2;
+  }
+
+  MaybeEnableObs(flags);
+  const std::string data_dir = FlagOr(flags, "data", ".");
+  Dataset dataset;
+  const Status loaded = TryLoadDataset(data_dir, &dataset);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.message().c_str());
+    return 1;
+  }
+  std::printf("loaded %s\n", dataset.Summary().c_str());
+  if (dataset.kind != SplitKind::kTemporal) {
+    std::printf("note: dataset is not a temporal split; the test rows will "
+                "be replayed in file order\n");
+  }
+
+  // The server answers over the *training* graph while the streaming layer
+  // evolves its own copy; the bridge between them is cache invalidation —
+  // each applied update drops exactly the touched users' cached scores.
+  const Ckg ckg = dataset.BuildCkg();
+  const PprTable ppr = PprTable::Compute(ckg, PprTableOptions(), &GlobalPool());
+  KucnetOptions model_opts;
+  model_opts.sample_k = sample_k;
+  model_opts.depth = static_cast<int>(depth);
+  Kucnet model(&dataset, &ckg, &ppr, model_opts);
+  RecServerOptions server_opts;
+  server_opts.num_workers = static_cast<int>(workers);
+  server_opts.warm_cache_users = warm_cache;
+  if (server_opts.warm_cache_users > server_opts.cache.capacity) {
+    server_opts.cache.capacity = server_opts.warm_cache_users;
+  }
+  RecServer server(&model, &dataset, &ckg, &ppr, server_opts);
+
+  std::unique_ptr<StreamingCkg> stream;
+  const Status opened = StreamingCkg::Open(dataset, /*fs=*/nullptr, wal_dir,
+                                           StreamingCkgOptions(), &GlobalPool(),
+                                           &stream);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open streaming CKG: %s\n",
+                 opened.message().c_str());
+    return 1;
+  }
+  const int64_t recovered = stream->stats().replayed;
+  if (recovered > 0) {
+    std::printf("recovered %lld updates from the WAL in %s\n",
+                static_cast<long long>(recovered), wal_dir.c_str());
+  }
+  stream->set_invalidation_hook(
+      [&server](const std::vector<int64_t>& users) {
+        server.InvalidateUsers(users);
+      });
+
+  // Replay the held-out suffix as live updates, skipping what a previous
+  // run already streamed, and serve one interleaved request per update.
+  // Every request must be answered (possibly degraded) — the serving layer
+  // never goes dark while the graph changes underneath it.
+  const int64_t total = static_cast<int64_t>(dataset.test.size());
+  const int64_t begin = std::min(recovered, total);
+  const int64_t end =
+      updates < 0 ? total : std::min(total, begin + updates);
+  int64_t answered = 0, unanswered = 0;
+  for (int64_t k = begin; k < end; ++k) {
+    const auto& [user, item] = dataset.test[k];
+    const Status appended = stream->AppendInteraction(user, item);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "update %lld rejected: %s\n",
+                   static_cast<long long>(k), appended.message().c_str());
+      return 1;
+    }
+    const RecResponse response = server.ServeSync({user});
+    (response.status == ResponseStatus::kOk ? answered : unanswered) += 1;
+  }
+  server.Shutdown();
+
+  const StreamingCkgStats& stats = stream->stats();
+  std::printf("streamed %lld updates (%lld applied, %lld duplicates); "
+              "wal next_seq %lld, %lld sealed segments\n",
+              static_cast<long long>(end - begin),
+              static_cast<long long>(stats.applied),
+              static_cast<long long>(stats.duplicates),
+              static_cast<long long>(stream->wal().next_seq()),
+              static_cast<long long>(stream->wal().segments_sealed()));
+  std::printf("invalidated %lld touched users (cache dropped %lld entries "
+              "by generation)\n",
+              static_cast<long long>(stats.invalidated_users),
+              static_cast<long long>(server.cache().user_invalidations()));
+  std::printf("served %lld/%lld interleaved requests (%lld unanswered)\n",
+              static_cast<long long>(answered),
+              static_cast<long long>(end - begin),
+              static_cast<long long>(unanswered));
+  MaybeExportObs(flags);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::printf("%s", kUsage);
@@ -370,6 +545,9 @@ int Run(int argc, char** argv) {
        {"data", "ckpt", "k", "depth", "requests", "workers", "deadline_us",
         "top_n", "queue", "shards", "retries", "hedge_us", "tenant_quota",
         "tenant_window_us", "warm_cache", "metrics_out", "trace_out"}},
+      {"stream",
+       {"data", "wal", "updates", "workers", "warm_cache", "k", "depth",
+        "metrics_out", "trace_out"}},
       {"models", {}},
   };
   const auto known = kKnownFlags.find(command);
@@ -386,6 +564,7 @@ int Run(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "train") return CmdTrainOrEvaluate(flags, /*train=*/true);
   if (command == "evaluate") return CmdTrainOrEvaluate(flags, /*train=*/false);
+  if (command == "stream") return CmdStream(flags);
   return CmdServe(flags);
 }
 

@@ -124,6 +124,42 @@ Dataset NewItemSplit(const RawData& raw, double item_fraction, Rng& rng) {
   return d;
 }
 
+Dataset TemporalSplit(const RawData& raw,
+                      const std::vector<int64_t>& arrival_order,
+                      double train_fraction) {
+  KUC_CHECK_GT(train_fraction, 0.0);
+  KUC_CHECK_LT(train_fraction, 1.0);
+  const int64_t n = static_cast<int64_t>(raw.interactions.size());
+  if (!arrival_order.empty()) {
+    KUC_CHECK_EQ(static_cast<int64_t>(arrival_order.size()), n);
+  }
+  Dataset d = MakeBase(raw, SplitKind::kTemporal);
+  // Deduplicate by *first arrival* (not by sorting — arrival order is the
+  // whole point of this split), then cut the sequence at train_fraction.
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::array<int64_t, 2>> ordered;
+  ordered.reserve(raw.interactions.size());
+  for (int64_t k = 0; k < n; ++k) {
+    const auto& pair =
+        raw.interactions[arrival_order.empty() ? k : arrival_order[k]];
+    const uint64_t key = (static_cast<uint64_t>(pair[0]) << 32) |
+                         static_cast<uint64_t>(pair[1]);
+    if (seen.insert(key).second) ordered.push_back(pair);
+  }
+  const int64_t n_train = std::max<int64_t>(
+      1, static_cast<int64_t>(train_fraction *
+                              static_cast<double>(ordered.size())));
+  for (size_t k = 0; k < ordered.size(); ++k) {
+    if (static_cast<int64_t>(k) < n_train) {
+      d.train.push_back(ordered[k]);
+    } else {
+      d.test.push_back(ordered[k]);
+    }
+  }
+  d.train = Dedup(std::move(d.train));  // sorted like every other split
+  return d;
+}
+
 Dataset NewUserSplit(const RawData& raw, double user_fraction, Rng& rng) {
   KUC_CHECK_GT(user_fraction, 0.0);
   KUC_CHECK_LT(user_fraction, 1.0);

@@ -32,6 +32,7 @@ enum class SplitKind {
   kTraditional,  ///< test items all appear in training (Sec. V-B)
   kNewItem,      ///< test items have no training interactions (Sec. V-C)
   kNewUser,      ///< test users have no training interactions (Sec. V-D)
+  kTemporal,     ///< arrival-order prefix trains, suffix streams (PR 8)
 };
 
 /// A train/test split over a RawData. The KG is never split: side
@@ -78,6 +79,17 @@ Dataset NewItemSplit(const RawData& raw, double item_fraction, Rng& rng);
 /// Holds out `user_fraction` of users: all their interactions move to test
 /// (Sec. V-D). Held-out users keep their user-side KG edges.
 Dataset NewUserSplit(const RawData& raw, double user_fraction, Rng& rng);
+
+/// Arrival-order split for the streaming setting: interactions are visited
+/// in `arrival_order` (a permutation of indices into `raw.interactions`;
+/// empty = log order), duplicates keep only their first arrival, and the
+/// first `train_fraction` of the deduplicated sequence becomes training.
+/// The suffix becomes `test` *in arrival order* (deliberately not sorted):
+/// it doubles as the replay stream for StreamingCkg, so a temporal
+/// dataset's test rows are exactly the updates a server would receive live.
+Dataset TemporalSplit(const RawData& raw,
+                      const std::vector<int64_t>& arrival_order,
+                      double train_fraction);
 
 }  // namespace kucnet
 

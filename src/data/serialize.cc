@@ -97,7 +97,7 @@ Status TryLoadDataset(const std::string& dir, Dataset* out, FileSystem* fs) {
     return ErrorStatus() << meta_path << ": malformed meta line";
   }
   if (d.name.empty() || kind < 0 ||
-      kind > static_cast<int>(SplitKind::kNewUser)) {
+      kind > static_cast<int>(SplitKind::kTemporal)) {
     return ErrorStatus() << meta_path << ": malformed name/kind";
   }
   if (d.num_users < 0 || d.num_items < 0 || d.num_kg_relations < 0 ||

@@ -172,6 +172,15 @@ SyntheticData GenerateSynthetic(const SyntheticConfig& cfg) {
     }
   }
 
+  // ---- Arrival order -----------------------------------------------------------
+  // Drawn last: everything above consumes exactly the same rng sequence it
+  // always did, so seeded outputs stay bitwise-stable across this addition.
+  out.arrival_order.resize(raw.interactions.size());
+  for (size_t k = 0; k < out.arrival_order.size(); ++k) {
+    out.arrival_order[k] = static_cast<int64_t>(k);
+  }
+  rng.Shuffle(out.arrival_order);
+
   return out;
 }
 

@@ -69,6 +69,11 @@ struct SyntheticData {
   std::vector<int64_t> item_topic;          ///< size num_items
   std::vector<int64_t> user_primary_topic;  ///< size num_users
   std::vector<int64_t> entity_topic;  ///< per non-item KG entity; -1 = shared
+  /// Simulated arrival order: a seeded permutation of indices into
+  /// `raw.interactions`, for TemporalSplit / streaming replay. Drawn *after*
+  /// everything else, so adding it did not perturb any previously generated
+  /// seeded output.
+  std::vector<int64_t> arrival_order;
 };
 
 /// Runs the generator. Deterministic in config.seed.

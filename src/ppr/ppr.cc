@@ -120,6 +120,13 @@ PprTable PprTable::Compute(const Ckg& ckg, PprTableOptions options,
   return table;
 }
 
+PprTable PprTable::FromVectors(
+    std::vector<std::unordered_map<int64_t, real_t>> vectors) {
+  PprTable table;
+  table.vectors_ = std::move(vectors);
+  return table;
+}
+
 real_t PprTable::Score(int64_t user, int64_t node) const {
   const auto& vec = Vector(user);
   const auto it = vec.find(node);

@@ -64,6 +64,12 @@ class PprTable {
                           PprTableOptions options = PprTableOptions(),
                           ThreadPool* pool = nullptr);
 
+  /// Wraps externally-computed per-user vectors (vector index = user id).
+  /// The streaming path uses this to hand incrementally-repaired estimates
+  /// (ppr/dynamic_ppr.h) to components that consume a PprTable.
+  static PprTable FromVectors(
+      std::vector<std::unordered_map<int64_t, real_t>> vectors);
+
   /// PPR score of `node` from `user`'s perspective (0 if unranked).
   real_t Score(int64_t user, int64_t node) const;
 

@@ -493,6 +493,10 @@ FleetResponse ShardRouter::Route(const FleetRequest& fleet_request) {
   return out;
 }
 
+void ShardRouter::InvalidateUsers(const std::vector<int64_t>& users) {
+  for (auto& server : servers_) server->InvalidateUsers(users);
+}
+
 Status ShardRouter::RollingSwap(const std::string& checkpoint_path) {
   // Pre-validate once: a torn or bogus file must not take the first shard
   // out of rotation only to fail its load.

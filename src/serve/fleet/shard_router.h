@@ -192,6 +192,13 @@ class ShardRouter {
   /// its old weights and is re-admitted; the error is returned.
   Status RollingSwap(const std::string& checkpoint_path);
 
+  /// Invalidates only the given users' cached scores on *every* shard.
+  /// Called by the streaming layer with the users whose PPR neighborhoods a
+  /// graph update touched. All shards are hit — not just each user's home
+  /// shard — because retries and hedges can deposit a user's scores into any
+  /// sibling's cache (see RecServer::InvalidateUsers).
+  void InvalidateUsers(const std::vector<int64_t>& users);
+
   int num_shards() const { return static_cast<int>(servers_.size()); }
 
   /// The user's home shard on the hash ring.

@@ -185,7 +185,7 @@ int64_t RecServer::WarmCache(int64_t max_users) {
   int64_t warmed = 0;
   for (int64_t k = 0; k < n; ++k) {
     const int64_t user = activity[k].second;
-    const int64_t generation = cache_.generation();
+    const int64_t generation = cache_.generation(user);
     KucnetForward forward;
     // Unbounded, fault-free context: warming is background work, not a
     // request — it must neither consume armed test faults nor miss deadlines.
@@ -203,6 +203,10 @@ int64_t RecServer::WarmCache(int64_t max_users) {
 }
 
 void RecServer::InvalidateCache() { cache_.BumpGeneration(); }
+
+void RecServer::InvalidateUsers(const std::vector<int64_t>& users) {
+  for (const int64_t user : users) cache_.InvalidateUser(user);
+}
 
 int64_t RecServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
@@ -314,10 +318,11 @@ RecResponse RecServer::Handle(const RecRequest& request,
                                   "(queued past the latency budget)");
       time_stage("full", t0);
     } else {
-      // Snapshot the cache generation *before* the forward pass: if the
-      // model is hot-swapped while this pass runs, the deposit below is
-      // discarded instead of planting stale-model scores in a fresh cache.
-      const int64_t cache_generation = cache_.generation();
+      // Snapshot the user's cache generation *before* the forward pass: if
+      // the model is hot-swapped (or a streaming update touches this user)
+      // while this pass runs, the deposit below is discarded instead of
+      // planting stale scores in a fresh cache.
+      const int64_t cache_generation = cache_.generation(request.user);
       KucnetForward forward;
       const Status status = model_->TryForward(request.user, full_ctx, &forward);
       time_stage("full", t0);

@@ -203,6 +203,12 @@ class RecServer {
   /// scores the previous model produced.
   void InvalidateCache();
 
+  /// Invalidates only the given users' cached scores (per-user generation
+  /// bump; see ScoreCache::InvalidateUser). Called by the streaming layer
+  /// with exactly the users whose PPR neighborhoods a graph update touched,
+  /// so untouched users keep serving from cache.
+  void InvalidateUsers(const std::vector<int64_t>& users);
+
   /// Queued (admitted, unstarted) requests right now.
   int64_t queue_depth() const;
 

@@ -13,17 +13,26 @@ ScoreCache::ScoreCache(ScoreCacheOptions options, const Clock* clock)
   KUC_CHECK_GT(options_.max_age_micros, 0);
 }
 
+int64_t ScoreCache::EffectiveGenerationLocked(int64_t user) const {
+  const auto it = user_generation_.find(user);
+  const uint64_t user_component =
+      it == user_generation_.end() ? 0 : static_cast<uint64_t>(it->second);
+  return static_cast<int64_t>(static_cast<uint64_t>(generation_) +
+                              user_component);
+}
+
 void ScoreCache::Put(int64_t user, std::vector<double> scores) {
   std::lock_guard<std::mutex> lock(mu_);
-  PutLocked(user, std::move(scores), generation_);
+  PutLocked(user, std::move(scores), EffectiveGenerationLocked(user));
 }
 
 void ScoreCache::Put(int64_t user, std::vector<double> scores,
                      int64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (generation != generation_) {
-    // The model that produced these scores was swapped away mid-flight;
-    // depositing them would resurrect v1 output under a v2 generation.
+  if (generation != EffectiveGenerationLocked(user)) {
+    // The model (or this user's graph neighborhood) changed while these
+    // scores were being computed; depositing them would resurrect stale
+    // output under the new tag.
     KUC_OBS_COUNT("serve.cache.stale_generation_puts", 1);
     return;
   }
@@ -61,9 +70,10 @@ bool ScoreCache::Get(int64_t user, std::vector<double>* out,
     KUC_OBS_COUNT("serve.cache.misses", 1);
     return false;
   }
-  if (it->second->generation != generation_) {
-    // Generation bound: the entry predates a model swap. Serving it would
-    // hand out scores from a model that no longer exists.
+  if (it->second->generation != EffectiveGenerationLocked(user)) {
+    // Generation bound: the entry predates a model swap or a graph update
+    // that touched this user. Serving it would hand out scores from a model
+    // or graph state that no longer exists.
     lru_.erase(it->second);
     index_.erase(it);
     ++misses_;
@@ -95,10 +105,35 @@ int64_t ScoreCache::generation() const {
   return generation_;
 }
 
+int64_t ScoreCache::generation(int64_t user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EffectiveGenerationLocked(user);
+}
+
 void ScoreCache::BumpGeneration() {
   std::lock_guard<std::mutex> lock(mu_);
-  ++generation_;
+  // Unsigned increment: a wrap at INT64_MAX is well-defined, and tags are
+  // only ever compared for equality, so wrapped tags stay correct.
+  generation_ = static_cast<int64_t>(static_cast<uint64_t>(generation_) + 1);
   KUC_OBS_COUNT("serve.cache.generation_bumps", 1);
+}
+
+void ScoreCache::InvalidateUser(int64_t user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t& component = user_generation_[user];
+  component = static_cast<int64_t>(static_cast<uint64_t>(component) + 1);
+  ++user_invalidations_;
+  KUC_OBS_COUNT("serve.cache.user_invalidations", 1);
+}
+
+void ScoreCache::SetGenerationForTest(int64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_ = generation;
+}
+
+int64_t ScoreCache::user_invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return user_invalidations_;
 }
 
 int64_t ScoreCache::generation_evictions() const {

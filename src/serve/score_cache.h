@@ -25,6 +25,13 @@
 ///    forward pass that started before the swap can never deposit v1 scores
 ///    into a v2 cache, and a request retried onto another replica can never
 ///    be answered from scores the dead model produced.
+///
+/// Generations are *per-user*: an entry's tag is the sum of a global
+/// component (bumped by model swaps) and a per-user component (bumped by
+/// `InvalidateUser` when a streaming graph update touches that user's PPR
+/// neighborhood — see stream/streaming_ckg.h). Tags are compared by
+/// equality, never order, and bumped with wraparound-safe unsigned
+/// arithmetic, so the scheme stays correct even if a tag ever wraps.
 
 namespace kucnet {
 
@@ -60,13 +67,27 @@ class ScoreCache {
   bool Get(int64_t user, std::vector<double>* out,
            int64_t* age_micros_out = nullptr);
 
-  /// The current generation tag (starts at 0).
+  /// The current global generation component (starts at 0).
   int64_t generation() const;
 
-  /// Invalidates every cached entry by advancing the generation: old entries
-  /// are dropped lazily on probe, and in-flight Puts tagged with the old
-  /// generation are discarded. Called on model hot-swap.
+  /// The current effective tag for `user`: global + per-user component.
+  /// This is what callers snapshot before a forward pass and hand back to
+  /// the generation-checked Put.
+  int64_t generation(int64_t user) const;
+
+  /// Invalidates every cached entry by advancing the global generation: old
+  /// entries are dropped lazily on probe, and in-flight Puts tagged with the
+  /// old generation are discarded. Called on model hot-swap.
   void BumpGeneration();
+
+  /// Invalidates (lazily, like BumpGeneration) only `user`'s entry by
+  /// advancing the per-user generation component. Called when a streaming
+  /// update touches the user's PPR neighborhood.
+  void InvalidateUser(int64_t user);
+
+  /// Test seam: plants the global generation component, e.g. at INT64_MAX
+  /// to exercise wraparound.
+  void SetGenerationForTest(int64_t generation);
 
   /// Live entries, including not-yet-collected previous-generation ones.
   int64_t size() const;
@@ -76,8 +97,15 @@ class ScoreCache {
   /// Misses caused by a generation mismatch (stale-model entries dropped).
   int64_t generation_evictions() const;
 
+  /// Users whose per-user component has been bumped at least once.
+  int64_t user_invalidations() const;
+
  private:
   void PutLocked(int64_t user, std::vector<double> scores, int64_t generation);
+
+  /// Effective tag = global + per-user component, added as unsigned so a
+  /// wrap is well-defined (tags are only ever compared for equality).
+  int64_t EffectiveGenerationLocked(int64_t user) const;
 
   struct Entry {
     int64_t user;
@@ -93,6 +121,8 @@ class ScoreCache {
   std::list<Entry> lru_;  ///< front = most recent
   std::unordered_map<int64_t, std::list<Entry>::iterator> index_;
   int64_t generation_ = 0;
+  std::unordered_map<int64_t, int64_t> user_generation_;
+  int64_t user_invalidations_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;

@@ -1,0 +1,117 @@
+#ifndef KUCNET_STREAM_STREAMING_CKG_H_
+#define KUCNET_STREAM_STREAMING_CKG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/dynamic_ckg.h"
+#include "ppr/dynamic_ppr.h"
+#include "stream/update_log.h"
+#include "util/fs.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+/// \file
+/// StreamingCkg: the crash-consistent online view of the collaborative
+/// knowledge graph.
+///
+/// Composition: a DynamicCkg (base CSR + append-only overlay), a
+/// DynamicPprTable (incrementally-repaired forward-push estimates), and a
+/// GraphUpdateLog (the WAL). An accepted append is
+///
+///     validate → WAL append (durable ack) → in-memory apply → invalidate
+///
+/// so the in-memory state is always a deterministic function of (base
+/// dataset, acked WAL prefix): recovery replays the WAL through the *same*
+/// apply path an uninterrupted stream takes, which is what makes the
+/// crash-sweep's byte-identity check (`StateDigest`) meaningful rather than
+/// merely approximate.
+///
+/// Duplicate updates (an interaction or triplet already in the graph) are
+/// still logged — the WAL is the exact sequence of accepted calls — but
+/// apply is a no-op for them, deterministically so on replay too.
+///
+/// The invalidation hook fires after each applied update with the sorted
+/// user ids whose PPR neighborhoods the update touched; serving wires it to
+/// ScoreCache per-user generation bumps (serve/rec_server.h).
+namespace kucnet {
+
+struct StreamingCkgOptions {
+  PprTableOptions ppr;
+  GraphUpdateLog::Options wal;
+};
+
+struct StreamingCkgStats {
+  int64_t applied = 0;            ///< updates that inserted edges
+  int64_t duplicates = 0;         ///< acked no-op updates
+  int64_t replayed = 0;           ///< records recovered from the WAL by Open
+  int64_t invalidated_users = 0;  ///< cumulative touched-user count
+};
+
+class StreamingCkg {
+ public:
+  /// Builds the graph + PPR from the dataset's *training* interactions and
+  /// the full KG, then replays any WAL already in `dir` (crash recovery).
+  /// `fs` null means the real filesystem; `pool` null means single-threaded.
+  static Status Open(const Dataset& data, FileSystem* fs, std::string dir,
+                     StreamingCkgOptions options, ThreadPool* pool,
+                     std::unique_ptr<StreamingCkg>* out);
+
+  /// Appends a (user, item) interaction. Validates ids, acks durability via
+  /// the WAL, then repairs PPR and fires the invalidation hook. On error
+  /// the in-memory state is unchanged.
+  Status AppendInteraction(int64_t user, int64_t item);
+
+  /// Appends a KG triplet (head, rel, tail) in KG-local ids.
+  Status AppendKgTriplet(int64_t head, int64_t rel, int64_t tail);
+
+  /// Called after each applied (non-duplicate) update with the sorted users
+  /// whose PPR vectors it touched. Not called during recovery replay (a
+  /// restarted server's cache starts cold anyway).
+  void set_invalidation_hook(
+      std::function<void(const std::vector<int64_t>&)> hook) {
+    invalidation_hook_ = std::move(hook);
+  }
+
+  const DynamicCkg& graph() const { return graph_; }
+  const DynamicPprTable& ppr() const { return ppr_; }
+  const GraphUpdateLog& wal() const { return wal_; }
+  const StreamingCkgStats& stats() const { return stats_; }
+
+  /// Canonical FNV-1a digest of the full mutable state: graph overlay, PPR
+  /// estimates and residuals (raw double bits, sorted by node), and the WAL
+  /// cursor. Two runs that accepted the same update sequence — e.g. an
+  /// uninterrupted stream and a crash + recovery at the same prefix — must
+  /// produce equal digests.
+  uint64_t StateDigest() const;
+
+ private:
+  StreamingCkg(const Dataset& data, FileSystem* fs, std::string dir,
+               StreamingCkgOptions options, ThreadPool* pool);
+
+  /// Validates an update against the fixed id ranges.
+  Status Validate(const GraphUpdate& update) const;
+
+  /// The single apply path shared by live appends and recovery replay.
+  /// Inserts edges, repairs PPR, and reports touched users (empty for a
+  /// duplicate).
+  std::vector<int64_t> ApplyRecord(const GraphUpdate& update);
+
+  Status AppendRecord(GraphUpdate update);
+
+  StreamingCkgOptions options_;
+  ThreadPool* pool_;
+  DynamicCkg graph_;
+  DynamicPprTable ppr_;
+  GraphUpdateLog wal_;
+  StreamingCkgStats stats_;
+  std::function<void(const std::vector<int64_t>&)> invalidation_hook_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_STREAM_STREAMING_CKG_H_

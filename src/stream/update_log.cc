@@ -1,0 +1,244 @@
+#include "stream/update_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace kucnet {
+
+namespace {
+
+constexpr char kHeader[] = "KUCNET_WAL_V1\n";
+constexpr size_t kHeaderSize = sizeof(kHeader) - 1;
+
+std::string SegmentName(int64_t index, bool sealed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal_%06lld.%s",
+                static_cast<long long>(index), sealed ? "log" : "open");
+  return buf;
+}
+
+/// Parses "wal_NNNNNN.log" / "wal_NNNNNN.open"; -1 if `name` is neither.
+int64_t ParseSegmentName(const std::string& name, bool* sealed) {
+  if (name.size() < 5 || name.compare(0, 4, "wal_") != 0) return -1;
+  size_t k = 4;
+  int64_t index = 0;
+  while (k < name.size() && name[k] >= '0' && name[k] <= '9') {
+    index = index * 10 + (name[k] - '0');
+    ++k;
+  }
+  if (k == 4) return -1;
+  const std::string suffix = name.substr(k);
+  if (suffix == ".log") {
+    *sealed = true;
+    return index;
+  }
+  if (suffix == ".open") {
+    *sealed = false;
+    return index;
+  }
+  return -1;
+}
+
+std::string EncodeRecord(const GraphUpdate& update) {
+  ByteWriter payload;
+  payload.U8(static_cast<uint8_t>(update.type));
+  payload.U64(update.seq);
+  payload.I64(update.a);
+  payload.I64(update.b);
+  payload.I64(update.c);
+  const std::string& body = payload.buffer();
+  ByteWriter record;
+  record.U64(body.size());
+  record.Bytes(body.data(), body.size());
+  record.U64(Fnv1a64(body.data(), body.size()));
+  return record.Take();
+}
+
+}  // namespace
+
+GraphUpdateLog::GraphUpdateLog(FileSystem* fs, std::string dir,
+                               Options options)
+    : fs_(FsOrDefault(fs)), dir_(std::move(dir)), options_(options) {
+  KUC_CHECK_GT(options_.segment_records, 0);
+}
+
+std::string GraphUpdateLog::ActiveSegmentName() const {
+  return SegmentName(active_index_, /*sealed=*/false);
+}
+
+Status GraphUpdateLog::ReplaySegment(const std::string& name, bool is_final,
+                                     std::vector<GraphUpdate>* out) {
+  const std::string path = dir_ + "/" + name;
+  std::string data;
+  KUC_RETURN_IF_ERROR(fs_.ReadFile(path, &data));
+  if (data.size() < kHeaderSize ||
+      data.compare(0, kHeaderSize, kHeader) != 0) {
+    return ErrorStatus() << "wal: bad segment header in " << path;
+  }
+  size_t offset = kHeaderSize;
+  size_t good_end = offset;  // end of the last intact record
+  int64_t records = 0;
+  std::string torn_reason;
+  while (offset < data.size()) {
+    ByteReader reader(data.data() + offset, data.size() - offset);
+    uint64_t len = 0;
+    if (!reader.U64(&len).ok() || reader.remaining() < 8 ||
+        len > reader.remaining() - 8) {
+      torn_reason = "record overruns segment";
+      break;
+    }
+    const char* body = data.data() + offset + 8;
+    uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, body + len, 8);
+    if (Fnv1a64(body, len) != stored_sum) {
+      torn_reason = "record checksum mismatch";
+      break;
+    }
+    ByteReader fields(body, len);
+    uint8_t type = 0;
+    GraphUpdate update;
+    fields.U8(&type);  // sticky reader: batch the reads, check once
+    fields.U64(&update.seq);
+    fields.I64(&update.a);
+    fields.I64(&update.b);
+    fields.I64(&update.c);
+    if (fields.failed() ||
+        (type != static_cast<uint8_t>(UpdateType::kInteraction) &&
+         type != static_cast<uint8_t>(UpdateType::kKgTriplet))) {
+      // The checksum matched, so this is a format problem, not a torn
+      // write — never safe to truncate over.
+      return ErrorStatus() << "wal: malformed record in " << path << " at seq "
+                           << next_seq_;
+    }
+    update.type = static_cast<UpdateType>(type);
+    if (update.seq != next_seq_) {
+      return ErrorStatus() << "wal: sequence gap in " << path << ": expected "
+                           << next_seq_ << ", found " << update.seq;
+    }
+    out->push_back(update);
+    ++next_seq_;
+    ++records;
+    offset += 8 + len + 8;
+    good_end = offset;
+  }
+  if (!torn_reason.empty()) {
+    if (!is_final) {
+      return ErrorStatus() << "wal: " << torn_reason << " in sealed segment "
+                           << path;
+    }
+    // A torn tail at the very end of the log: the expected debris of a
+    // crash mid-append. Drop it — those bytes were never acknowledged.
+    KUC_LOG(Warning) << "wal: truncating torn tail of " << path << " ("
+                     << torn_reason << ", " << (data.size() - good_end)
+                     << " bytes dropped)";
+    KUC_OBS_COUNT("wal.torn_tail", 1);
+    ++torn_tails_;
+    data.resize(good_end);
+  }
+  if (is_final) {
+    active_image_ = std::move(data);
+    active_records_ = records;
+  }
+  return Status::Ok();
+}
+
+Status GraphUpdateLog::Open(std::vector<GraphUpdate>* out) {
+  KUC_CHECK(!opened_) << "GraphUpdateLog::Open called twice";
+  KUC_RETURN_IF_ERROR(fs_.MakeDirs(dir_));
+  std::vector<std::string> names;
+  KUC_RETURN_IF_ERROR(fs_.ListDir(dir_, &names));
+
+  std::vector<int64_t> sealed;
+  int64_t open_index = -1;
+  std::string open_name;
+  for (const std::string& name : names) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Debris of an AtomicWriteFile killed between write and rename; its
+      // contents were never acknowledged.
+      KUC_LOG(Warning) << "wal: removing stray temp file " << name;
+      fs_.Remove(dir_ + "/" + name);  // best effort
+      continue;
+    }
+    bool is_sealed = false;
+    const int64_t index = ParseSegmentName(name, &is_sealed);
+    if (index < 0) continue;  // unrelated file
+    if (is_sealed) {
+      sealed.push_back(index);
+    } else {
+      if (open_index >= 0) {
+        return ErrorStatus() << "wal: multiple open segments in " << dir_;
+      }
+      open_index = index;
+      open_name = name;
+    }
+  }
+  std::sort(sealed.begin(), sealed.end());
+  for (size_t k = 0; k < sealed.size(); ++k) {
+    if (sealed[k] != static_cast<int64_t>(k)) {
+      return ErrorStatus() << "wal: missing sealed segment "
+                           << SegmentName(k, true) << " in " << dir_;
+    }
+  }
+  const int64_t num_sealed = static_cast<int64_t>(sealed.size());
+  if (open_index >= 0 && open_index != num_sealed) {
+    return ErrorStatus() << "wal: open segment index " << open_index
+                         << " does not follow " << num_sealed
+                         << " sealed segments in " << dir_;
+  }
+
+  // Sealed segments were written atomically and sealed with an atomic
+  // rename, so they are never torn-tail-tolerant: any parse problem there
+  // is corruption, not crash debris.
+  for (int64_t k = 0; k < num_sealed; ++k) {
+    KUC_RETURN_IF_ERROR(
+        ReplaySegment(SegmentName(k, true), /*is_final=*/false, out));
+  }
+  if (open_index >= 0) {
+    KUC_RETURN_IF_ERROR(ReplaySegment(open_name, /*is_final=*/true, out));
+    active_index_ = open_index;
+  } else {
+    // No open segment (fresh log, or a crash right after a seal): appends
+    // start a new segment after the sealed ones.
+    active_index_ = num_sealed;
+    active_image_.assign(kHeader, kHeaderSize);
+    active_records_ = 0;
+  }
+  opened_ = true;
+  return Status::Ok();
+}
+
+Status GraphUpdateLog::Append(const GraphUpdate& update) {
+  KUC_CHECK(opened_) << "GraphUpdateLog::Append before Open";
+  KUC_CHECK_EQ(update.seq, next_seq_) << "wal: append out of sequence";
+  if (active_records_ >= options_.segment_records) {
+    // Seal the full active segment; one atomic rename, a dedicated kill
+    // site in the crash sweep.
+    const std::string open_path = dir_ + "/" + ActiveSegmentName();
+    const std::string sealed_path =
+        dir_ + "/" + SegmentName(active_index_, /*sealed=*/true);
+    KUC_RETURN_IF_ERROR(fs_.Rename(open_path, sealed_path));
+    ++active_index_;
+    active_records_ = 0;
+    active_image_.assign(kHeader, kHeaderSize);
+  }
+  const std::string record = EncodeRecord(update);
+  active_image_ += record;
+  const Status persisted =
+      AtomicWriteFile(fs_, dir_ + "/" + ActiveSegmentName(), active_image_);
+  if (!persisted.ok()) {
+    // The record was not acked: roll the in-memory image back so a retry
+    // (or a later append after Disarm) resumes from the acked prefix.
+    active_image_.resize(active_image_.size() - record.size());
+    return persisted;
+  }
+  ++active_records_;
+  ++next_seq_;
+  KUC_OBS_COUNT("wal.appends", 1);
+  return Status::Ok();
+}
+
+}  // namespace kucnet

@@ -1,0 +1,135 @@
+#ifndef KUCNET_STREAM_UPDATE_LOG_H_
+#define KUCNET_STREAM_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fs.h"
+#include "util/status.h"
+
+/// \file
+/// GraphUpdateLog: the write-ahead log under the streaming CKG.
+///
+/// ## On-disk format
+///
+/// A log is a directory of segment files:
+///
+///     wal_000000.log     sealed segments, immutable, in index order
+///     wal_000001.log
+///     wal_000002.open    the single active segment (index = #sealed)
+///
+/// Every segment starts with the header line `KUCNET_WAL_V1\n` followed by
+/// records. One record (util/serial encoding, host-endian) is
+///
+///     u64  payload_len
+///     ...  payload: u8 type, u64 seq, i64 a, i64 b, i64 c
+///     u64  FNV-1a of the payload
+///
+/// `seq` numbers every record 0,1,2,... across segments; recovery rejects
+/// gaps and reordering outright.
+///
+/// ## Durability protocol
+///
+/// Every IO goes through the util/fs FileSystem seam, so the crash sweep
+/// (FaultInjectingFileSystem) can kill or tear each individual operation.
+/// An append serializes the record into the in-memory active-segment image
+/// and persists the image with AtomicWriteFile (write `.tmp`, flush, rename
+/// over the `.open` file). The whole-segment rewrite costs O(segment bytes)
+/// per append — bounded by `Options::segment_records` — and buys the
+/// property the recovery sweep asserts: a crash at *any* io op leaves the
+/// previously-acked prefix fully intact (a torn `.tmp` is never renamed
+/// in). When the active segment fills up it is sealed with a single atomic
+/// rename to `.log`.
+///
+/// Acknowledgement contract: if Append returns ok, the record is durable —
+/// recovery after any later crash replays it. If Append fails, the record
+/// (and nothing acked before it) may be retried; the on-disk state is
+/// exactly the acked prefix.
+///
+/// ## Recovery
+///
+/// Open() lists the directory, removes stray `.tmp` files a crash left
+/// behind, and replays sealed segments in index order followed by the open
+/// segment. A record whose length field overruns the segment or whose
+/// checksum mismatches is a *torn tail*: tolerated (with a warning and a
+/// `wal.torn_tail` counter bump) only at the very end of the open segment,
+/// where a non-atomic writer could have died mid-append; in a sealed
+/// segment — always written and renamed atomically — it is corruption and
+/// recovery fails.
+namespace kucnet {
+
+/// What a record describes.
+enum class UpdateType : uint8_t {
+  kInteraction = 1,  ///< a = user, b = item
+  kKgTriplet = 2,    ///< a = head, b = rel (KG-local), c = tail
+};
+
+/// One logical graph update, the WAL's unit of durability.
+struct GraphUpdate {
+  UpdateType type = UpdateType::kInteraction;
+  uint64_t seq = 0;
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+
+  static GraphUpdate Interaction(uint64_t seq, int64_t user, int64_t item) {
+    return {UpdateType::kInteraction, seq, user, item, 0};
+  }
+  static GraphUpdate KgTriplet(uint64_t seq, int64_t head, int64_t rel,
+                               int64_t tail) {
+    return {UpdateType::kKgTriplet, seq, head, rel, tail};
+  }
+
+  friend bool operator==(const GraphUpdate&, const GraphUpdate&) = default;
+};
+
+class GraphUpdateLog {
+ public:
+  struct Options {
+    /// Records per segment before it is sealed and a new one started.
+    int64_t segment_records = 1024;
+  };
+
+  /// `fs` may be null (the real filesystem). `dir` must already exist (or
+  /// be creatable); Open() makes it.
+  GraphUpdateLog(FileSystem* fs, std::string dir, Options options);
+  GraphUpdateLog(FileSystem* fs, std::string dir)
+      : GraphUpdateLog(fs, std::move(dir), Options()) {}
+
+  /// Scans `dir`, validates and replays every durable record (appended to
+  /// `*out` in seq order), and primes the log for appending. Must be called
+  /// exactly once, before Append.
+  Status Open(std::vector<GraphUpdate>* out);
+
+  /// Durably appends one record. `update.seq` must equal next_seq().
+  Status Append(const GraphUpdate& update);
+
+  /// Sequence number the next appended record must carry.
+  uint64_t next_seq() const { return next_seq_; }
+
+  int64_t segments_sealed() const { return active_index_; }
+  /// Torn tails truncated during Open().
+  int64_t torn_tails_recovered() const { return torn_tails_; }
+
+  /// Name of the active segment file ("wal_000002.open"), for tests.
+  std::string ActiveSegmentName() const;
+
+ private:
+  Status ReplaySegment(const std::string& name, bool is_final,
+                       std::vector<GraphUpdate>* out);
+
+  FileSystem& fs_;
+  std::string dir_;
+  Options options_;
+  bool opened_ = false;
+  uint64_t next_seq_ = 0;
+  int64_t active_index_ = 0;    ///< index of the open segment = #sealed
+  int64_t active_records_ = 0;  ///< records in the open segment
+  std::string active_image_;    ///< full contents of the open segment
+  int64_t torn_tails_ = 0;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_STREAM_UPDATE_LOG_H_

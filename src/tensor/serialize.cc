@@ -3,6 +3,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace kucnet {
@@ -40,6 +41,13 @@ Status ParseV2(const std::string& data,
 Status ParseV1(const std::string& data,
                const std::vector<Parameter*>& params,
                const std::string& path) {
+  // v1 has no checksum footer: silent corruption is detectable only by the
+  // size check. Surface every legacy load so operators know which fleets
+  // still depend on the old format before it can be retired.
+  KUC_LOG(Warning) << path
+                   << ": loading legacy v1 checkpoint (no checksum; "
+                      "re-save to upgrade to v2)";
+  KUC_OBS_COUNT("checkpoint.legacy_load", 1);
   std::istringstream in(data);
   std::string magic;
   std::getline(in, magic);

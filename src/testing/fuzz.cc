@@ -17,12 +17,14 @@
 #include "serve/fleet/shard_fault.h"
 #include "serve/fleet/shard_router.h"
 #include "serve/rec_server.h"
+#include "stream/streaming_ckg.h"
 #include "tensor/simd.h"
 #include "tensor/tape.h"
 #include "testing/oracle.h"
 #include "util/clock.h"
 #include "util/fault.h"
 #include "util/finite.h"
+#include "util/fs.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -928,6 +930,213 @@ void FleetCase(FleetFuzzContext& ctx, uint64_t case_seed, CaseResult& result) {
   }
 }
 
+// ---- Stream ------------------------------------------------------------------
+
+/// Random tiny dataset for the streaming layer: isolated users, random KG,
+/// sometimes no training interactions at all.
+Dataset RandomStreamDataset(Rng& rng) {
+  Dataset d;
+  d.name = "fuzz-stream";
+  d.num_users = 1 + rng.UniformInt(5);
+  d.num_items = 1 + rng.UniformInt(6);
+  d.num_kg_nodes = d.num_items + rng.UniformInt(5);
+  d.num_kg_relations = 1 + rng.UniformInt(3);
+  for (int64_t u = 0; u < d.num_users; ++u) {
+    if (rng.Bernoulli(0.7)) {
+      const int64_t cnt = 1 + rng.UniformInt(3);
+      for (int64_t c = 0; c < cnt; ++c) {
+        d.train.push_back({u, rng.UniformInt(d.num_items)});
+      }
+    }  // else: isolated user whose first edge arrives via the stream
+  }
+  const int64_t triplets = rng.UniformInt(10);
+  for (int64_t t = 0; t < triplets; ++t) {
+    const int64_t h = rng.UniformInt(d.num_kg_nodes);
+    int64_t tail = rng.UniformInt(d.num_kg_nodes);
+    if (tail == h) tail = (tail + 1) % d.num_kg_nodes;
+    if (tail == h) continue;  // single-node KG
+    d.kg.push_back({h, rng.UniformInt(d.num_kg_relations), tail});
+  }
+  return d;
+}
+
+struct StreamOp {
+  bool interaction;
+  int64_t a, b, c;
+};
+
+/// Random update script: interactions and KG triplets, with a 20% chance of
+/// replaying an earlier update verbatim (a guaranteed duplicate).
+std::vector<StreamOp> RandomStreamScript(Rng& rng, const Dataset& d) {
+  const int64_t n = rng.UniformInt(13);
+  std::vector<StreamOp> script;
+  for (int64_t k = 0; k < n; ++k) {
+    if (!script.empty() && rng.Bernoulli(0.2)) {
+      script.push_back(
+          script[rng.UniformInt(static_cast<int64_t>(script.size()))]);
+    } else if (d.num_kg_nodes < 2 || rng.Bernoulli(0.6)) {
+      script.push_back({true, rng.UniformInt(d.num_users),
+                        rng.UniformInt(d.num_items), 0});
+    } else {
+      const int64_t h = rng.UniformInt(d.num_kg_nodes);
+      int64_t tail = rng.UniformInt(d.num_kg_nodes);
+      if (tail == h) tail = (tail + 1) % d.num_kg_nodes;
+      script.push_back({false, h, rng.UniformInt(d.num_kg_relations), tail});
+    }
+  }
+  return script;
+}
+
+Status ApplyStreamOp(StreamingCkg* stream, const StreamOp& op) {
+  return op.interaction ? stream->AppendInteraction(op.a, op.b)
+                        : stream->AppendKgTriplet(op.a, op.b, op.c);
+}
+
+void StreamCase(uint64_t case_seed, CaseResult& result) {
+  Rng rng(case_seed);
+  const Dataset data = RandomStreamDataset(rng);
+  StreamingCkgOptions opts;
+  opts.ppr.alpha = rng.Uniform(0.1, 0.9);
+  opts.ppr.epsilon = std::pow(10.0, -(2.0 + rng.Uniform() * 4.0));
+  opts.wal.segment_records = 1 + rng.UniformInt(5);  // exercise rotation
+  const std::vector<StreamOp> script = RandomStreamScript(rng, data);
+
+  // Clean run: stream the whole script, remembering the state digest after
+  // every acked update (digests[k] = state after k acks).
+  InMemoryFileSystem clean_fs;
+  std::unique_ptr<StreamingCkg> clean;
+  Status st = StreamingCkg::Open(data, &clean_fs, "wal", opts, nullptr, &clean);
+  if (!st.ok()) {
+    result.Fail() << "clean open: " << st.message();
+    return;
+  }
+  std::vector<uint64_t> digests{clean->StateDigest()};
+  for (const StreamOp& op : script) {
+    st = ApplyStreamOp(clean.get(), op);
+    if (!st.ok()) {
+      result.Fail() << "clean append: " << st.message();
+      return;
+    }
+    digests.push_back(clean->StateDigest());
+  }
+
+  // Out-of-range updates must be rejected without touching state or WAL.
+  if (clean->AppendInteraction(data.num_users, 0).ok() ||
+      clean->AppendInteraction(0, -1).ok() ||
+      clean->AppendKgTriplet(0, data.num_kg_relations, 0).ok()) {
+    result.Fail() << "out-of-range update accepted";
+    return;
+  }
+  if (clean->StateDigest() != digests.back()) {
+    result.Fail() << "rejected update mutated state";
+    return;
+  }
+
+  // Incremental repair vs the full-recompute oracle, every user: each PPR
+  // value may differ by at most the combined unpushed residual mass, and
+  // estimate + residual must account for the full unit of restart mass.
+  for (int64_t u = 0; u < data.num_users; ++u) {
+    const OraclePprResult oracle = OracleStreamRecompute(
+        clean->graph(), u, opts.ppr.alpha, opts.ppr.epsilon);
+    if (std::abs(oracle.total_mass - 1.0) > 1e-9) {
+      result.Fail() << "oracle mass for user " << u << ": "
+                    << oracle.total_mass;
+      return;
+    }
+    double fresh_residual = 0.0, inc_mass = 0.0;
+    for (const auto& [node, r] : oracle.residual) fresh_residual += std::abs(r);
+    for (const auto& [node, v] : clean->ppr().Estimate(u)) inc_mass += v;
+    for (const auto& [node, r] : clean->ppr().Residual(u)) inc_mass += r;
+    if (std::abs(inc_mass - 1.0) > 1e-9) {
+      result.Fail() << "incremental mass for user " << u << ": " << inc_mass;
+      return;
+    }
+    const double bound =
+        clean->ppr().ResidualMass(u) + fresh_residual + 1e-12;
+    const auto& inc = clean->ppr().Estimate(u);
+    for (const auto& [node, fresh] : oracle.estimate) {
+      const auto it = inc.find(node);
+      const double got = it == inc.end() ? 0.0 : it->second;
+      if (std::abs(got - fresh) > bound) {
+        result.Fail() << "user " << u << " node " << node << ": inc=" << got
+                      << " fresh=" << fresh << " bound=" << bound;
+        return;
+      }
+    }
+    for (const auto& [node, got] : inc) {
+      if (oracle.estimate.count(node) == 0 && std::abs(got) > bound) {
+        result.Fail() << "user " << u << " node " << node << ": inc=" << got
+                      << " fresh=0 bound=" << bound;
+        return;
+      }
+    }
+  }
+
+  // Recovery replays the WAL into a byte-identical state.
+  std::unique_ptr<StreamingCkg> reopened;
+  st = StreamingCkg::Open(data, &clean_fs, "wal", opts, nullptr, &reopened);
+  if (!st.ok()) {
+    result.Fail() << "reopen: " << st.message();
+    return;
+  }
+  if (reopened->stats().replayed != static_cast<int64_t>(script.size()) ||
+      reopened->StateDigest() != digests.back()) {
+    result.Fail() << "reopen digest/replay mismatch (replayed "
+                  << reopened->stats().replayed << " of " << script.size()
+                  << ")";
+    return;
+  }
+
+  // Crash run: kill at a random IO op (clean or torn write), recover, check
+  // the state equals the acked prefix's digest, then finish the script and
+  // converge to the clean run's final digest.
+  if (!script.empty()) {
+    InMemoryFileSystem base_fs;
+    FaultInjectingFileSystem faulty(&base_fs);
+    std::unique_ptr<StreamingCkg> victim;
+    st = StreamingCkg::Open(data, &faulty, "wal", opts, nullptr, &victim);
+    if (!st.ok()) {
+      result.Fail() << "victim open: " << st.message();
+      return;
+    }
+    const int64_t kill_at =
+        1 + rng.UniformInt(3 * static_cast<int64_t>(script.size()));
+    const FaultMode mode =
+        rng.Bernoulli(0.5) ? FaultMode::kFailCleanly : FaultMode::kTear;
+    faulty.FailFrom(kill_at, mode);
+    size_t acked = 0;
+    for (const StreamOp& op : script) {
+      if (!ApplyStreamOp(victim.get(), op).ok()) break;
+      ++acked;
+    }
+    faulty.Disarm();
+    std::unique_ptr<StreamingCkg> recovered;
+    st = StreamingCkg::Open(data, &faulty, "wal", opts, nullptr, &recovered);
+    if (!st.ok()) {
+      result.Fail() << "crash recovery (kill_at=" << kill_at
+                    << "): " << st.message();
+      return;
+    }
+    if (recovered->stats().replayed != static_cast<int64_t>(acked) ||
+        recovered->StateDigest() != digests[acked]) {
+      result.Fail() << "crash recovery digest at acked=" << acked
+                    << " kill_at=" << kill_at << " mode="
+                    << (mode == FaultMode::kTear ? "tear" : "clean");
+      return;
+    }
+    for (size_t k = acked; k < script.size(); ++k) {
+      if (!ApplyStreamOp(recovered.get(), script[k]).ok()) {
+        result.Fail() << "post-recovery append " << k << " failed";
+        return;
+      }
+    }
+    if (recovered->StateDigest() != digests.back()) {
+      result.Fail() << "crash+recover+continue diverged from clean run "
+                    << "(kill_at=" << kill_at << ")";
+    }
+  }
+}
+
 }  // namespace
 
 FuzzReport FuzzTensor(const FuzzOptions& options) {
@@ -958,14 +1167,19 @@ FuzzReport FuzzFleet(const FuzzOptions& options) {
                   });
 }
 
+FuzzReport FuzzStream(const FuzzOptions& options) {
+  return RunCases("stream", options, StreamCase);
+}
+
 FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options) {
   if (name == "tensor") return FuzzTensor(options);
   if (name == "ppr") return FuzzPpr(options);
   if (name == "ranking" || name == "topn") return FuzzRanking(options);
   if (name == "serve") return FuzzServe(options);
   if (name == "fleet") return FuzzFleet(options);
+  if (name == "stream") return FuzzStream(options);
   KUC_CHECK(false) << "unknown fuzz subsystem '" << name
-                   << "' (want tensor|ppr|ranking|serve|fleet)";
+                   << "' (want tensor|ppr|ranking|serve|fleet|stream)";
   return FuzzReport();
 }
 

@@ -64,8 +64,15 @@ FuzzReport FuzzServe(const FuzzOptions& options);
 /// fallback, and reconciles router counters with the injectors.
 FuzzReport FuzzFleet(const FuzzOptions& options);
 
+/// Streaming-CKG replay: random tiny datasets, random update scripts
+/// (duplicates, dangling users, out-of-range rejections), a random mid-script
+/// crash (clean or torn) with recovery; checks incremental PPR repair against
+/// the full-recompute oracle within the residual-mass bound, per-user mass
+/// conservation, and byte-identical WAL recovery digests.
+FuzzReport FuzzStream(const FuzzOptions& options);
+
 /// Runs one subsystem by name ("tensor", "ppr", "ranking", "topn", "serve",
-/// "fleet"). Aborts on an unknown name.
+/// "fleet", "stream"). Aborts on an unknown name.
 FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options);
 
 }  // namespace testing

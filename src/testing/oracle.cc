@@ -229,6 +229,12 @@ OracleDensePpr OraclePprDense(const Ckg& ckg, int64_t source, real_t alpha,
   return out;
 }
 
+OraclePprResult OracleStreamRecompute(const DynamicCkg& graph, int64_t user,
+                                      real_t alpha, real_t epsilon) {
+  const Ckg rebuilt = graph.Rebuild();
+  return OraclePprPush(rebuilt, rebuilt.UserNode(user), alpha, epsilon);
+}
+
 // ---- Ranking / metrics -------------------------------------------------------
 
 std::vector<int64_t> OracleTopN(const std::vector<double>& scores, int64_t n,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/ckg.h"
+#include "graph/dynamic_ckg.h"
 #include "tensor/matrix.h"
 
 /// \file
@@ -97,6 +98,18 @@ struct OracleDensePpr {
 };
 OracleDensePpr OraclePprDense(const Ckg& ckg, int64_t source, real_t alpha,
                               int iterations);
+
+/// Recompute-from-scratch oracle for the streaming path: rebuilds the
+/// dynamic graph as a static Ckg (Ckg::Build over initial + appended
+/// inputs) and runs a full forward push for `user`. An incrementally
+/// repaired estimate (ppr/dynamic_ppr.h) is *not* bitwise-comparable to
+/// this — push order differs — but both satisfy the push invariant with
+/// converged residuals, so per-node estimates must agree within
+/// Σ|r_incremental| + Σ r_oracle (each residual weighting a PPR value ≤ 1),
+/// and each side's total mass must be 1 up to rounding. This is the bound
+/// the `stream` diff_fuzz subsystem enforces.
+OraclePprResult OracleStreamRecompute(const DynamicCkg& graph, int64_t user,
+                                      real_t alpha, real_t epsilon);
 
 // ---- Ranking / metrics -------------------------------------------------------
 

@@ -79,6 +79,68 @@ FileSystem& DefaultFileSystem() {
   return *fs;
 }
 
+Status InMemoryFileSystem::WriteFile(const std::string& path,
+                                     const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = data;
+  return Status::Ok();
+}
+
+Status InMemoryFileSystem::ReadFile(const std::string& path,
+                                    std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return ErrorStatus() << "cannot open " << path;
+  *out = it->second;
+  return Status::Ok();
+}
+
+Status InMemoryFileSystem::Rename(const std::string& from,
+                                  const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    return ErrorStatus() << "rename " << from << " -> " << to
+                         << ": no such file";
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status InMemoryFileSystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return ErrorStatus() << "remove " << path << ": no such file";
+  }
+  return Status::Ok();
+}
+
+bool InMemoryFileSystem::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Status InMemoryFileSystem::MakeDirs(const std::string& path) {
+  (void)path;
+  return Status::Ok();
+}
+
+Status InMemoryFileSystem::ListDir(const std::string& dir,
+                                   std::vector<std::string>* names) {
+  names->clear();
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.empty() || rest.find('/') != std::string::npos) continue;
+    names->push_back(rest);
+  }
+  // map iteration is already sorted.
+  return Status::Ok();
+}
+
 Status AtomicWriteFile(FileSystem& fs, const std::string& path,
                        const std::string& data) {
   const std::string tmp = path + ".tmp";

@@ -2,6 +2,8 @@
 #define KUCNET_UTIL_FS_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,27 @@ class FileSystem {
 
 /// The process-wide real filesystem.
 FileSystem& DefaultFileSystem();
+
+/// A FileSystem backed by an in-process map<path, contents>. Paths are
+/// treated as opaque keys: directories do not exist as entities (MakeDirs is
+/// a no-op) and ListDir matches the `dir + "/"` prefix with no further
+/// slash. Thread-safe. Used by fuzzers and sweeps that exercise WAL /
+/// checkpoint IO thousands of times per second without touching disk.
+class InMemoryFileSystem : public FileSystem {
+ public:
+  Status WriteFile(const std::string& path, const std::string& data) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status MakeDirs(const std::string& path) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::string> files_;
+};
 
 /// Resolves the test seam convention: null means the real filesystem.
 inline FileSystem& FsOrDefault(FileSystem* fs) {

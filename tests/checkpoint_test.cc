@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "tensor/adam.h"
 #include "tensor/matrix.h"
 #include "tensor/parameter.h"
@@ -121,6 +122,37 @@ TEST(CheckpointV2Test, LegacyV1StillLoads) {
                   .WriteFile(torn, bytes.substr(0, bytes.size() - 7))
                   .ok());
   EXPECT_FALSE(IsCheckpoint(torn));
+}
+
+TEST(CheckpointV2Test, LegacyV1LoadIsCountedV2IsNot) {
+  auto params = MakeParams(5);
+  const std::string v1_path = TempPath("v1_counted.bin");
+  {
+    std::ofstream out(v1_path, std::ios::binary);
+    out << "KUCNET_CKPT_V1\n" << 2 << '\n';
+    for (const Parameter* p : Ptrs(params)) {
+      out << p->name() << ' ' << p->rows() << ' ' << p->cols() << '\n';
+    }
+    for (const Parameter* p : Ptrs(params)) {
+      out.write(reinterpret_cast<const char*>(p->value().data()),
+                static_cast<std::streamsize>(p->value().size() *
+                                             sizeof(real_t)));
+    }
+  }
+  // Every legacy load bumps checkpoint.legacy_load, so operators can find
+  // which fleets still produce pre-v2 checkpoints before retiring v1.
+  obs::SetEnabled(true);
+  obs::Counter& counter =
+      obs::DefaultRegistry().GetCounter("checkpoint.legacy_load");
+  const int64_t before = counter.Value();
+  ASSERT_TRUE(TryLoadParameters(Ptrs(params), v1_path).ok());
+  EXPECT_EQ(counter.Value(), before + 1);
+  // A v2 round-trip leaves the legacy counter alone.
+  const std::string v2_path = TempPath("v2_not_counted.kuc");
+  ASSERT_TRUE(TrySaveParameters(Ptrs(params), v2_path).ok());
+  ASSERT_TRUE(TryLoadParameters(Ptrs(params), v2_path).ok());
+  EXPECT_EQ(counter.Value(), before + 1);
+  obs::SetEnabled(false);
 }
 
 /// The crash-safety sweep of the issue: learn how many IO ops a save takes,

@@ -13,9 +13,11 @@
 #include "serve/fleet/shard_fault.h"
 #include "serve/fleet/shard_health.h"
 #include "serve/fleet/shard_router.h"
+#include "stream/streaming_ckg.h"
 #include "tensor/serialize.h"
 #include "util/clock.h"
 #include "util/fault.h"
+#include "util/fs.h"
 
 namespace kucnet {
 namespace {
@@ -513,6 +515,72 @@ TEST(ShardRouterTest, RetriedRequestCannotReadPreSwapCacheEntry) {
   EXPECT_NE(after.response.tier, ServeTier::kCached);
   EXPECT_EQ(after.response.tier, ServeTier::kHeuristic);
   EXPECT_GE(fleet.router->shard(home).cache().generation_evictions(), 1);
+}
+
+// ---- Streaming invalidation --------------------------------------------------
+
+// The streaming layer's bridge into the fleet: a graph update invalidates
+// the touched users' cached scores on EVERY shard — retries and hedges can
+// deposit a user's entries anywhere — and the stream keeps flowing while a
+// shard drains for a rolling swap.
+TEST(ShardRouterTest, StreamingUpdatesInvalidatePerUserAcrossShardsDuringSwap) {
+  FakeClock clock;
+  StreamingCkg* stream_ptr = nullptr;
+  ShardRouterOptions options = SyncFleetOptions(&clock);
+  options.server.warm_cache_users = 4;
+  options.swap_observer = [&stream_ptr](int shard, const char* phase) {
+    if (shard == 0 && std::string(phase) == "draining") {
+      // An update lands mid-swap, while shard 0 is out of rotation.
+      ASSERT_TRUE(stream_ptr->AppendInteraction(1, 2).ok());
+    }
+  };
+  FleetFixture fleet(2, options);
+
+  InMemoryFileSystem fs;
+  std::unique_ptr<StreamingCkg> stream;
+  ASSERT_TRUE(StreamingCkg::Open(fleet.dataset, &fs, "wal",
+                                 StreamingCkgOptions(), nullptr, &stream)
+                  .ok());
+  stream_ptr = stream.get();
+  std::vector<int64_t> last_touched;
+  int64_t total_bumps = 0;
+  stream->set_invalidation_hook([&](const std::vector<int64_t>& users) {
+    last_touched = users;
+    total_bumps += static_cast<int64_t>(users.size());
+    fleet.router->InvalidateUsers(users);
+  });
+
+  // Pre-swap: one update bumps exactly the touched users, on both shards.
+  ASSERT_TRUE(stream->AppendInteraction(0, 1).ok());
+  ASSERT_FALSE(last_touched.empty());
+  EXPECT_TRUE(
+      std::binary_search(last_touched.begin(), last_touched.end(), 0));
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(fleet.router->shard(s).cache().user_invalidations(),
+              total_bumps);
+  }
+  // Per-user invalidation moves the effective tag without touching the
+  // global (model-swap) generation.
+  EXPECT_EQ(fleet.router->shard(0).cache().generation(), 0);
+  EXPECT_NE(fleet.router->shard(0).cache().generation(last_touched[0]), 0);
+
+  // Rolling swap with the stream still flowing (see swap_observer above).
+  Kucnet v2(&fleet.dataset, &fleet.ckg, &fleet.ppr, SmallModelOptions(99));
+  const std::string path = ::testing::TempDir() + "/fleet_stream_v2.ckpt";
+  ASSERT_TRUE(TrySaveParameters(v2.Params(), path).ok());
+  const int64_t bumps_before_swap = total_bumps;
+  ASSERT_TRUE(fleet.router->RollingSwap(path).ok());
+  EXPECT_GT(total_bumps, bumps_before_swap);  // the mid-swap update fired
+  for (int s = 0; s < 2; ++s) {
+    // Every shard saw every bump — including the one that arrived while
+    // shard 0 was draining — plus the swap's own global invalidation.
+    EXPECT_EQ(fleet.router->shard(s).cache().user_invalidations(),
+              total_bumps);
+    EXPECT_EQ(fleet.router->shard(s).cache().generation(), 1);
+  }
+  // The fleet answers for a touched user after all of it.
+  EXPECT_EQ(fleet.Route(1).response.status, ResponseStatus::kOk);
+  EXPECT_EQ(stream->stats().applied, 2);
 }
 
 // ---- Asynchronous shards -----------------------------------------------------

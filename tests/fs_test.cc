@@ -120,6 +120,31 @@ TEST(FaultInjectingFileSystemTest, TornWritePersistsPrefix) {
   EXPECT_EQ(back, "01234");  // half the bytes hit the disk
 }
 
+TEST(FaultInjectingFileSystemTest, RenameStepFailureIsCleanInBothModes) {
+  // Rename is the commit point of every atomic write (and of WAL segment
+  // seals): a fault there must be all-or-nothing in *both* modes — kTear
+  // models torn data writes, but a metadata rename cannot half-happen.
+  InMemoryFileSystem mem;
+  FaultInjectingFileSystem faulty(&mem);
+  ASSERT_TRUE(faulty.WriteFile("seg.open", "payload").ok());
+  for (const FaultMode mode : {FaultMode::kFailCleanly, FaultMode::kTear}) {
+    faulty.FailFrom(1, mode);  // the very next op is the rename
+    EXPECT_FALSE(faulty.Rename("seg.open", "seg.log").ok());
+    faulty.Disarm();
+    std::string back;
+    ASSERT_TRUE(mem.ReadFile("seg.open", &back).ok());
+    EXPECT_EQ(back, "payload");          // source intact, byte for byte
+    EXPECT_FALSE(mem.Exists("seg.log"));  // destination never appeared
+  }
+  EXPECT_EQ(faulty.faults_fired(), 2);  // one fired rename per armed mode
+  // Disarmed, the same rename commits whole.
+  ASSERT_TRUE(faulty.Rename("seg.open", "seg.log").ok());
+  EXPECT_FALSE(mem.Exists("seg.open"));
+  std::string back;
+  ASSERT_TRUE(mem.ReadFile("seg.log", &back).ok());
+  EXPECT_EQ(back, "payload");
+}
+
 TEST(FaultInjectingFileSystemTest, TornReadReturnsPrefixSuccessfully) {
   FileSystem& fs = DefaultFileSystem();
   FaultInjectingFileSystem faulty(&fs);

@@ -26,7 +26,8 @@ Dataset TinyDataset(SplitKind kind = SplitKind::kTraditional,
   cfg.kg_noise = 0.05;
   cfg.entity_entity_edges_per_topic = 6;
   Rng rng(seed);
-  const RawData raw = GenerateSynthetic(cfg).raw;
+  const SyntheticData synth = GenerateSynthetic(cfg);
+  const RawData& raw = synth.raw;
   switch (kind) {
     case SplitKind::kTraditional:
       return TraditionalSplit(raw, 0.25, rng);
@@ -34,6 +35,8 @@ Dataset TinyDataset(SplitKind kind = SplitKind::kTraditional,
       return NewItemSplit(raw, 0.2, rng);
     case SplitKind::kNewUser:
       return NewUserSplit(raw, 0.2, rng);
+    case SplitKind::kTemporal:
+      return TemporalSplit(raw, synth.arrival_order, 0.75);
   }
   return TraditionalSplit(raw, 0.25, rng);
 }

@@ -497,6 +497,60 @@ TEST(ScoreCacheTest, StaleGenerationPutIsDiscarded) {
   EXPECT_TRUE(cache.Get(9, &out));
 }
 
+TEST(ScoreCacheTest, GenerationTagWraparoundStaysCorrect) {
+  FakeClock clock;
+  ScoreCache cache(ScoreCacheOptions(), &clock);
+  // Tags are compared for equality only and bumped with unsigned
+  // arithmetic, so a wrap at INT64_MAX must behave like any other bump.
+  cache.SetGenerationForTest(std::numeric_limits<int64_t>::max());
+  cache.Put(1, {1.0});
+  std::vector<double> out;
+  ASSERT_TRUE(cache.Get(1, &out));
+  cache.BumpGeneration();  // wraps to INT64_MIN
+  EXPECT_FALSE(cache.Get(1, &out));
+  EXPECT_EQ(cache.generation_evictions(), 1);
+  cache.Put(1, {2.0});
+  ASSERT_TRUE(cache.Get(1, &out));
+  EXPECT_EQ(out[0], 2.0);
+  // A generation-checked Put with a pre-wrap snapshot is still discarded.
+  cache.SetGenerationForTest(std::numeric_limits<int64_t>::max());
+  const int64_t snapshot = cache.generation(3);
+  cache.BumpGeneration();
+  cache.Put(3, {3.0}, snapshot);
+  EXPECT_FALSE(cache.Get(3, &out));
+  // The per-user component participates in the same wrapped sum: the
+  // post-wrap tag round-trips through Put/Get and a per-user bump drops it.
+  cache.Put(3, {4.0}, cache.generation(3));
+  ASSERT_TRUE(cache.Get(3, &out));
+  cache.InvalidateUser(3);
+  EXPECT_FALSE(cache.Get(3, &out));
+}
+
+TEST(ScoreCacheTest, PerUserInvalidationDropsOnlyThatUser) {
+  FakeClock clock;
+  ScoreCache cache(ScoreCacheOptions(), &clock);
+  cache.Put(1, {1.0});
+  cache.Put(2, {2.0});
+  cache.InvalidateUser(1);
+  EXPECT_EQ(cache.user_invalidations(), 1);
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Get(1, &out));  // touched user: dropped on probe
+  ASSERT_TRUE(cache.Get(2, &out));   // untouched user keeps serving
+  EXPECT_EQ(out[0], 2.0);
+  // Global and per-user components compose: after a per-user bump a global
+  // bump still invalidates everyone.
+  cache.Put(1, {3.0});
+  ASSERT_TRUE(cache.Get(1, &out));
+  cache.BumpGeneration();
+  EXPECT_FALSE(cache.Get(1, &out));
+  EXPECT_FALSE(cache.Get(2, &out));
+  // A snapshot taken before InvalidateUser can no longer deposit.
+  const int64_t snapshot = cache.generation(7);
+  cache.InvalidateUser(7);
+  cache.Put(7, {4.0}, snapshot);
+  EXPECT_FALSE(cache.Get(7, &out));
+}
+
 TEST(RecServerTest, WarmCacheFillsHottestUsersAtStartup) {
   FakeClock clock;
   RecServerOptions options = SyncOptions(&clock);

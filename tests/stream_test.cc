@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ppr/dynamic_ppr.h"
+#include "ppr/ppr.h"
+#include "stream/streaming_ckg.h"
+#include "stream/update_log.h"
+#include "testing/oracle.h"
+#include "util/fs.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+// Crash-consistency and incremental-repair coverage for the streaming CKG:
+// WAL round trips, segment rotation, torn-tail recovery, the exactness of
+// local PPR repair against the recompute oracle, and the kill-at-every-op
+// sweep asserting recovery is byte-identical (StateDigest) to an
+// uninterrupted stream at every crash point.
+
+namespace kucnet {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.name = "stream-tiny";
+  d.num_users = 4;
+  d.num_items = 3;
+  d.num_kg_nodes = 5;
+  d.num_kg_relations = 2;
+  // User 3 has no interactions: a dangling user node exercising the
+  // absorbed-mass reversal when its first edge streams in.
+  d.train = {{0, 0}, {0, 1}, {1, 0}, {2, 2}};
+  d.kg = {{0, 0, 3}, {1, 1, 4}, {3, 0, 4}};
+  return d;
+}
+
+StreamingCkgOptions SmallSegments() {
+  StreamingCkgOptions options;
+  options.wal.segment_records = 4;
+  return options;
+}
+
+// A fixed update script: interactions and KG triplets, including a
+// duplicate (index 3 repeats index 0) and dangling user 3's first edge.
+std::vector<GraphUpdate> UpdateScript() {
+  return {
+      GraphUpdate::Interaction(0, 1, 1),
+      GraphUpdate::Interaction(0, 3, 0),  // dangling user's first edge
+      GraphUpdate::KgTriplet(0, 2, 1, 4),
+      GraphUpdate::Interaction(0, 1, 1),  // duplicate of the first
+      GraphUpdate::KgTriplet(0, 0, 0, 2),
+      GraphUpdate::Interaction(0, 2, 0),
+      GraphUpdate::Interaction(0, 0, 2),
+      GraphUpdate::KgTriplet(0, 4, 0, 3),
+      GraphUpdate::Interaction(0, 3, 1),
+      GraphUpdate::KgTriplet(0, 2, 1, 4),  // duplicate triplet
+      GraphUpdate::Interaction(0, 1, 2),
+      GraphUpdate::Interaction(0, 2, 1),
+  };
+}
+
+Status ApplyUpdate(StreamingCkg& ckg, const GraphUpdate& update) {
+  if (update.type == UpdateType::kInteraction) {
+    return ckg.AppendInteraction(update.a, update.b);
+  }
+  return ckg.AppendKgTriplet(update.a, update.b, update.c);
+}
+
+// Per-node agreement between the incremental estimate and the recompute
+// oracle, within the residual-mass bound, plus mass conservation of the
+// incremental state.
+void ExpectMatchesRecomputeOracle(const StreamingCkg& ckg) {
+  const DynamicCkg& graph = ckg.graph();
+  const DynamicPprTable& ppr = ckg.ppr();
+  for (int64_t u = 0; u < graph.num_users(); ++u) {
+    const testing::OraclePprResult fresh = testing::OracleStreamRecompute(
+        graph, u, ppr.alpha(), ppr.epsilon());
+    real_t fresh_residual = 0.0;
+    for (const auto& [node, r] : fresh.residual) {
+      fresh_residual += std::abs(r);
+    }
+    const real_t bound = ppr.ResidualMass(u) + fresh_residual + 1e-12;
+
+    const auto& incremental = ppr.Estimate(u);
+    for (const auto& [node, value] : incremental) {
+      const auto it = fresh.estimate.find(node);
+      const real_t reference = it == fresh.estimate.end() ? 0.0 : it->second;
+      EXPECT_NEAR(value, reference, bound)
+          << "user " << u << " node " << node;
+    }
+    for (const auto& [node, reference] : fresh.estimate) {
+      if (incremental.count(node)) continue;  // compared above
+      EXPECT_NEAR(0.0, reference, bound) << "user " << u << " node " << node;
+    }
+
+    // Mass conservation: estimate + residual must still sum to 1.
+    real_t mass = 0.0;
+    for (const auto& [node, value] : incremental) mass += value;
+    for (const auto& [node, r] : ppr.Residual(u)) mass += r;
+    EXPECT_NEAR(mass, 1.0, 1e-9) << "user " << u;
+  }
+}
+
+TEST(GraphUpdateLogTest, RoundTripsRecordsAcrossReopen) {
+  InMemoryFileSystem fs;
+  std::vector<GraphUpdate> written;
+  {
+    GraphUpdateLog log(&fs, "wal");
+    std::vector<GraphUpdate> recovered;
+    ASSERT_TRUE(log.Open(&recovered).ok());
+    EXPECT_TRUE(recovered.empty());
+    for (uint64_t k = 0; k < 7; ++k) {
+      GraphUpdate update =
+          k % 2 == 0 ? GraphUpdate::Interaction(log.next_seq(), k, k + 1)
+                     : GraphUpdate::KgTriplet(log.next_seq(), k, 0, k + 2);
+      ASSERT_TRUE(log.Append(update).ok());
+      written.push_back(update);
+    }
+  }
+  GraphUpdateLog reopened(&fs, "wal");
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(reopened.Open(&recovered).ok());
+  EXPECT_EQ(recovered, written);
+  EXPECT_EQ(reopened.next_seq(), 7u);
+  EXPECT_EQ(reopened.torn_tails_recovered(), 0);
+}
+
+TEST(GraphUpdateLogTest, RotatesAndSealsSegments) {
+  InMemoryFileSystem fs;
+  GraphUpdateLog::Options options;
+  options.segment_records = 3;
+  GraphUpdateLog log(&fs, "wal", options);
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(log.Open(&recovered).ok());
+  for (uint64_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(log.Append(GraphUpdate::Interaction(k, 0, 0)).ok());
+  }
+  // 8 records at 3 per segment: two sealed, the third open with 2 records.
+  EXPECT_TRUE(fs.Exists("wal/wal_000000.log"));
+  EXPECT_TRUE(fs.Exists("wal/wal_000001.log"));
+  EXPECT_TRUE(fs.Exists("wal/wal_000002.open"));
+  EXPECT_EQ(log.segments_sealed(), 2);
+
+  GraphUpdateLog reopened(&fs, "wal");
+  recovered.clear();
+  ASSERT_TRUE(reopened.Open(&recovered).ok());
+  EXPECT_EQ(recovered.size(), 8u);
+  EXPECT_EQ(reopened.next_seq(), 8u);
+}
+
+TEST(GraphUpdateLogTest, TruncatesTornTailOfOpenSegment) {
+  InMemoryFileSystem fs;
+  {
+    GraphUpdateLog log(&fs, "wal");
+    std::vector<GraphUpdate> recovered;
+    ASSERT_TRUE(log.Open(&recovered).ok());
+    for (uint64_t k = 0; k < 3; ++k) {
+      ASSERT_TRUE(log.Append(GraphUpdate::Interaction(k, 7, 7)).ok());
+    }
+  }
+  // Simulate a non-atomic writer dying mid-append: valid prefix + garbage.
+  std::string image;
+  ASSERT_TRUE(fs.ReadFile("wal/wal_000000.open", &image).ok());
+  ASSERT_TRUE(
+      fs.WriteFile("wal/wal_000000.open", image + "torn-garbage").ok());
+
+  GraphUpdateLog reopened(&fs, "wal");
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(reopened.Open(&recovered).ok());
+  EXPECT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(reopened.torn_tails_recovered(), 1);
+  // The log keeps accepting appends after truncation.
+  ASSERT_TRUE(reopened.Append(GraphUpdate::Interaction(3, 1, 1)).ok());
+}
+
+TEST(GraphUpdateLogTest, RejectsCorruptionInSealedSegment) {
+  InMemoryFileSystem fs;
+  {
+    GraphUpdateLog::Options options;
+    options.segment_records = 2;
+    GraphUpdateLog log(&fs, "wal", options);
+    std::vector<GraphUpdate> recovered;
+    ASSERT_TRUE(log.Open(&recovered).ok());
+    for (uint64_t k = 0; k < 5; ++k) {
+      ASSERT_TRUE(log.Append(GraphUpdate::Interaction(k, 1, 2)).ok());
+    }
+  }
+  std::string image;
+  ASSERT_TRUE(fs.ReadFile("wal/wal_000000.log", &image).ok());
+  image[image.size() / 2] ^= 0x40;  // bit flip mid-record
+  ASSERT_TRUE(fs.WriteFile("wal/wal_000000.log", image).ok());
+
+  GraphUpdateLog reopened(&fs, "wal");
+  std::vector<GraphUpdate> recovered;
+  EXPECT_FALSE(reopened.Open(&recovered).ok());
+}
+
+TEST(GraphUpdateLogTest, RemovesStrayTempFiles) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("wal/wal_000000.open.tmp", "half-written").ok());
+  GraphUpdateLog log(&fs, "wal");
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(log.Open(&recovered).ok());
+  EXPECT_FALSE(fs.Exists("wal/wal_000000.open.tmp"));
+}
+
+TEST(DynamicPprTest, ComputeMatchesStaticTableBitwise) {
+  const Dataset data = TinyDataset();
+  DynamicCkg graph(data.num_users, data.num_items, data.num_kg_nodes,
+                   data.num_kg_relations, data.train, data.kg, data.user_kg);
+  const PprTable reference = PprTable::Compute(data.BuildCkg());
+  const DynamicPprTable dynamic = DynamicPprTable::Compute(graph);
+  ASSERT_EQ(dynamic.num_users(), reference.num_users());
+  for (int64_t u = 0; u < dynamic.num_users(); ++u) {
+    // Same push discipline, same CSR iteration order: bitwise equality.
+    EXPECT_EQ(dynamic.Estimate(u), reference.Vector(u)) << "user " << u;
+  }
+}
+
+TEST(DynamicPprTest, RepairMatchesRecomputeOracleOnScript) {
+  InMemoryFileSystem fs;
+  std::unique_ptr<StreamingCkg> ckg;
+  ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs, "wal", SmallSegments(),
+                                 nullptr, &ckg)
+                  .ok());
+  for (const GraphUpdate& update : UpdateScript()) {
+    ASSERT_TRUE(ApplyUpdate(*ckg, update).ok());
+    ExpectMatchesRecomputeOracle(*ckg);
+  }
+  EXPECT_EQ(ckg->stats().duplicates, 2);
+  EXPECT_EQ(ckg->stats().applied, 10);
+}
+
+TEST(DynamicPprTest, RepairMatchesOracleOnRandomStreams) {
+  Rng rng(20260809);
+  for (int round = 0; round < 5; ++round) {
+    InMemoryFileSystem fs;
+    std::unique_ptr<StreamingCkg> ckg;
+    ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs, "wal",
+                                   SmallSegments(), nullptr, &ckg)
+                    .ok());
+    const DynamicCkg& graph = ckg->graph();
+    for (int k = 0; k < 12; ++k) {
+      if (rng.UniformInt(2) == 0) {
+        ASSERT_TRUE(ckg->AppendInteraction(
+                           rng.UniformInt(graph.num_users()),
+                           rng.UniformInt(graph.num_items()))
+                        .ok());
+      } else {
+        ASSERT_TRUE(ckg->AppendKgTriplet(
+                           rng.UniformInt(graph.num_kg_nodes()),
+                           rng.UniformInt(graph.num_kg_relations()),
+                           rng.UniformInt(graph.num_kg_nodes()))
+                        .ok());
+      }
+    }
+    ExpectMatchesRecomputeOracle(*ckg);
+  }
+}
+
+TEST(StreamingCkgTest, TouchedUsersIncludeTheInteractingUser) {
+  InMemoryFileSystem fs;
+  std::unique_ptr<StreamingCkg> ckg;
+  ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs, "wal", SmallSegments(),
+                                 nullptr, &ckg)
+                  .ok());
+  std::vector<std::vector<int64_t>> invalidations;
+  ckg->set_invalidation_hook(
+      [&](const std::vector<int64_t>& users) { invalidations.push_back(users); });
+  ASSERT_TRUE(ckg->AppendInteraction(1, 2).ok());
+  ASSERT_EQ(invalidations.size(), 1u);
+  EXPECT_TRUE(std::binary_search(invalidations[0].begin(),
+                                 invalidations[0].end(), 1));
+  // A duplicate applies nothing and must not invalidate anyone.
+  ASSERT_TRUE(ckg->AppendInteraction(1, 2).ok());
+  EXPECT_EQ(invalidations.size(), 1u);
+}
+
+TEST(StreamingCkgTest, RejectsOutOfRangeUpdates) {
+  InMemoryFileSystem fs;
+  std::unique_ptr<StreamingCkg> ckg;
+  ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs, "wal", SmallSegments(),
+                                 nullptr, &ckg)
+                  .ok());
+  const uint64_t seq_before = ckg->wal().next_seq();
+  EXPECT_FALSE(ckg->AppendInteraction(-1, 0).ok());
+  EXPECT_FALSE(ckg->AppendInteraction(0, 99).ok());
+  EXPECT_FALSE(ckg->AppendKgTriplet(0, 99, 0).ok());
+  EXPECT_FALSE(ckg->AppendKgTriplet(99, 0, 0).ok());
+  // Rejected updates are never logged.
+  EXPECT_EQ(ckg->wal().next_seq(), seq_before);
+}
+
+TEST(StreamingCkgTest, RecoveryReplayMatchesUninterruptedRun) {
+  InMemoryFileSystem fs;
+  uint64_t uninterrupted_digest = 0;
+  {
+    std::unique_ptr<StreamingCkg> ckg;
+    ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs, "wal",
+                                   SmallSegments(), nullptr, &ckg)
+                    .ok());
+    for (const GraphUpdate& update : UpdateScript()) {
+      ASSERT_TRUE(ApplyUpdate(*ckg, update).ok());
+    }
+    uninterrupted_digest = ckg->StateDigest();
+  }
+  std::unique_ptr<StreamingCkg> recovered;
+  ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs, "wal", SmallSegments(),
+                                 nullptr, &recovered)
+                  .ok());
+  EXPECT_EQ(recovered->stats().replayed, 12);
+  EXPECT_EQ(recovered->StateDigest(), uninterrupted_digest);
+}
+
+TEST(StreamingCkgTest, RepairIsIdenticalAcrossThreadCounts) {
+  InMemoryFileSystem fs_serial;
+  InMemoryFileSystem fs_pooled;
+  ThreadPool pool(3);
+  std::unique_ptr<StreamingCkg> serial;
+  std::unique_ptr<StreamingCkg> pooled;
+  ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs_serial, "wal",
+                                 SmallSegments(), nullptr, &serial)
+                  .ok());
+  ASSERT_TRUE(StreamingCkg::Open(TinyDataset(), &fs_pooled, "wal",
+                                 SmallSegments(), &pool, &pooled)
+                  .ok());
+  for (const GraphUpdate& update : UpdateScript()) {
+    ASSERT_TRUE(ApplyUpdate(*serial, update).ok());
+    ASSERT_TRUE(ApplyUpdate(*pooled, update).ok());
+  }
+  EXPECT_EQ(serial->StateDigest(), pooled->StateDigest());
+}
+
+// The flagship robustness sweep: arm a fault at every single io operation
+// the streaming phase performs (both clean-failure and torn-write modes),
+// crash there, recover, and require the recovered state to be byte-identical
+// (StateDigest) to an uninterrupted run over the acked prefix — then finish
+// the remaining updates and require byte-identity with the full clean run.
+TEST(StreamingCkgTest, KillAtEveryWalOpSweepRecoversByteIdentical) {
+  const Dataset data = TinyDataset();
+  const std::vector<GraphUpdate> script = UpdateScript();
+
+  // Reference digests from a clean run: digest_after[i] = state after the
+  // first i accepted appends.
+  std::vector<uint64_t> digest_after;
+  int64_t total_stream_ops = 0;
+  {
+    InMemoryFileSystem mem;
+    FaultInjectingFileSystem fs(&mem);
+    std::unique_ptr<StreamingCkg> ckg;
+    ASSERT_TRUE(StreamingCkg::Open(data, &fs, "wal", SmallSegments(),
+                                   nullptr, &ckg)
+                    .ok());
+    fs.ResetOpCount();
+    digest_after.push_back(ckg->StateDigest());
+    for (const GraphUpdate& update : script) {
+      ASSERT_TRUE(ApplyUpdate(*ckg, update).ok());
+      digest_after.push_back(ckg->StateDigest());
+    }
+    total_stream_ops = fs.op_count();
+  }
+  // 12 appends at 2 ops each plus segment-seal renames.
+  ASSERT_GE(total_stream_ops, 24);
+
+  for (const FaultMode mode : {FaultMode::kFailCleanly, FaultMode::kTear}) {
+    for (int64_t kill_at = 1; kill_at <= total_stream_ops; ++kill_at) {
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " kill_at=" + std::to_string(kill_at));
+      InMemoryFileSystem mem;
+      FaultInjectingFileSystem fs(&mem);
+      size_t acked = 0;
+      {
+        std::unique_ptr<StreamingCkg> ckg;
+        ASSERT_TRUE(StreamingCkg::Open(data, &fs, "wal", SmallSegments(),
+                                       nullptr, &ckg)
+                        .ok());
+        fs.FailFrom(kill_at, mode);
+        for (const GraphUpdate& update : script) {
+          if (!ApplyUpdate(*ckg, update).ok()) break;  // the "crash"
+          ++acked;
+        }
+        EXPECT_EQ(fs.faults_fired() > 0, acked < script.size());
+      }
+      fs.Disarm();
+
+      // Recovery must reconstruct exactly the acked prefix...
+      std::unique_ptr<StreamingCkg> recovered;
+      ASSERT_TRUE(StreamingCkg::Open(data, &fs, "wal", SmallSegments(),
+                                     nullptr, &recovered)
+                      .ok());
+      EXPECT_EQ(static_cast<size_t>(recovered->stats().replayed), acked);
+      EXPECT_EQ(recovered->StateDigest(), digest_after[acked]);
+
+      // ...and streaming must be able to pick up where it left off.
+      for (size_t k = acked; k < script.size(); ++k) {
+        ASSERT_TRUE(ApplyUpdate(*recovered, script[k]).ok());
+      }
+      EXPECT_EQ(recovered->StateDigest(), digest_after.back());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kucnet
