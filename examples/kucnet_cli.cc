@@ -61,8 +61,11 @@
 #include "obs/export.h"
 #include "serve/fleet/shard_router.h"
 #include "serve/rec_server.h"
+#include "store/container.h"
+#include "store/web_scale.h"
 #include "stream/streaming_ckg.h"
 #include "train/trainer.h"
+#include "util/clock.h"
 #include "util/fs.h"
 #include "util/logging.h"
 
@@ -70,7 +73,8 @@ namespace kucnet {
 namespace {
 
 const char kUsage[] =
-    "usage: kucnet_cli <generate|train|evaluate|serve|stream|models> "
+    "usage: kucnet_cli "
+    "<generate|train|evaluate|serve|stream|webscale|models> "
     "[--flags]\n"
     "  generate --config NAME --split KIND --out DIR [--seed N]\n"
     "  train    --data DIR --model NAME [--epochs N] [--k N] [--depth N]\n"
@@ -83,6 +87,9 @@ const char kUsage[] =
     "           [--tenant_window_us N] [--warm_cache N]\n"
     "  stream   --data DIR --wal DIR [--updates N] [--workers W]\n"
     "           [--warm_cache N]\n"
+    "  webscale --out FILE [--users N] [--items N] [--entities N]\n"
+    "           [--relations N] [--triplets N] [--interactions N] [--seed N]\n"
+    "           [--ppr_users N]\n"
     "  models\n"
     "train/evaluate/serve also accept [--metrics_out FILE] (Prometheus text)\n"
     "and [--trace_out FILE] (chrome://tracing JSON); either flag turns the\n"
@@ -528,6 +535,114 @@ int CmdStream(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Generate -> save -> mmap-reload -> verify -> PPR smoke over the compact
+// store (src/store/). Defaults are the reduced `scale`-label CI
+// configuration; the full 10^6-user run is `--users 1000000 --items 100000
+// --entities 900000 --triplets 10000000`.
+int CmdWebScale(const std::map<std::string, std::string>& flags) {
+  WebScaleConfig reduced = WebScaleReducedConfig();
+  int64_t users, items, entities, relations, triplets, interactions, seed,
+      ppr_users;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (!ParseIntFlag(flags, "users", reduced.num_users, 1, kMax, &users) ||
+      !ParseIntFlag(flags, "items", reduced.num_items, 1, kMax, &items) ||
+      !ParseIntFlag(flags, "entities", reduced.num_entities, 0, kMax,
+                    &entities) ||
+      !ParseIntFlag(flags, "relations", reduced.num_kg_relations, 1, 65535,
+                    &relations) ||
+      !ParseIntFlag(flags, "triplets", reduced.num_kg_triplets, 0, kMax,
+                    &triplets) ||
+      !ParseIntFlag(flags, "interactions", reduced.interactions_per_user, 0,
+                    kMax, &interactions) ||
+      !ParseIntFlag(flags, "seed", static_cast<int64_t>(reduced.seed), 0, kMax,
+                    &seed) ||
+      !ParseIntFlag(flags, "ppr_users", 8, 0, kMax, &ppr_users)) {
+    return 2;
+  }
+  const std::string out_path = FlagOr(flags, "out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "webscale requires --out FILE\n%s", kUsage);
+    return 2;
+  }
+
+  MaybeEnableObs(flags);
+  WebScaleConfig config = reduced;
+  config.num_users = users;
+  config.num_items = items;
+  config.num_entities = entities;
+  config.num_kg_relations = relations;
+  config.num_kg_triplets = triplets;
+  config.interactions_per_user = interactions;
+  config.seed = static_cast<uint64_t>(seed);
+  const Status valid = ValidateWebScaleConfig(config);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 valid.message().c_str());
+    return 2;
+  }
+
+  FileSystem& fs = FsOrDefault(nullptr);
+  Stopwatch generate_timer;
+  const Status generated = GenerateWebScaleContainer(fs, out_path, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.message().c_str());
+    return 1;
+  }
+  const double generate_seconds = generate_timer.Seconds();
+
+  // Reload the container through the mmap path and verify it end to end:
+  // the round trip, not the in-memory graph, is what the command certifies.
+  CompactCkg graph;
+  StoreLoadStats load_stats;
+  Stopwatch load_timer;
+  StoreLoadOptions load_options;
+  const Status loaded =
+      LoadCompactCkg(fs, out_path, load_options, &graph, &load_stats);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "reload failed: %s\n", loaded.message().c_str());
+    return 1;
+  }
+  const double load_seconds = load_timer.Seconds();
+  const Status topology = graph.ValidateTopology();
+  if (!topology.ok()) {
+    std::fprintf(stderr, "topology check failed: %s\n",
+                 topology.message().c_str());
+    return 1;
+  }
+
+  const int64_t smoke_users = std::min(ppr_users, graph.num_users());
+  int64_t ppr_entries = 0;
+  for (int64_t u = 0; u < smoke_users; ++u) {
+    ppr_entries +=
+        static_cast<int64_t>(PprForwardPush(graph, graph.UserNode(u)).size());
+  }
+
+  const int64_t nodes = graph.num_nodes();
+  const int64_t edges = graph.num_edges();
+  const double bytes_per_edge =
+      edges > 0 ? static_cast<double>(graph.bytes_resident()) /
+                      static_cast<double>(edges)
+                : 0.0;
+  const int64_t int64_bytes = (nodes + 1) * 8 + edges * 16;
+  std::printf("generated %s: %lld nodes, %lld directed edges in %.2fs\n",
+              config.name.c_str(), static_cast<long long>(nodes),
+              static_cast<long long>(edges), generate_seconds);
+  std::printf("container %s: %lld bytes, reloaded (%s) in %.3fs\n",
+              out_path.c_str(), static_cast<long long>(load_stats.file_bytes),
+              load_stats.mmap_backed ? "mmap" : "full read", load_seconds);
+  std::printf("resident %lld bytes  %.2f bytes/edge  %.1f%% of the int64 "
+              "layout\n",
+              static_cast<long long>(graph.bytes_resident()), bytes_per_edge,
+              100.0 * static_cast<double>(graph.bytes_resident()) /
+                  static_cast<double>(int64_bytes));
+  std::printf("ppr smoke: %lld users pushed, %lld estimate entries\n",
+              static_cast<long long>(smoke_users),
+              static_cast<long long>(ppr_entries));
+  MaybeExportObs(flags);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::printf("%s", kUsage);
@@ -548,6 +663,9 @@ int Run(int argc, char** argv) {
       {"stream",
        {"data", "wal", "updates", "workers", "warm_cache", "k", "depth",
         "metrics_out", "trace_out"}},
+      {"webscale",
+       {"out", "users", "items", "entities", "relations", "triplets",
+        "interactions", "seed", "ppr_users", "metrics_out", "trace_out"}},
       {"models", {}},
   };
   const auto known = kKnownFlags.find(command);
@@ -565,6 +683,7 @@ int Run(int argc, char** argv) {
   if (command == "train") return CmdTrainOrEvaluate(flags, /*train=*/true);
   if (command == "evaluate") return CmdTrainOrEvaluate(flags, /*train=*/false);
   if (command == "stream") return CmdStream(flags);
+  if (command == "webscale") return CmdWebScale(flags);
   return CmdServe(flags);
 }
 

@@ -61,9 +61,9 @@ UserCompGraph FromLayeredEdges(
   return graph;
 }
 
-CompGraphBuilder::CompGraphBuilder(const Ckg* ckg, CompGraphOptions options)
-    : ckg_(ckg), options_(options) {
-  KUC_CHECK(ckg != nullptr);
+CompGraphBuilder::CompGraphBuilder(GraphRef graph, CompGraphOptions options)
+    : graph_(graph), options_(options) {
+  KUC_CHECK(graph.valid());
   KUC_CHECK_GE(options.depth, 1);
   KUC_CHECK_GE(options.max_edges_per_node, 0);
 }
@@ -78,14 +78,19 @@ UserCompGraph CompGraphBuilder::Build(
   return graph;
 }
 
-Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
-                                  Rng* rng,
-                                  const std::vector<ExcludedPair>& excluded,
-                                  const ExecContext& ctx,
-                                  UserCompGraph* out) const {
+namespace {
+
+// The expansion loop, compiled once per graph representation (the Ckg
+// instantiation is the pre-store code, bit for bit). Dispatched from
+// CompGraphBuilder::TryBuild via GraphRef::Visit.
+template <typename Graph>
+Status TryBuildImpl(const Graph& ckg, const CompGraphOptions& options_,
+                    int64_t user_node, const NodeScoreFn* score, Rng* rng,
+                    const std::vector<ExcludedPair>& excluded,
+                    const ExecContext& ctx, UserCompGraph* out) {
   KUC_TRACE_SPAN("compgraph.build");
   KUC_CHECK_GE(user_node, 0);
-  KUC_CHECK_LT(user_node, ckg_->num_nodes());
+  KUC_CHECK_LT(user_node, ckg.num_nodes());
   const int64_t k_limit = options_.max_edges_per_node;
   const bool prune = k_limit > 0 && options_.prune != PruneMode::kNone;
   if (prune && options_.prune == PruneMode::kPpr) {
@@ -101,8 +106,8 @@ Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
     excluded_set.insert(PackPair(pair.user_node, pair.item_node));
     excluded_set.insert(PackPair(pair.item_node, pair.user_node));
   }
-  const int64_t interact = Ckg::kInteractRelation;
-  const int64_t interact_inv = ckg_->InverseRelation(interact);
+  const int64_t interact = Graph::kInteractRelation;
+  const int64_t interact_inv = ckg.InverseRelation(interact);
   auto is_excluded = [&](int64_t src, int64_t rel, int64_t dst) {
     if (excluded_set.empty()) return false;
     if (rel != interact && rel != interact_inv) return false;
@@ -115,7 +120,7 @@ Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
   graph.layers.resize(options_.depth);
 
   std::vector<int64_t> prev_nodes = {user_node};
-  const int64_t self_rel = ckg_->self_loop_relation();
+  const int64_t self_rel = ckg.self_loop_relation();
   std::vector<Candidate> candidates;
   std::unordered_map<int64_t, int64_t> dst_index;
 
@@ -144,8 +149,8 @@ Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
         layer.rel.push_back(self_rel);
         layer.dst_index.push_back(index_of(src));
       }
-      const auto rels = ckg_->OutRelations(src);
-      const auto dsts = ckg_->OutNeighbors(src);
+      const auto rels = ckg.OutRelations(src);
+      const auto dsts = ckg.OutNeighbors(src);
       candidates.clear();
       for (size_t e = 0; e < dsts.size(); ++e) {
         if (is_excluded(src, rels[e], dsts[e])) continue;
@@ -188,6 +193,19 @@ Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
     graph.final_index.emplace(prev_nodes[i], static_cast<int64_t>(i));
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status CompGraphBuilder::TryBuild(int64_t user_node, const NodeScoreFn* score,
+                                  Rng* rng,
+                                  const std::vector<ExcludedPair>& excluded,
+                                  const ExecContext& ctx,
+                                  UserCompGraph* out) const {
+  return graph_.Visit([&](const auto& ckg) {
+    return TryBuildImpl(ckg, options_, user_node, score, rng, excluded, ctx,
+                        out);
+  });
 }
 
 }  // namespace kucnet

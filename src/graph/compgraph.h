@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/ckg.h"
+#include "graph/graph_ref.h"
 #include "util/fault.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -93,10 +94,13 @@ struct ExcludedPair {
 UserCompGraph FromLayeredEdges(
     const std::vector<std::vector<Edge>>& layers, int64_t user_node);
 
-/// Builds pruned user-centric computation graphs over a CKG.
+/// Builds pruned user-centric computation graphs over a CKG. Works on either
+/// graph representation: construct from `const Ckg*` (implicit, the historical
+/// call sites) or any `GraphRef`; the expansion loop is a template
+/// instantiated per representation, dispatched once per Build call.
 class CompGraphBuilder {
  public:
-  CompGraphBuilder(const Ckg* ckg, CompGraphOptions options);
+  CompGraphBuilder(GraphRef graph, CompGraphOptions options);
 
   const CompGraphOptions& options() const { return options_; }
 
@@ -118,7 +122,7 @@ class CompGraphBuilder {
                   const ExecContext& ctx, UserCompGraph* out) const;
 
  private:
-  const Ckg* ckg_;
+  GraphRef graph_;
   CompGraphOptions options_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/compact_ckg.h"
 #include "util/finite.h"
 #include "util/logging.h"
 
@@ -21,7 +22,8 @@ real_t MapValue(const std::unordered_map<int64_t, real_t>& m, int64_t key) {
 
 }  // namespace
 
-int64_t DynamicPprTable::LocalPush(const DynamicCkg& graph, real_t alpha,
+template <typename DynGraph>
+int64_t DynamicPprTable::LocalPush(const DynGraph& graph, real_t alpha,
                                    real_t epsilon, UserState* state,
                                    const std::vector<int64_t>& seeds) {
   std::unordered_map<int64_t, real_t>& estimate = state->estimate;
@@ -65,7 +67,8 @@ int64_t DynamicPprTable::LocalPush(const DynamicCkg& graph, real_t alpha,
   return pushes;
 }
 
-DynamicPprTable DynamicPprTable::Compute(const DynamicCkg& graph,
+template <typename DynGraph>
+DynamicPprTable DynamicPprTable::Compute(const DynGraph& graph,
                                          PprTableOptions options,
                                          ThreadPool* pool) {
   KUC_TRACE_SPAN("ppr.dynamic_compute");
@@ -93,7 +96,8 @@ DynamicPprTable DynamicPprTable::Compute(const DynamicCkg& graph,
   return table;
 }
 
-bool DynamicPprTable::RepairUser(const DynamicCkg& graph,
+template <typename DynGraph>
+bool DynamicPprTable::RepairUser(const DynGraph& graph,
                                  const std::vector<Edge>& inserted,
                                  const std::vector<int64_t>& d_old,
                                  int64_t user, int64_t* corrections,
@@ -170,8 +174,9 @@ bool DynamicPprTable::RepairUser(const DynamicCkg& graph,
   return touched;
 }
 
+template <typename DynGraph>
 std::vector<int64_t> DynamicPprTable::ApplyEdgeInsertions(
-    const DynamicCkg& graph, const std::vector<Edge>& inserted,
+    const DynGraph& graph, const std::vector<Edge>& inserted,
     ThreadPool* pool) {
   KUC_TRACE_SPAN("ppr.repair");
   if (inserted.empty()) return {};
@@ -220,6 +225,22 @@ std::vector<int64_t> DynamicPprTable::ApplyEdgeInsertions(
   KUC_OBS_COUNT("ppr.repair_pushes", repair_stats_.pushes);
   return touched_users;
 }
+
+// Compiled once per overlay; the DynamicCkg (= BasicDynamicCkg<Ckg>)
+// instantiation is the pre-store code, bit for bit.
+template DynamicPprTable DynamicPprTable::Compute<DynamicCkg>(
+    const DynamicCkg&, PprTableOptions, ThreadPool*);
+template DynamicPprTable
+DynamicPprTable::Compute<BasicDynamicCkg<CompactCkg>>(
+    const BasicDynamicCkg<CompactCkg>&, PprTableOptions, ThreadPool*);
+template std::vector<int64_t>
+DynamicPprTable::ApplyEdgeInsertions<DynamicCkg>(const DynamicCkg&,
+                                                 const std::vector<Edge>&,
+                                                 ThreadPool*);
+template std::vector<int64_t>
+DynamicPprTable::ApplyEdgeInsertions<BasicDynamicCkg<CompactCkg>>(
+    const BasicDynamicCkg<CompactCkg>&, const std::vector<Edge>&,
+    ThreadPool*);
 
 const std::unordered_map<int64_t, real_t>& DynamicPprTable::Estimate(
     int64_t user) const {

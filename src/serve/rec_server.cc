@@ -52,7 +52,7 @@ void ServerStats::MergeFrom(const ServerStats& other) {
 }
 
 RecServer::RecServer(const Kucnet* model, const Dataset* dataset,
-                     const Ckg* ckg, const PprTable* ppr,
+                     GraphRef ckg, const PprTable* ppr,
                      RecServerOptions options)
     : model_(model),
       dataset_(dataset),
@@ -64,7 +64,7 @@ RecServer::RecServer(const Kucnet* model, const Dataset* dataset,
       train_items_(dataset->TrainItemsByUser()) {
   KUC_CHECK(model != nullptr);
   KUC_CHECK(dataset != nullptr);
-  KUC_CHECK(ckg != nullptr);
+  KUC_CHECK(ckg.valid());
   KUC_CHECK(ppr != nullptr);
   KUC_CHECK_GT(dataset->num_items, 0) << "cannot serve an empty catalogue";
   KUC_CHECK_GE(options_.num_workers, 0);
@@ -378,7 +378,7 @@ RecResponse RecServer::Handle(const RecRequest& request,
         request.user < ppr_->num_users()) {
       std::vector<double> scores(dataset_->num_items, 0.0);
       for (int64_t item = 0; item < dataset_->num_items; ++item) {
-        scores[item] = ppr_->Score(request.user, ckg_->ItemNode(item));
+        scores[item] = ppr_->Score(request.user, ckg_.ItemNode(item));
       }
       if (RankInto(request.user, scores, top_n, &response)) {
         served = true;

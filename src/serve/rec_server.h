@@ -166,7 +166,7 @@ struct RecServerOptions {
 /// thread-safe for inference.
 class RecServer {
  public:
-  RecServer(const Kucnet* model, const Dataset* dataset, const Ckg* ckg,
+  RecServer(const Kucnet* model, const Dataset* dataset, GraphRef ckg,
             const PprTable* ppr, RecServerOptions options);
   ~RecServer();
 
@@ -235,7 +235,7 @@ class RecServer {
 
   const Kucnet* model_;
   const Dataset* dataset_;
-  const Ckg* ckg_;
+  GraphRef ckg_;
   const PprTable* ppr_;
   RecServerOptions options_;
   const Clock* clock_;

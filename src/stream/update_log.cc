@@ -64,6 +64,7 @@ GraphUpdateLog::GraphUpdateLog(FileSystem* fs, std::string dir,
                                Options options)
     : fs_(FsOrDefault(fs)), dir_(std::move(dir)), options_(options) {
   KUC_CHECK_GT(options_.segment_records, 0);
+  KUC_CHECK_GT(options_.group_size, 0);
 }
 
 std::string GraphUpdateLog::ActiveSegmentName() const {
@@ -211,12 +212,37 @@ Status GraphUpdateLog::Open(std::vector<GraphUpdate>* out) {
   return Status::Ok();
 }
 
+Status GraphUpdateLog::Flush() {
+  KUC_CHECK(opened_) << "GraphUpdateLog::Flush before Open";
+  if (pending_records_ == 0) return Status::Ok();
+  const Status persisted =
+      AtomicWriteFile(fs_, dir_ + "/" + ActiveSegmentName(), active_image_);
+  if (!persisted.ok()) {
+    // Nothing in the batch was acked as durable: discard it and roll the
+    // sequence back so a retry (or a later append after Disarm) resumes
+    // from the durable prefix.
+    active_image_.resize(active_image_.size() - pending_bytes_);
+    next_seq_ -= static_cast<uint64_t>(pending_records_);
+    pending_records_ = 0;
+    pending_bytes_ = 0;
+    return persisted;
+  }
+  active_records_ += pending_records_;
+  KUC_OBS_COUNT("wal.appends", pending_records_);
+  KUC_OBS_COUNT("wal.group_commits", 1);
+  pending_records_ = 0;
+  pending_bytes_ = 0;
+  return Status::Ok();
+}
+
 Status GraphUpdateLog::Append(const GraphUpdate& update) {
   KUC_CHECK(opened_) << "GraphUpdateLog::Append before Open";
   KUC_CHECK_EQ(update.seq, next_seq_) << "wal: append out of sequence";
-  if (active_records_ >= options_.segment_records) {
-    // Seal the full active segment; one atomic rename, a dedicated kill
-    // site in the crash sweep.
+  if (active_records_ + pending_records_ >= options_.segment_records) {
+    // The active segment is full. Flush any buffered batch first — a
+    // segment is never sealed with unflushed records — then seal it with
+    // one atomic rename, a dedicated kill site in the crash sweep.
+    KUC_RETURN_IF_ERROR(Flush());
     const std::string open_path = dir_ + "/" + ActiveSegmentName();
     const std::string sealed_path =
         dir_ + "/" + SegmentName(active_index_, /*sealed=*/true);
@@ -227,17 +253,10 @@ Status GraphUpdateLog::Append(const GraphUpdate& update) {
   }
   const std::string record = EncodeRecord(update);
   active_image_ += record;
-  const Status persisted =
-      AtomicWriteFile(fs_, dir_ + "/" + ActiveSegmentName(), active_image_);
-  if (!persisted.ok()) {
-    // The record was not acked: roll the in-memory image back so a retry
-    // (or a later append after Disarm) resumes from the acked prefix.
-    active_image_.resize(active_image_.size() - record.size());
-    return persisted;
-  }
-  ++active_records_;
+  pending_bytes_ += record.size();
+  ++pending_records_;
   ++next_seq_;
-  KUC_OBS_COUNT("wal.appends", 1);
+  if (pending_records_ >= options_.group_size) return Flush();
   return Status::Ok();
 }
 

@@ -42,10 +42,25 @@
 /// in). When the active segment fills up it is sealed with a single atomic
 /// rename to `.log`.
 ///
-/// Acknowledgement contract: if Append returns ok, the record is durable —
-/// recovery after any later crash replays it. If Append fails, the record
-/// (and nothing acked before it) may be retried; the on-disk state is
-/// exactly the acked prefix.
+/// Acknowledgement contract: with the default `group_size = 1`, if Append
+/// returns ok, the record is durable — recovery after any later crash
+/// replays it. If Append fails, the record (and nothing acked before it)
+/// may be retried; the on-disk state is exactly the acked prefix.
+///
+/// ## Group commit
+///
+/// `Options::group_size > 1` batches appends: Append serializes into the
+/// in-memory image and returns ok *without* touching disk until the batch
+/// reaches `group_size` records (or Flush() is called, or the segment needs
+/// sealing — a segment is never sealed with unflushed records). One
+/// AtomicWriteFile then persists the whole batch: the same all-or-nothing
+/// crash atomicity as a single append, amortized over `group_size` records
+/// (`wal.group_commits` counts the writes). The durability point moves to
+/// the flush: a buffered-but-unflushed record is NOT durable, and on flush
+/// failure the pending batch is discarded and `next_seq()` rolls back to
+/// the durable prefix — the caller re-appends from there. Callers must
+/// Flush() before dropping the log or buffered records are lost.
+/// `group_size = 1` preserves the exact legacy per-append fs op sequence.
 ///
 /// ## Recovery
 ///
@@ -89,6 +104,9 @@ class GraphUpdateLog {
   struct Options {
     /// Records per segment before it is sealed and a new one started.
     int64_t segment_records = 1024;
+    /// Appends buffered per disk write (see "Group commit" above). 1 =
+    /// every append is individually durable before it is acked.
+    int64_t group_size = 1;
   };
 
   /// `fs` may be null (the real filesystem). `dir` must already exist (or
@@ -102,11 +120,20 @@ class GraphUpdateLog {
   /// exactly once, before Append.
   Status Open(std::vector<GraphUpdate>* out);
 
-  /// Durably appends one record. `update.seq` must equal next_seq().
+  /// Appends one record. `update.seq` must equal next_seq(). Durable on
+  /// return iff the batch flushed (always true when group_size == 1).
   Status Append(const GraphUpdate& update);
+
+  /// Persists any buffered records with one atomic segment write. No-op
+  /// when nothing is pending. On failure the pending batch is discarded
+  /// and next_seq() rolls back to the durable prefix.
+  Status Flush();
 
   /// Sequence number the next appended record must carry.
   uint64_t next_seq() const { return next_seq_; }
+
+  /// Appended-but-not-yet-flushed records (0 unless group_size > 1).
+  int64_t pending_records() const { return pending_records_; }
 
   int64_t segments_sealed() const { return active_index_; }
   /// Torn tails truncated during Open().
@@ -125,8 +152,10 @@ class GraphUpdateLog {
   bool opened_ = false;
   uint64_t next_seq_ = 0;
   int64_t active_index_ = 0;    ///< index of the open segment = #sealed
-  int64_t active_records_ = 0;  ///< records in the open segment
+  int64_t active_records_ = 0;  ///< durable records in the open segment
   std::string active_image_;    ///< full contents of the open segment
+  int64_t pending_records_ = 0;  ///< buffered records not yet flushed
+  size_t pending_bytes_ = 0;     ///< their bytes at the image's tail
   int64_t torn_tails_ = 0;
 };
 

@@ -17,6 +17,9 @@
 #include "serve/fleet/shard_fault.h"
 #include "serve/fleet/shard_router.h"
 #include "serve/rec_server.h"
+#include "store/compact_ckg.h"
+#include "store/container.h"
+#include "store/web_scale.h"
 #include "stream/streaming_ckg.h"
 #include "tensor/simd.h"
 #include "tensor/tape.h"
@@ -1137,6 +1140,186 @@ void StreamCase(uint64_t case_seed, CaseResult& result) {
   }
 }
 
+// ---- Store -------------------------------------------------------------------
+
+/// Random tiny web-scale configuration: the same deterministic input stream
+/// (ForEachWebScaleInput) feeds the streamed CompactCkg and the materialized
+/// int64 Ckg oracle.
+WebScaleConfig RandomStoreConfig(Rng& rng) {
+  WebScaleConfig config;
+  config.name = "fuzz-store";
+  config.seed = 1 + static_cast<uint64_t>(rng.UniformInt(1'000'000));
+  config.num_users = 1 + rng.UniformInt(6);
+  config.num_items = 1 + rng.UniformInt(8);
+  config.num_entities = 1 + rng.UniformInt(8);  // ValidateWebScaleConfig: >= 1
+  config.num_kg_relations = 1 + rng.UniformInt(4);
+  config.interactions_per_user = rng.UniformInt(5);  // 0 = isolated users
+  config.num_kg_triplets = rng.UniformInt(24);
+  config.item_popularity_exponent = rng.Uniform(0.0, 1.2);
+  config.entity_popularity_exponent = rng.Uniform(0.0, 1.2);
+  return config;
+}
+
+void StoreCase(uint64_t case_seed, CaseResult& result) {
+  Rng rng(case_seed);
+  ScopedFiniteChecks finite_checks;
+  const WebScaleConfig config = RandomStoreConfig(rng);
+
+  // Oracle: materialize the generator's exact logical inputs and run the
+  // pre-store int64 build.
+  std::vector<std::array<int64_t, 2>> interactions;
+  std::vector<std::array<int64_t, 3>> kg_triplets;
+  MaterializeWebScaleInputs(config, &interactions, &kg_triplets);
+  const Ckg oracle =
+      Ckg::Build(config.num_users, config.num_items, config.num_kg_nodes(),
+                 config.num_kg_relations, interactions, kg_triplets);
+
+  // Subject: streamed two-pass assembly, then a KUCSTOR1 roundtrip through
+  // the in-memory filesystem on a randomly chosen load path.
+  InMemoryFileSystem fs;
+  const std::string path = "/fuzz/store.kucstor";
+  CompactCkg generated;
+  const Status gen = GenerateWebScaleContainer(fs, path, config, &generated);
+  if (!gen.ok()) {
+    result.Fail() << "generate: " << gen.message();
+    return;
+  }
+  StoreLoadOptions load_options;
+  load_options.use_mmap = rng.Bernoulli(0.5);
+  load_options.verify_checksums = rng.Bernoulli(0.5);
+  CompactCkg compact;
+  StoreLoadStats stats;
+  const Status load = LoadCompactCkg(fs, path, load_options, &compact, &stats);
+  if (!load.ok()) {
+    result.Fail() << "load: " << load.message();
+    return;
+  }
+  const Status topology = compact.ValidateTopology();
+  if (!topology.ok()) {
+    result.Fail() << "topology: " << topology.message();
+    return;
+  }
+
+  // Full structural equality against the oracle: every scalar, every
+  // adjacency row (relation and destination, in order).
+  if (compact.num_users() != oracle.num_users() ||
+      compact.num_items() != oracle.num_items() ||
+      compact.num_kg_nodes() != oracle.num_kg_nodes() ||
+      compact.num_nodes() != oracle.num_nodes() ||
+      compact.num_base_relations() != oracle.num_base_relations() ||
+      compact.num_relations() != oracle.num_relations() ||
+      compact.self_loop_relation() != oracle.self_loop_relation() ||
+      compact.num_edges() != oracle.num_edges()) {
+    result.Fail() << "scalar mismatch: compact " << compact.num_nodes()
+                  << " nodes/" << compact.num_edges() << " edges/"
+                  << compact.num_relations() << " rels vs oracle "
+                  << oracle.num_nodes() << "/" << oracle.num_edges() << "/"
+                  << oracle.num_relations();
+    return;
+  }
+  for (int64_t node = 0; node < oracle.num_nodes(); ++node) {
+    if (compact.OutDegree(node) != oracle.OutDegree(node)) {
+      result.Fail() << "degree mismatch at node " << node << ": compact="
+                    << compact.OutDegree(node)
+                    << " oracle=" << oracle.OutDegree(node);
+      return;
+    }
+    const auto c_rels = compact.OutRelations(node);
+    const auto c_dsts = compact.OutNeighbors(node);
+    const auto o_rels = oracle.OutRelations(node);
+    const auto o_dsts = oracle.OutNeighbors(node);
+    for (size_t k = 0; k < o_rels.size(); ++k) {
+      if (static_cast<int64_t>(c_rels[k]) != o_rels[k] ||
+          static_cast<int64_t>(c_dsts[k]) != o_dsts[k]) {
+        result.Fail() << "row mismatch at node " << node << " slot " << k
+                      << ": compact=(" << c_rels[k] << "," << c_dsts[k]
+                      << ") oracle=(" << o_rels[k] << "," << o_dsts[k] << ")";
+        return;
+      }
+    }
+  }
+
+  // Bitwise PPR agreement: the typed-id instantiation must replay the exact
+  // push transcript of the int64 one.
+  const int64_t source = rng.UniformInt(oracle.num_nodes());
+  const real_t alpha = rng.Uniform(0.05, 0.95);
+  const real_t epsilon = std::pow(10.0, -(3.0 + rng.Uniform() * 4.0));
+  const auto push_compact = PprForwardPush(compact, source, alpha, epsilon);
+  const auto push_oracle = PprForwardPush(oracle, source, alpha, epsilon);
+  if (push_compact.size() != push_oracle.size()) {
+    result.Fail() << "ppr support: compact=" << push_compact.size()
+                  << " oracle=" << push_oracle.size() << " (source=" << source
+                  << " alpha=" << alpha << " eps=" << epsilon << ")";
+    return;
+  }
+  for (const auto& [node, value] : push_oracle) {
+    const auto it = push_compact.find(node);
+    if (it == push_compact.end() || UlpDistance(it->second, value) != 0) {
+      result.Fail() << "ppr estimate at node " << node << ": compact="
+                    << (it == push_compact.end() ? 0.0 : it->second)
+                    << " oracle=" << value << " (source=" << source
+                    << " alpha=" << alpha << " eps=" << epsilon << ")";
+      return;
+    }
+  }
+
+  // End-to-end serve equality on a subset of cases (full model stacks are
+  // the expensive part): identically-seeded Kucnet + RecServer over each
+  // graph representation must produce identical responses.
+  if (case_seed % 4 != 0) return;
+  Dataset dataset;
+  dataset.name = config.name;
+  dataset.num_users = config.num_users;
+  dataset.num_items = config.num_items;
+  dataset.num_kg_nodes = config.num_kg_nodes();
+  dataset.num_kg_relations = config.num_kg_relations;
+  dataset.train = interactions;
+  dataset.kg = kg_triplets;
+
+  const PprTable ppr_oracle = PprTable::Compute(oracle);
+  const PprTable ppr_compact = PprTable::Compute(compact);
+
+  KucnetOptions model_opts;
+  model_opts.hidden_dim = 8;
+  model_opts.attention_dim = 3;
+  model_opts.depth = 2;
+  model_opts.sample_k = 8;
+  Kucnet model_oracle(&dataset, &oracle, &ppr_oracle, model_opts);
+  Kucnet model_compact(&dataset, &compact, &ppr_compact, model_opts);
+
+  RecServerOptions server_opts;
+  server_opts.num_workers = 0;  // ServeSync only: strictly sequential
+  RecServer server_oracle(&model_oracle, &dataset, &oracle, &ppr_oracle,
+                          server_opts);
+  RecServer server_compact(&model_compact, &dataset, &compact, &ppr_compact,
+                           server_opts);
+
+  const int64_t top_n = 1 + rng.UniformInt(10);
+  for (int64_t user = 0; user < config.num_users; ++user) {
+    const RecResponse a = server_oracle.ServeSync({user, top_n, 0});
+    const RecResponse b = server_compact.ServeSync({user, top_n, 0});
+    if (a.status != b.status || a.tier != b.tier ||
+        a.degraded != b.degraded || a.items.size() != b.items.size()) {
+      result.Fail() << "serve response shape for user " << user
+                    << ": oracle(status=" << static_cast<int>(a.status)
+                    << " items=" << a.items.size() << ") compact(status="
+                    << static_cast<int>(b.status) << " items="
+                    << b.items.size() << ")";
+      return;
+    }
+    for (size_t k = 0; k < a.items.size(); ++k) {
+      if (a.items[k].item != b.items[k].item ||
+          UlpDistance(a.items[k].score, b.items[k].score) != 0) {
+        result.Fail() << "serve item " << k << " for user " << user
+                      << ": oracle=(" << a.items[k].item << ","
+                      << a.items[k].score << ") compact=(" << b.items[k].item
+                      << "," << b.items[k].score << ")";
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 FuzzReport FuzzTensor(const FuzzOptions& options) {
@@ -1171,6 +1354,10 @@ FuzzReport FuzzStream(const FuzzOptions& options) {
   return RunCases("stream", options, StreamCase);
 }
 
+FuzzReport FuzzStore(const FuzzOptions& options) {
+  return RunCases("store", options, StoreCase);
+}
+
 FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options) {
   if (name == "tensor") return FuzzTensor(options);
   if (name == "ppr") return FuzzPpr(options);
@@ -1178,8 +1365,9 @@ FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options) {
   if (name == "serve") return FuzzServe(options);
   if (name == "fleet") return FuzzFleet(options);
   if (name == "stream") return FuzzStream(options);
+  if (name == "store") return FuzzStore(options);
   KUC_CHECK(false) << "unknown fuzz subsystem '" << name
-                   << "' (want tensor|ppr|ranking|serve|fleet|stream)";
+                   << "' (want tensor|ppr|ranking|serve|fleet|stream|store)";
   return FuzzReport();
 }
 

@@ -71,8 +71,15 @@ FuzzReport FuzzFleet(const FuzzOptions& options);
 /// conservation, and byte-identical WAL recovery digests.
 FuzzReport FuzzStream(const FuzzOptions& options);
 
+/// Web-scale store: a streamed CompactCkg roundtripped through the KUCSTOR1
+/// container (randomized mmap / checksum load paths) against the int64 Ckg
+/// oracle built from the identical materialized inputs — full topology
+/// equality, bitwise PPR agreement, and identical end-to-end serve responses
+/// from identically-seeded model stacks over each representation.
+FuzzReport FuzzStore(const FuzzOptions& options);
+
 /// Runs one subsystem by name ("tensor", "ppr", "ranking", "topn", "serve",
-/// "fleet", "stream"). Aborts on an unknown name.
+/// "fleet", "stream", "store"). Aborts on an unknown name.
 FuzzReport FuzzSubsystem(const std::string& name, const FuzzOptions& options);
 
 }  // namespace testing

@@ -1,12 +1,67 @@
 #include "util/fs.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 namespace kucnet {
 
 namespace stdfs = std::filesystem;
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    mmap_addr_ = other.mmap_addr_;
+    heap_ = std::move(other.heap_);
+    data_ = other.data_;
+    size_ = other.size_;
+    is_mmap_ = other.is_mmap_;
+    other.mmap_addr_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.is_mmap_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+  if (mmap_addr_ != nullptr) munmap(mmap_addr_, size_);
+  mmap_addr_ = nullptr;
+  heap_.reset();
+  data_ = nullptr;
+  size_ = 0;
+  is_mmap_ = false;
+}
+
+MappedFile MappedFile::FromMmapRegion(void* addr, size_t size) {
+  MappedFile m;
+  m.mmap_addr_ = addr;
+  m.data_ = static_cast<const char*>(addr);
+  m.size_ = size;
+  m.is_mmap_ = true;
+  return m;
+}
+
+MappedFile MappedFile::FromHeapCopy(const std::string& data) {
+  MappedFile m;
+  if (!data.empty()) {
+    // new char[] storage is aligned for max_align_t, unlike a (possibly
+    // SSO) std::string buffer, so reinterpreting sections as typed arrays
+    // is safe on both backing paths.
+    m.heap_.reset(new char[data.size()]);
+    std::memcpy(m.heap_.get(), data.data(), data.size());
+    m.data_ = m.heap_.get();
+  }
+  m.size_ = data.size();
+  return m;
+}
 
 Status FileSystem::WriteFile(const std::string& path,
                              const std::string& data) {
@@ -74,6 +129,58 @@ Status FileSystem::ListDir(const std::string& dir,
   return Status::Ok();
 }
 
+Status FileSystem::FileSize(const std::string& path, uint64_t* out) {
+  std::error_code ec;
+  const uintmax_t size = stdfs::file_size(path, ec);
+  if (ec) return ErrorStatus() << "size " << path << ": " << ec.message();
+  *out = static_cast<uint64_t>(size);
+  return Status::Ok();
+}
+
+Status FileSystem::ReadFileRange(const std::string& path, uint64_t offset,
+                                 uint64_t length, std::string* out) {
+  uint64_t size = 0;
+  KUC_RETURN_IF_ERROR(FileSize(path, &size));
+  if (offset > size || length > size - offset) {
+    return ErrorStatus() << "range read " << path << ": [" << offset << ", "
+                         << offset + length << ") out of bounds (file is "
+                         << size << " bytes)";
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return ErrorStatus() << "cannot open " << path;
+  in.seekg(static_cast<std::streamoff>(offset));
+  out->resize(length);
+  in.read(out->data(), static_cast<std::streamsize>(length));
+  if (!in.good() || static_cast<uint64_t>(in.gcount()) != length) {
+    out->clear();
+    return ErrorStatus() << "range read failed: " << path;
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::MapReadOnly(const std::string& path, MappedFile* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrorStatus() << "cannot open " << path;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrorStatus() << "stat " << path << ": " << std::strerror(errno);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    *out = MappedFile();
+    return Status::Ok();
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    return ErrorStatus() << "mmap " << path << ": " << std::strerror(errno);
+  }
+  *out = MappedFile::FromMmapRegion(addr, size);
+  return Status::Ok();
+}
+
 FileSystem& DefaultFileSystem() {
   static FileSystem* fs = new FileSystem();
   return *fs;
@@ -138,6 +245,39 @@ Status InMemoryFileSystem::ListDir(const std::string& dir,
     names->push_back(rest);
   }
   // map iteration is already sorted.
+  return Status::Ok();
+}
+
+Status InMemoryFileSystem::FileSize(const std::string& path, uint64_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return ErrorStatus() << "cannot open " << path;
+  *out = it->second.size();
+  return Status::Ok();
+}
+
+Status InMemoryFileSystem::ReadFileRange(const std::string& path,
+                                         uint64_t offset, uint64_t length,
+                                         std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return ErrorStatus() << "cannot open " << path;
+  const std::string& file = it->second;
+  if (offset > file.size() || length > file.size() - offset) {
+    return ErrorStatus() << "range read " << path << ": [" << offset << ", "
+                         << offset + length << ") out of bounds (file is "
+                         << file.size() << " bytes)";
+  }
+  out->assign(file, offset, length);
+  return Status::Ok();
+}
+
+Status InMemoryFileSystem::MapReadOnly(const std::string& path,
+                                       MappedFile* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return ErrorStatus() << "cannot open " << path;
+  *out = MappedFile::FromHeapCopy(it->second);
   return Status::Ok();
 }
 
@@ -215,6 +355,58 @@ Status FaultInjectingFileSystem::Remove(const std::string& path) {
                          << " (remove " << path << ")";
   }
   return base_->Remove(path);
+}
+
+Status FaultInjectingFileSystem::FileSize(const std::string& path,
+                                          uint64_t* out) {
+  if (NextOpFaults()) {
+    return ErrorStatus() << "injected fault at io op " << op_count_
+                         << " (size " << path << ")";
+  }
+  return base_->FileSize(path, out);
+}
+
+Status FaultInjectingFileSystem::ReadFileRange(const std::string& path,
+                                               uint64_t offset,
+                                               uint64_t length,
+                                               std::string* out) {
+  if (NextOpFaults()) {
+    if (mode_ == FaultMode::kTear && op_count_ == fail_at_) {
+      // Torn range read: the caller gets the first half of the range with
+      // no error, as if the file were truncated mid-range by a crashing
+      // writer. Only downstream length/checksum validation can catch it.
+      std::string full;
+      const Status st = base_->ReadFileRange(path, offset, length, &full);
+      if (!st.ok()) return st;
+      *out = full.substr(0, full.size() / 2);
+      return Status::Ok();
+    }
+    return ErrorStatus() << "injected fault at io op " << op_count_
+                         << " (range read " << path << ")";
+  }
+  return base_->ReadFileRange(path, offset, length, out);
+}
+
+Status FaultInjectingFileSystem::MapReadOnly(const std::string& path,
+                                             MappedFile* out) {
+  // Always emulate with a heap copy (even when `base_` is the real FS) so
+  // both fault modes apply: a real kernel mapping cannot be half-torn, but
+  // the file it maps can be, and that is what the sweep models.
+  if (NextOpFaults()) {
+    if (mode_ == FaultMode::kTear && op_count_ == fail_at_) {
+      std::string full;
+      const Status st = base_->ReadFile(path, &full);
+      if (!st.ok()) return st;
+      *out = MappedFile::FromHeapCopy(full.substr(0, full.size() / 2));
+      return Status::Ok();
+    }
+    return ErrorStatus() << "injected fault at io op " << op_count_
+                         << " (map " << path << ")";
+  }
+  std::string full;
+  KUC_RETURN_IF_ERROR(base_->ReadFile(path, &full));
+  *out = MappedFile::FromHeapCopy(full);
+  return Status::Ok();
 }
 
 }  // namespace kucnet

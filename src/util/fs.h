@@ -1,10 +1,13 @@
 #ifndef KUCNET_UTIL_FS_H_
 #define KUCNET_UTIL_FS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -25,6 +28,44 @@
 /// a torn mixture.
 
 namespace kucnet {
+
+/// A read-only view of a file's bytes, produced by
+/// `FileSystem::MapReadOnly`. In the default filesystem this is a real
+/// `mmap(2)` region (zero-copy, paged in lazily by the kernel); emulating
+/// filesystems (in-memory, fault-injecting) back it with a heap copy so the
+/// same seam works everywhere — `is_mmap()` reports which. The heap path
+/// copies into `new char[]` storage (not a std::string) so `data()` is
+/// aligned for any scalar type and stable across moves. Movable, not
+/// copyable; unmaps/frees on destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when backed by a real kernel mapping (vs an emulated heap buffer).
+  bool is_mmap() const { return is_mmap_; }
+
+  /// Factories used by FileSystem implementations. `FromMmapRegion` takes
+  /// ownership of an established mapping (munmap on destroy);
+  /// `FromHeapCopy` copies `data` into aligned heap storage.
+  static MappedFile FromMmapRegion(void* addr, size_t size);
+  static MappedFile FromHeapCopy(const std::string& data);
+
+ private:
+  void Reset();
+
+  void* mmap_addr_ = nullptr;  ///< munmap target; null for the heap path
+  std::unique_ptr<char[]> heap_;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool is_mmap_ = false;
+};
 
 /// Whole-file IO operations. All methods report failures as Status instead
 /// of aborting; metadata probes (`Exists`) are best-effort booleans.
@@ -52,6 +93,20 @@ class FileSystem {
   /// Base names of the entries in `dir`, sorted.
   virtual Status ListDir(const std::string& dir,
                          std::vector<std::string>* names);
+
+  /// Size of `path` in bytes.
+  virtual Status FileSize(const std::string& path, uint64_t* out);
+
+  /// Reads exactly `length` bytes starting at `offset` into `*out`. Fails
+  /// (with no partial output) if [offset, offset + length) is not fully
+  /// inside the file, so large containers never need whole-file reads.
+  virtual Status ReadFileRange(const std::string& path, uint64_t offset,
+                               uint64_t length, std::string* out);
+
+  /// Maps `path` read-only. The default implementation uses real mmap(2);
+  /// emulating filesystems return an aligned heap copy through the same
+  /// seam (see MappedFile). An empty file maps to a valid empty view.
+  virtual Status MapReadOnly(const std::string& path, MappedFile* out);
 };
 
 /// The process-wide real filesystem.
@@ -72,6 +127,10 @@ class InMemoryFileSystem : public FileSystem {
   Status MakeDirs(const std::string& path) override;
   Status ListDir(const std::string& dir,
                  std::vector<std::string>* names) override;
+  Status FileSize(const std::string& path, uint64_t* out) override;
+  Status ReadFileRange(const std::string& path, uint64_t offset,
+                       uint64_t length, std::string* out) override;
+  Status MapReadOnly(const std::string& path, MappedFile* out) override;
 
  private:
   std::mutex mu_;
@@ -104,7 +163,8 @@ enum class FaultMode {
 /// A FileSystem that forwards to `base` but can be armed to fail
 /// deterministically at the Nth mutating/reading operation.
 ///
-/// WriteFile, ReadFile, Rename, and Remove each count as one operation
+/// WriteFile, ReadFile, Rename, Remove, FileSize, ReadFileRange, and
+/// MapReadOnly each count as one operation
 /// (metadata probes are free). Once the armed operation index is reached the
 /// fault fires and — modelling a crashed process — every subsequent
 /// operation fails too, until `Disarm` is called. This is the machinery the
@@ -145,6 +205,19 @@ class FaultInjectingFileSystem : public FileSystem {
                  std::vector<std::string>* names) override {
     return base_->ListDir(dir, names);
   }
+  /// Counts as one op; faults cleanly in both modes (a stat cannot tear).
+  Status FileSize(const std::string& path, uint64_t* out) override;
+  /// Counts as one op. In kTear mode the first faulting range read returns
+  /// the first half of the requested range *successfully*, modelling a
+  /// reader racing a truncating writer — only length/checksum validation
+  /// downstream can catch it.
+  Status ReadFileRange(const std::string& path, uint64_t offset,
+                       uint64_t length, std::string* out) override;
+  /// Counts as one op and always emulates via a heap copy (never a real
+  /// mmap), so every injected fault mode applies. In kTear mode the first
+  /// faulting map sees only the first half of the file — the torn-header /
+  /// truncated-section case for container loads.
+  Status MapReadOnly(const std::string& path, MappedFile* out) override;
 
  private:
   /// Advances the op counter; true if this operation must fail.

@@ -1,7 +1,9 @@
 // The filesystem seam: real-FS behaviour, atomic replacement, and the
 // deterministic fault-injection layer every crash-safety test drives.
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -172,6 +174,140 @@ TEST(IoTest, MalformedRowsReportFileLineAndCause) {
   EXPECT_FALSE(st.ok());
   EXPECT_NE(st.message().find(path + ":2"), std::string::npos) << st.message();
   EXPECT_NE(st.message().find("non-integer token 'abc'"), std::string::npos);
+}
+
+// ---- FileSize / ReadFileRange / MapReadOnly (the container-load seam) -------
+
+TEST(FileSystemTest, FileSizeAndRangeReadsOnRealFilesystem) {
+  FileSystem& fs = DefaultFileSystem();
+  const std::string path = TempPath("fs_ranges.bin");
+  const std::string data = "0123456789abcdef";
+  ASSERT_TRUE(fs.WriteFile(path, data).ok());
+
+  uint64_t size = 0;
+  ASSERT_TRUE(fs.FileSize(path, &size).ok());
+  EXPECT_EQ(size, data.size());
+  EXPECT_FALSE(fs.FileSize(TempPath("definitely_missing"), &size).ok());
+
+  std::string mid;
+  ASSERT_TRUE(fs.ReadFileRange(path, 4, 6, &mid).ok());
+  EXPECT_EQ(mid, "456789");
+  std::string whole;
+  ASSERT_TRUE(fs.ReadFileRange(path, 0, data.size(), &whole).ok());
+  EXPECT_EQ(whole, data);
+  // Ranges leaving the file fail with no partial output.
+  std::string out = "untouched";
+  EXPECT_FALSE(fs.ReadFileRange(path, 10, 7, &out).ok());
+  EXPECT_FALSE(fs.ReadFileRange(path, data.size() + 1, 1, &out).ok());
+  ASSERT_TRUE(fs.Remove(path).ok());
+}
+
+TEST(FileSystemTest, MapReadOnlyIsARealMappingOnTheRealFilesystem) {
+  FileSystem& fs = DefaultFileSystem();
+  const std::string path = TempPath("fs_mmap.bin");
+  const std::string data("mapped\0bytes", 12);
+  ASSERT_TRUE(fs.WriteFile(path, data).ok());
+  MappedFile map;
+  ASSERT_TRUE(fs.MapReadOnly(path, &map).ok());
+  EXPECT_TRUE(map.is_mmap());
+  ASSERT_EQ(map.size(), data.size());
+  EXPECT_EQ(std::string(map.data(), map.size()), data);
+
+  // Moves keep the view stable; the moved-from object is empty.
+  MappedFile moved = std::move(map);
+  EXPECT_EQ(std::string(moved.data(), moved.size()), data);
+  EXPECT_EQ(map.size(), 0u);
+
+  // An empty file maps to a valid empty view.
+  ASSERT_TRUE(fs.WriteFile(path, "").ok());
+  MappedFile empty;
+  ASSERT_TRUE(fs.MapReadOnly(path, &empty).ok());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(fs.MapReadOnly(TempPath("definitely_missing"), &empty).ok());
+  ASSERT_TRUE(fs.Remove(path).ok());
+}
+
+TEST(InMemoryFileSystemTest, SizeRangeAndMapGoThroughTheSameSeam) {
+  InMemoryFileSystem fs;
+  const std::string data = "in-memory container bytes";
+  ASSERT_TRUE(fs.WriteFile("/d/file", data).ok());
+
+  uint64_t size = 0;
+  ASSERT_TRUE(fs.FileSize("/d/file", &size).ok());
+  EXPECT_EQ(size, data.size());
+  std::string range;
+  ASSERT_TRUE(fs.ReadFileRange("/d/file", 3, 6, &range).ok());
+  EXPECT_EQ(range, "memory");
+  EXPECT_FALSE(fs.ReadFileRange("/d/file", 20, 10, &range).ok());
+
+  MappedFile map;
+  ASSERT_TRUE(fs.MapReadOnly("/d/file", &map).ok());
+  EXPECT_FALSE(map.is_mmap());  // heap emulation, same API
+  EXPECT_EQ(std::string(map.data(), map.size()), data);
+  // The emulated mapping is a copy: later writes do not mutate it.
+  ASSERT_TRUE(fs.WriteFile("/d/file", "overwritten").ok());
+  EXPECT_EQ(std::string(map.data(), map.size()), data);
+  EXPECT_FALSE(fs.MapReadOnly("/d/missing", &map).ok());
+}
+
+TEST(FaultInjectingFileSystemTest, FileSizeFaultsCleanlyInBothModes) {
+  InMemoryFileSystem base;
+  ASSERT_TRUE(base.WriteFile("/f", "12345678").ok());
+  FaultInjectingFileSystem faulty(&base);
+  for (const FaultMode mode : {FaultMode::kFailCleanly, FaultMode::kTear}) {
+    faulty.FailFrom(1, mode);
+    uint64_t size = 0;
+    EXPECT_FALSE(faulty.FileSize("/f", &size).ok());  // a stat cannot tear
+    faulty.Disarm();
+    ASSERT_TRUE(faulty.FileSize("/f", &size).ok());
+    EXPECT_EQ(size, 8u);
+  }
+}
+
+TEST(FaultInjectingFileSystemTest, TornRangeReadReturnsHalfSuccessfully) {
+  InMemoryFileSystem base;
+  ASSERT_TRUE(base.WriteFile("/f", "0123456789").ok());
+  FaultInjectingFileSystem faulty(&base);
+
+  faulty.FailFrom(1, FaultMode::kTear);
+  std::string out;
+  // The torn read *succeeds* with the first half of the range — only
+  // downstream length/checksum validation can catch it.
+  ASSERT_TRUE(faulty.ReadFileRange("/f", 2, 6, &out).ok());
+  EXPECT_EQ(out, "234");
+  // The process "crashed": every later op fails until Disarm.
+  EXPECT_FALSE(faulty.ReadFileRange("/f", 0, 4, &out).ok());
+  faulty.Disarm();
+  ASSERT_TRUE(faulty.ReadFileRange("/f", 0, 4, &out).ok());
+  EXPECT_EQ(out, "0123");
+
+  faulty.FailFrom(1, FaultMode::kFailCleanly);
+  out = "untouched";
+  EXPECT_FALSE(faulty.ReadFileRange("/f", 0, 4, &out).ok());
+  EXPECT_EQ(out, "untouched");
+  faulty.Disarm();
+}
+
+TEST(FaultInjectingFileSystemTest, TornMapSeesHalfTheFile) {
+  InMemoryFileSystem base;
+  ASSERT_TRUE(base.WriteFile("/f", "0123456789").ok());
+  FaultInjectingFileSystem faulty(&base);
+
+  MappedFile map;
+  ASSERT_TRUE(faulty.MapReadOnly("/f", &map).ok());
+  EXPECT_FALSE(map.is_mmap());  // always emulated so faults can apply
+  EXPECT_EQ(std::string(map.data(), map.size()), "0123456789");
+
+  faulty.FailFrom(1, FaultMode::kTear);
+  MappedFile torn;
+  ASSERT_TRUE(faulty.MapReadOnly("/f", &torn).ok());
+  EXPECT_EQ(std::string(torn.data(), torn.size()), "01234");
+  EXPECT_FALSE(faulty.MapReadOnly("/f", &torn).ok());  // dead after fault
+  faulty.Disarm();
+
+  faulty.FailFrom(1, FaultMode::kFailCleanly);
+  EXPECT_FALSE(faulty.MapReadOnly("/f", &torn).ok());
+  faulty.Disarm();
 }
 
 TEST(IoTest, ReadIntTableReportsSourceLineNumbers) {

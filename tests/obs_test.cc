@@ -22,6 +22,9 @@
 #include "obs/trace.h"
 #include "serve/rec_server.h"
 #include "serve/score_cache.h"
+#include "store/container.h"
+#include "store/web_scale.h"
+#include "util/fs.h"
 #include "util/clock.h"
 #include "util/thread_pool.h"
 
@@ -302,6 +305,75 @@ TEST_F(ObsTest, MacrosRecordOnlyWhenEnabled) {
   obs::Count("obs_test.dynamic", 3);  // gated: no further effect
   EXPECT_EQ(obs::DefaultRegistry().Snapshot().counters.at("obs_test.dynamic"),
             3);
+}
+
+#endif  // KUCNET_OBS
+
+#if KUCNET_OBS
+
+TEST_F(ObsTest, ContainerLoadSetsStoreGaugesAndRecordsSpans) {
+  WebScaleConfig config;
+  config.num_users = 8;
+  config.num_items = 5;
+  config.num_entities = 4;
+  config.num_kg_relations = 2;
+  config.interactions_per_user = 3;
+  config.num_kg_triplets = 12;
+
+  InMemoryFileSystem fs;
+  CompactCkg written;
+  ASSERT_TRUE(
+      GenerateWebScaleContainer(fs, "/obs/g.kucstor", config, &written).ok());
+  CompactCkg loaded;
+  StoreLoadStats stats;
+  ASSERT_TRUE(LoadCompactCkg(fs, "/obs/g.kucstor", StoreLoadOptions(),
+                             &loaded, &stats)
+                  .ok());
+
+  const obs::MetricsSnapshot snapshot = obs::DefaultRegistry().Snapshot();
+  ASSERT_EQ(snapshot.gauges.count("store.bytes_resident"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("store.bytes_resident"),
+            loaded.bytes_resident());
+  EXPECT_EQ(snapshot.gauges.at("store.edges"), loaded.num_edges());
+  // The in-memory filesystem emulates the mapping with a heap copy, so the
+  // mmap-hit gauge reports a miss.
+  EXPECT_EQ(snapshot.gauges.at("store.mmap_hit"), 0);
+
+  // Save and load are both wrapped in trace spans.
+  const std::vector<obs::TraceEvent> events =
+      obs::TraceRecorder::Default().Collect();
+  bool saw_save = false, saw_load = false;
+  for (const obs::TraceEvent& event : events) {
+    if (std::strcmp(event.name, "store.container_save") == 0) saw_save = true;
+    if (std::strcmp(event.name, "store.container_load") == 0) saw_load = true;
+  }
+  EXPECT_TRUE(saw_save);
+  EXPECT_TRUE(saw_load);
+}
+
+TEST_F(ObsTest, StoreMmapHitGaugeReportsKernelMappings) {
+  WebScaleConfig config;
+  config.num_users = 4;
+  config.num_items = 3;
+  config.num_entities = 2;
+  config.num_kg_relations = 1;
+  config.interactions_per_user = 2;
+  config.num_kg_triplets = 5;
+
+  FileSystem& real = DefaultFileSystem();
+  const std::string path = ::testing::TempDir() + "/obs_store.kucstor";
+  ASSERT_TRUE(GenerateWebScaleContainer(real, path, config).ok());
+  CompactCkg loaded;
+  ASSERT_TRUE(
+      LoadCompactCkg(real, path, StoreLoadOptions(), &loaded, nullptr).ok());
+  EXPECT_EQ(obs::DefaultRegistry().Snapshot().gauges.at("store.mmap_hit"), 1);
+
+  // A full (non-mmap) load resets the gauge: it reports the *last* load.
+  StoreLoadOptions full_read;
+  full_read.use_mmap = false;
+  ASSERT_TRUE(LoadCompactCkg(real, path, full_read, &loaded, nullptr).ok());
+  EXPECT_EQ(obs::DefaultRegistry().Snapshot().gauges.at("store.mmap_hit"), 0);
+  ASSERT_TRUE(real.Remove(path).ok());
 }
 
 #endif  // KUCNET_OBS

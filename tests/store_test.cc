@@ -1,0 +1,350 @@
+// The web-scale data plane (src/store/): CompactCkg ≡ Ckg structural and
+// algorithmic equivalence, 32-bit id overflow policy, KUCSTOR1 container
+// roundtrips across every load path, a whole-file corruption sweep (every
+// flipped byte either fails with file:line:cause or is provably harmless
+// padding), and crash sweeps killing save/load at every single IO op.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/ckg.h"
+#include "ppr/ppr.h"
+#include "store/compact_ckg.h"
+#include "store/container.h"
+#include "store/web_scale.h"
+#include "util/fs.h"
+#include "util/status.h"
+
+namespace kucnet {
+namespace {
+
+/// A small fixed configuration with real structure: Zipf-skewed popularity,
+/// isolated entities, duplicate interactions likely.
+WebScaleConfig TinyConfig() {
+  WebScaleConfig config;
+  config.name = "store-test";
+  config.seed = 41;
+  config.num_users = 12;
+  config.num_items = 9;
+  config.num_entities = 7;
+  config.num_kg_relations = 3;
+  config.interactions_per_user = 4;
+  config.num_kg_triplets = 30;
+  return config;
+}
+
+/// Builds the int64 oracle from the exact inputs the generator streams.
+Ckg BuildOracle(const WebScaleConfig& config) {
+  std::vector<std::array<int64_t, 2>> interactions;
+  std::vector<std::array<int64_t, 3>> kg;
+  MaterializeWebScaleInputs(config, &interactions, &kg);
+  return Ckg::Build(config.num_users, config.num_items, config.num_kg_nodes(),
+                    config.num_kg_relations, interactions, kg);
+}
+
+/// Full structural comparison; returns a description of the first
+/// difference, or "" when identical.
+template <typename A, typename B>
+std::string DescribeGraphDiff(const A& a, const B& b) {
+  if (a.num_users() != b.num_users() || a.num_items() != b.num_items() ||
+      a.num_kg_nodes() != b.num_kg_nodes() ||
+      a.num_kg_relations() != b.num_kg_relations() ||
+      a.num_edges() != b.num_edges()) {
+    return "scalar sizes differ";
+  }
+  for (int64_t v = 0; v < a.num_nodes(); ++v) {
+    if (a.OutDegree(v) != b.OutDegree(v)) return "degree differs";
+    const auto a_rels = a.OutRelations(v);
+    const auto a_dsts = a.OutNeighbors(v);
+    const auto b_rels = b.OutRelations(v);
+    const auto b_dsts = b.OutNeighbors(v);
+    for (size_t k = 0; k < a_rels.size(); ++k) {
+      if (static_cast<int64_t>(a_rels[k]) != static_cast<int64_t>(b_rels[k]) ||
+          static_cast<int64_t>(a_dsts[k]) != static_cast<int64_t>(b_dsts[k])) {
+        return "adjacency row differs";
+      }
+    }
+  }
+  return "";
+}
+
+// ---- CompactCkg ≡ Ckg --------------------------------------------------------
+
+TEST(CompactCkgTest, MatchesInt64BuildOnIdenticalInputs) {
+  const WebScaleConfig config = TinyConfig();
+  const Ckg oracle = BuildOracle(config);
+  CompactCkg compact;
+  ASSERT_TRUE(TryGenerateWebScaleGraph(config, &compact).ok());
+  EXPECT_EQ(DescribeGraphDiff(oracle, compact), "");
+  EXPECT_TRUE(compact.ValidateTopology().ok());
+
+  // The shared id/relation conventions.
+  EXPECT_EQ(compact.num_relations(), oracle.num_relations());
+  EXPECT_EQ(compact.self_loop_relation(), oracle.self_loop_relation());
+  for (int64_t r = 0; r < oracle.num_relations(); ++r) {
+    EXPECT_EQ(compact.InverseRelation(r), oracle.InverseRelation(r));
+  }
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    EXPECT_EQ(compact.ItemsOfUser(u), oracle.ItemsOfUser(u));
+  }
+}
+
+TEST(CompactCkgTest, PprForwardPushIsBitwiseIdenticalAcrossRepresentations) {
+  const WebScaleConfig config = TinyConfig();
+  const Ckg oracle = BuildOracle(config);
+  CompactCkg compact;
+  ASSERT_TRUE(TryGenerateWebScaleGraph(config, &compact).ok());
+  for (int64_t source = 0; source < oracle.num_nodes(); ++source) {
+    const auto a = PprForwardPush(oracle, source);
+    const auto b = PprForwardPush(compact, source);
+    ASSERT_EQ(a.size(), b.size()) << "source " << source;
+    for (const auto& [node, value] : a) {
+      const auto it = b.find(node);
+      ASSERT_NE(it, b.end()) << "source " << source << " node " << node;
+      // Same push transcript over equal adjacency: exact equality, not
+      // within-epsilon.
+      EXPECT_EQ(it->second, value) << "source " << source << " node " << node;
+    }
+  }
+}
+
+TEST(CompactCkgTest, CompactFootprintIsWellUnderHalfOfInt64Layout) {
+  const WebScaleConfig config = TinyConfig();
+  CompactCkg compact;
+  ASSERT_TRUE(TryGenerateWebScaleGraph(config, &compact).ok());
+  const int64_t int64_bytes =
+      (compact.num_nodes() + 1) * 8 + compact.num_edges() * 16;
+  EXPECT_LE(compact.bytes_resident() * 100, int64_bytes * 40)
+      << "bytes/edge must stay <= 40% of the int64 CSR layout";
+}
+
+// ---- Overflow policy ---------------------------------------------------------
+
+TEST(CompactCkgTest, RelationOverflowIsRecoverableStatus) {
+  CompactCkg out;
+  const Status st =
+      CompactCkg::TryBuild(1, 1, 1, /*num_kg_relations=*/40'000, {}, {}, {},
+                           &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("overflow 16-bit"), std::string::npos)
+      << st.message();
+}
+
+TEST(CompactCkgTest, NodeOverflowIsRecoverableStatusBeforeAllocation) {
+  CompactCkg out;
+  // 5e9 nodes would be a 20 GB row-pointer array; the overflow check must
+  // fire before any allocation is attempted.
+  const Status st = CompactCkg::TryBuild(5'000'000'000, 1, 1, 1, {}, {}, {},
+                                         &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("overflow 32-bit"), std::string::npos)
+      << st.message();
+}
+
+TEST(CompactCkgTest, OutOfRangeEdgeIsRecoverableStatus) {
+  CompactCkg out;
+  const std::vector<std::array<int64_t, 2>> bad_inter = {{0, 99}};
+  const Status st = CompactCkg::TryBuild(2, 3, 3, 1, bad_inter, {}, {}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("out of range"), std::string::npos)
+      << st.message();
+}
+
+TEST(CompactCkgTest, NonDeterministicEmitStreamIsRejected) {
+  CompactCkg out;
+  int pass = 0;
+  const Status st = CompactCkg::TryAssemble(
+      1, 1, 1, 1,
+      [&pass](auto&& sink) {
+        ++pass;
+        sink(0, 0, 1);
+        if (pass == 2) sink(1, 0, 0);  // extra edge only on pass 2
+      },
+      &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not deterministic"), std::string::npos)
+      << st.message();
+}
+
+// ---- Container roundtrips ----------------------------------------------------
+
+class ContainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = TinyConfig();
+    ASSERT_TRUE(TryGenerateWebScaleGraph(config_, &graph_).ok());
+    ASSERT_TRUE(SaveCompactCkg(fs_, kPath, graph_).ok());
+  }
+
+  static constexpr const char* kPath = "/store/test.kucstor";
+  WebScaleConfig config_;
+  CompactCkg graph_;
+  InMemoryFileSystem fs_;
+};
+
+TEST_F(ContainerTest, RoundTripsOnEveryLoadPath) {
+  for (const bool use_mmap : {true, false}) {
+    for (const bool verify : {true, false}) {
+      StoreLoadOptions options;
+      options.use_mmap = use_mmap;
+      options.verify_checksums = verify;
+      CompactCkg loaded;
+      StoreLoadStats stats;
+      ASSERT_TRUE(LoadCompactCkg(fs_, kPath, options, &loaded, &stats).ok())
+          << "mmap=" << use_mmap << " verify=" << verify;
+      EXPECT_EQ(DescribeGraphDiff(graph_, loaded), "")
+          << "mmap=" << use_mmap << " verify=" << verify;
+      EXPECT_TRUE(loaded.ValidateTopology().ok());
+      // The in-memory filesystem emulates the mapping with a heap copy.
+      EXPECT_FALSE(stats.mmap_backed);
+      // Full reads always verify; mmap loads verify on request.
+      EXPECT_EQ(stats.sections_verified, verify || !use_mmap);
+    }
+  }
+}
+
+TEST_F(ContainerTest, RealFilesystemLoadIsKernelMapped) {
+  FileSystem& real = DefaultFileSystem();
+  const std::string path = ::testing::TempDir() + "/store_mmap.kucstor";
+  ASSERT_TRUE(SaveCompactCkg(real, path, graph_).ok());
+  CompactCkg loaded;
+  StoreLoadStats stats;
+  ASSERT_TRUE(LoadCompactCkg(real, path, StoreLoadOptions(), &loaded, &stats)
+                  .ok());
+  EXPECT_TRUE(stats.mmap_backed);
+  EXPECT_TRUE(loaded.mmap_backed());
+  EXPECT_EQ(DescribeGraphDiff(graph_, loaded), "");
+  ASSERT_TRUE(real.Remove(path).ok());
+}
+
+TEST_F(ContainerTest, MissingFileIsRecoverableStatus) {
+  CompactCkg loaded;
+  const Status st =
+      LoadCompactCkg(fs_, "/store/nope.kucstor", StoreLoadOptions(), &loaded,
+                     nullptr);
+  ASSERT_FALSE(st.ok());
+}
+
+// Every single-byte flip anywhere in the container must either fail with a
+// recoverable Status carrying "container.cc:<line>" and a cause, or — for
+// the few unchecksummed alignment-padding bytes — load a graph structurally
+// identical to the original. Never a crash, never silent corruption.
+TEST_F(ContainerTest, EveryFlippedByteFailsWithFileLineCauseOrIsPadding) {
+  std::string image;
+  ASSERT_TRUE(fs_.ReadFile(kPath, &image).ok());
+  StoreLoadOptions options;
+  options.verify_checksums = true;
+  int64_t rejected = 0;
+  int64_t padding = 0;
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string corrupt = image;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5a);
+    InMemoryFileSystem corrupt_fs;
+    ASSERT_TRUE(corrupt_fs.WriteFile(kPath, corrupt).ok());
+    CompactCkg loaded;
+    const Status st =
+        LoadCompactCkg(corrupt_fs, kPath, options, &loaded, nullptr);
+    if (st.ok()) {
+      EXPECT_EQ(DescribeGraphDiff(graph_, loaded), "")
+          << "flip at byte " << i << " loaded a different graph";
+      ++padding;
+      continue;
+    }
+    EXPECT_NE(st.message().find("container.cc:"), std::string::npos)
+        << "flip at byte " << i << " lacks file:line: " << st.message();
+    ++rejected;
+  }
+  // The checksums must cover essentially the whole file: only inter-section
+  // alignment padding (at most 7 bytes per section boundary) may slip.
+  EXPECT_GT(rejected, static_cast<int64_t>(image.size()) - 5 * 8);
+  EXPECT_LT(padding, 5 * 8);
+}
+
+TEST_F(ContainerTest, TruncationAtEveryLengthIsRejectedWithFileLine) {
+  std::string image;
+  ASSERT_TRUE(fs_.ReadFile(kPath, &image).ok());
+  for (size_t len = 0; len < image.size(); len += 7) {
+    InMemoryFileSystem short_fs;
+    ASSERT_TRUE(short_fs.WriteFile(kPath, image.substr(0, len)).ok());
+    CompactCkg loaded;
+    const Status st =
+        LoadCompactCkg(short_fs, kPath, StoreLoadOptions(), &loaded, nullptr);
+    ASSERT_FALSE(st.ok()) << "truncated to " << len << " bytes";
+    EXPECT_NE(st.message().find("container.cc:"), std::string::npos)
+        << st.message();
+  }
+}
+
+// ---- Crash sweeps ------------------------------------------------------------
+
+TEST_F(ContainerTest, SaveKilledAtEveryOpNeverCorruptsThePreviousContainer) {
+  for (const FaultMode mode : {FaultMode::kFailCleanly, FaultMode::kTear}) {
+    InMemoryFileSystem base;
+    FaultInjectingFileSystem faulty(&base);
+    // A valid older container is already in place.
+    ASSERT_TRUE(SaveCompactCkg(base, kPath, graph_).ok());
+
+    // Learn the op count of a clean save, then kill at every op.
+    WebScaleConfig bigger = config_;
+    bigger.num_kg_triplets += 8;
+    CompactCkg next;
+    ASSERT_TRUE(TryGenerateWebScaleGraph(bigger, &next).ok());
+    faulty.ResetOpCount();
+    ASSERT_TRUE(SaveCompactCkg(faulty, kPath, next).ok());
+    const int64_t ops = faulty.op_count();
+    ASSERT_GT(ops, 0);
+
+    for (int64_t kill_at = 1; kill_at <= ops; ++kill_at) {
+      ASSERT_TRUE(SaveCompactCkg(base, kPath, graph_).ok());  // reset old
+      faulty.FailFrom(kill_at, mode);
+      const Status st = SaveCompactCkg(faulty, kPath, next);
+      faulty.Disarm();
+      ASSERT_FALSE(st.ok()) << "kill_at=" << kill_at;
+      // Atomic replacement: the old container still loads, bit for bit.
+      CompactCkg loaded;
+      ASSERT_TRUE(
+          LoadCompactCkg(base, kPath, StoreLoadOptions(), &loaded, nullptr)
+              .ok())
+          << "kill_at=" << kill_at;
+      EXPECT_EQ(DescribeGraphDiff(graph_, loaded), "")
+          << "kill_at=" << kill_at;
+    }
+  }
+}
+
+TEST_F(ContainerTest, LoadKilledAtEveryOpFailsCleanlyOnEveryPath) {
+  for (const FaultMode mode : {FaultMode::kFailCleanly, FaultMode::kTear}) {
+    for (const bool use_mmap : {true, false}) {
+      InMemoryFileSystem base;
+      FaultInjectingFileSystem faulty(&base);
+      ASSERT_TRUE(SaveCompactCkg(base, kPath, graph_).ok());
+      StoreLoadOptions options;
+      options.use_mmap = use_mmap;
+      faulty.ResetOpCount();
+      CompactCkg warm;
+      ASSERT_TRUE(
+          LoadCompactCkg(faulty, kPath, options, &warm, nullptr).ok());
+      const int64_t ops = faulty.op_count();
+      ASSERT_GT(ops, 0);
+      for (int64_t kill_at = 1; kill_at <= ops; ++kill_at) {
+        faulty.FailFrom(kill_at, mode);
+        CompactCkg loaded;
+        const Status st =
+            LoadCompactCkg(faulty, kPath, options, &loaded, nullptr);
+        faulty.Disarm();
+        // A torn map/read may surface as an IO error or as a checksum /
+        // length validation failure — either way a recoverable Status.
+        ASSERT_FALSE(st.ok()) << "mode=" << static_cast<int>(mode)
+                              << " mmap=" << use_mmap
+                              << " kill_at=" << kill_at;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kucnet

@@ -207,6 +207,201 @@ TEST(GraphUpdateLogTest, RemovesStrayTempFiles) {
   EXPECT_FALSE(fs.Exists("wal/wal_000000.open.tmp"));
 }
 
+// ---- Group commit ------------------------------------------------------------
+
+GraphUpdate ScriptRecord(uint64_t seq) {
+  return seq % 2 == 0 ? GraphUpdate::Interaction(seq, seq % 3, seq % 2)
+                      : GraphUpdate::KgTriplet(seq, seq % 4, 0, (seq + 1) % 4);
+}
+
+TEST(GraphUpdateLogTest, GroupCommitBuffersUntilTheBatchBoundary) {
+  InMemoryFileSystem fs;
+  GraphUpdateLog::Options options;
+  options.group_size = 3;
+  GraphUpdateLog log(&fs, "wal", options);
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(log.Open(&recovered).ok());
+
+  ASSERT_TRUE(log.Append(ScriptRecord(0)).ok());
+  ASSERT_TRUE(log.Append(ScriptRecord(1)).ok());
+  EXPECT_EQ(log.pending_records(), 2);
+  {
+    // A buffered-but-unflushed record is NOT durable: a reopen of the same
+    // directory sees only the flushed prefix (here: nothing).
+    GraphUpdateLog peek(&fs, "wal");
+    std::vector<GraphUpdate> durable;
+    ASSERT_TRUE(peek.Open(&durable).ok());
+    EXPECT_TRUE(durable.empty());
+  }
+
+  // The third append reaches group_size: the whole batch becomes durable.
+  ASSERT_TRUE(log.Append(ScriptRecord(2)).ok());
+  EXPECT_EQ(log.pending_records(), 0);
+  GraphUpdateLog reopened(&fs, "wal");
+  std::vector<GraphUpdate> all;
+  ASSERT_TRUE(reopened.Open(&all).ok());
+  ASSERT_EQ(all.size(), 3u);
+  for (uint64_t k = 0; k < 3; ++k) EXPECT_EQ(all[k], ScriptRecord(k));
+}
+
+TEST(GraphUpdateLogTest, ExplicitFlushMakesTheBufferedBatchDurable) {
+  InMemoryFileSystem fs;
+  GraphUpdateLog::Options options;
+  options.group_size = 100;
+  GraphUpdateLog log(&fs, "wal", options);
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(log.Open(&recovered).ok());
+  ASSERT_TRUE(log.Flush().ok());  // no-op with nothing pending
+
+  for (uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(log.Append(ScriptRecord(k)).ok());
+  }
+  EXPECT_EQ(log.pending_records(), 5);
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_EQ(log.pending_records(), 0);
+
+  GraphUpdateLog reopened(&fs, "wal");
+  std::vector<GraphUpdate> all;
+  ASSERT_TRUE(reopened.Open(&all).ok());
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(reopened.next_seq(), 5u);
+}
+
+TEST(GraphUpdateLogTest, SegmentIsNeverSealedWithUnflushedRecords) {
+  InMemoryFileSystem fs;
+  GraphUpdateLog::Options options;
+  options.segment_records = 3;
+  options.group_size = 2;
+  GraphUpdateLog log(&fs, "wal", options);
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(log.Open(&recovered).ok());
+
+  // Appends 0,1 flush at the group boundary; append 2 stays pending; append
+  // 3 hits the full segment, which flushes record 2 *before* the seal.
+  for (uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(log.Append(ScriptRecord(k)).ok());
+  }
+  EXPECT_EQ(log.segments_sealed(), 1);
+  EXPECT_EQ(log.pending_records(), 1);  // record 3, in the new segment
+  ASSERT_TRUE(log.Flush().ok());
+
+  GraphUpdateLog reopened(&fs, "wal");
+  std::vector<GraphUpdate> all;
+  ASSERT_TRUE(reopened.Open(&all).ok());
+  ASSERT_EQ(all.size(), 4u);
+  for (uint64_t k = 0; k < 4; ++k) EXPECT_EQ(all[k], ScriptRecord(k));
+}
+
+TEST(GraphUpdateLogTest, FailedFlushRollsBackToTheDurablePrefix) {
+  InMemoryFileSystem mem;
+  FaultInjectingFileSystem fs(&mem);
+  GraphUpdateLog::Options options;
+  options.group_size = 4;
+  GraphUpdateLog log(&fs, "wal", options);
+  std::vector<GraphUpdate> recovered;
+  ASSERT_TRUE(log.Open(&recovered).ok());
+
+  ASSERT_TRUE(log.Append(ScriptRecord(0)).ok());
+  ASSERT_TRUE(log.Append(ScriptRecord(1)).ok());
+  ASSERT_TRUE(log.Append(ScriptRecord(2)).ok());
+  ASSERT_TRUE(log.Flush().ok());  // seq 0..2 durable
+
+  ASSERT_TRUE(log.Append(ScriptRecord(3)).ok());
+  ASSERT_TRUE(log.Append(ScriptRecord(4)).ok());
+  fs.FailFrom(1, FaultMode::kFailCleanly);
+  EXPECT_FALSE(log.Flush().ok());
+  fs.Disarm();
+  // The batch was discarded and the sequence rolled back: the caller
+  // re-appends from the durable prefix.
+  EXPECT_EQ(log.pending_records(), 0);
+  EXPECT_EQ(log.next_seq(), 3u);
+  ASSERT_TRUE(log.Append(ScriptRecord(3)).ok());
+  ASSERT_TRUE(log.Append(ScriptRecord(4)).ok());
+  ASSERT_TRUE(log.Flush().ok());
+
+  GraphUpdateLog reopened(&fs, "wal");
+  std::vector<GraphUpdate> all;
+  ASSERT_TRUE(reopened.Open(&all).ok());
+  ASSERT_EQ(all.size(), 5u);
+  for (uint64_t k = 0; k < 5; ++k) EXPECT_EQ(all[k], ScriptRecord(k));
+}
+
+TEST(GraphUpdateLogTest, GroupedKillAtEveryOpSweepStaysRecoverable) {
+  constexpr uint64_t kRecords = 10;
+  GraphUpdateLog::Options options;
+  options.segment_records = 4;
+  options.group_size = 3;
+
+  // Learn the op count of a clean run (appends + final flush).
+  int64_t total_ops = 0;
+  {
+    InMemoryFileSystem mem;
+    FaultInjectingFileSystem fs(&mem);
+    GraphUpdateLog log(&fs, "wal", options);
+    std::vector<GraphUpdate> recovered;
+    ASSERT_TRUE(log.Open(&recovered).ok());
+    fs.ResetOpCount();
+    for (uint64_t k = 0; k < kRecords; ++k) {
+      ASSERT_TRUE(log.Append(ScriptRecord(k)).ok());
+    }
+    ASSERT_TRUE(log.Flush().ok());
+    total_ops = fs.op_count();
+    // Group commit amortizes: far fewer than 2 ops per record.
+    EXPECT_LT(total_ops, static_cast<int64_t>(2 * kRecords));
+  }
+  ASSERT_GT(total_ops, 0);
+
+  for (const FaultMode mode : {FaultMode::kFailCleanly, FaultMode::kTear}) {
+    for (int64_t kill_at = 1; kill_at <= total_ops; ++kill_at) {
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " kill_at=" + std::to_string(kill_at));
+      InMemoryFileSystem mem;
+      FaultInjectingFileSystem fs(&mem);
+      uint64_t durable = 0;
+      {
+        GraphUpdateLog log(&fs, "wal", options);
+        std::vector<GraphUpdate> recovered;
+        ASSERT_TRUE(log.Open(&recovered).ok());
+        fs.FailFrom(kill_at, mode);
+        bool crashed = false;
+        for (uint64_t k = 0; k < kRecords; ++k) {
+          if (!log.Append(ScriptRecord(k)).ok()) {
+            crashed = true;
+            break;
+          }
+        }
+        if (!crashed && !log.Flush().ok()) crashed = true;
+        ASSERT_TRUE(crashed);
+        // After a failed flush next_seq() IS the durable prefix (the
+        // pending batch was discarded and rolled back).
+        durable = log.next_seq() - static_cast<uint64_t>(log.pending_records());
+      }
+      fs.Disarm();
+
+      // Recovery replays exactly the durable prefix, in order...
+      GraphUpdateLog recovered_log(&fs, "wal", options);
+      std::vector<GraphUpdate> replayed;
+      ASSERT_TRUE(recovered_log.Open(&replayed).ok());
+      ASSERT_EQ(replayed.size(), durable);
+      for (uint64_t k = 0; k < durable; ++k) {
+        EXPECT_EQ(replayed[k], ScriptRecord(k));
+      }
+      // ...and appending resumes from there to the full script.
+      for (uint64_t k = durable; k < kRecords; ++k) {
+        ASSERT_TRUE(recovered_log.Append(ScriptRecord(k)).ok());
+      }
+      ASSERT_TRUE(recovered_log.Flush().ok());
+      GraphUpdateLog final_log(&fs, "wal", options);
+      std::vector<GraphUpdate> all;
+      ASSERT_TRUE(final_log.Open(&all).ok());
+      ASSERT_EQ(all.size(), kRecords);
+      for (uint64_t k = 0; k < kRecords; ++k) {
+        EXPECT_EQ(all[k], ScriptRecord(k));
+      }
+    }
+  }
+}
+
 TEST(DynamicPprTest, ComputeMatchesStaticTableBitwise) {
   const Dataset data = TinyDataset();
   DynamicCkg graph(data.num_users, data.num_items, data.num_kg_nodes,
