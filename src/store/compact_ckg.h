@@ -268,6 +268,19 @@ Status CompactCkg::TryAssemble(int64_t num_users, int64_t num_items,
                    << "pass 1 (stream is not deterministic)";
       return;
     }
+    // Re-validate every edge: pass 1 only established per-row *counts*, so a
+    // content-divergent second pass with the same total would otherwise
+    // index `cursor` out of range or run writes past its row into a
+    // neighbor's — silent arena corruption instead of a Status.
+    if (src < 0 || src >= n || dst < 0 || dst >= n || rel < 0 ||
+        rel >= num_rels || cursor[src] >= row_ptr[src + 1]) {
+      edge_error = ErrorStatus()
+                   << "compact ckg: pass 2 emitted edge (" << src << ", "
+                   << rel << ", " << dst
+                   << ") that diverges from pass 1 (stream is not "
+                   << "deterministic)";
+      return;
+    }
     const NodeId at = cursor[src]++;
     rel_store[at] = static_cast<RelId>(rel);
     dst_store[at] = static_cast<NodeId>(dst);

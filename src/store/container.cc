@@ -139,9 +139,14 @@ Status ParseHeaderAndTable(const std::string& path, const char* data,
       return KUC_STORE_ERR(path) << "section " << s
                                  << " offset not 8-aligned";
     }
-    if (e.offset > file_bytes || e.length + 8 > file_bytes - e.offset) {
-      return KUC_STORE_ERR(path) << "section " << s << " at [" << e.offset
-                                 << ", " << e.offset + e.length
+    // Subtraction-only comparisons: `e.length + 8` could wrap for a crafted
+    // length near UINT64_MAX, and the table checksum is trivially
+    // recomputable, so wrap-around here would reach checksum/footer reads
+    // far past the mapping.
+    if (e.offset > file_bytes || file_bytes - e.offset < 8 ||
+        e.length > file_bytes - e.offset - 8) {
+      return KUC_STORE_ERR(path) << "section " << s << " (offset " << e.offset
+                                 << ", length " << e.length
                                  << ") + footer exceeds file size "
                                  << file_bytes;
     }

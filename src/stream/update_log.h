@@ -34,8 +34,10 @@
 /// Every IO goes through the util/fs FileSystem seam, so the crash sweep
 /// (FaultInjectingFileSystem) can kill or tear each individual operation.
 /// An append serializes the record into the in-memory active-segment image
-/// and persists the image with AtomicWriteFile (write `.tmp`, flush, rename
-/// over the `.open` file). The whole-segment rewrite costs O(segment bytes)
+/// and persists the image with AtomicWriteFile (write `.tmp`, fsync, rename
+/// over the `.open` file, fsync the directory — so on the real filesystem
+/// "durable" means power-loss durable, not merely process-crash durable).
+/// The whole-segment rewrite costs O(segment bytes)
 /// per append — bounded by `Options::segment_records` — and buys the
 /// property the recovery sweep asserts: a crash at *any* io op leaves the
 /// previously-acked prefix fully intact (a torn `.tmp` is never renamed

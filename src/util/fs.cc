@@ -65,13 +65,37 @@ MappedFile MappedFile::FromHeapCopy(const std::string& data) {
 
 Status FileSystem::WriteFile(const std::string& path,
                              const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) {
-    return ErrorStatus() << "cannot open " << path << " for writing";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return ErrorStatus() << "cannot open " << path
+                         << " for writing: " << std::strerror(errno);
   }
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out.good()) return ErrorStatus() << "write failed: " << path;
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrorStatus() << "write failed: " << path << ": "
+                           << std::strerror(err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before close: ok must mean "on stable storage", not "in the page
+  // cache" — the WAL ack contract is power-loss durability, not just
+  // process-crash consistency.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrorStatus() << "fsync failed: " << path << ": "
+                         << std::strerror(err);
+  }
+  if (::close(fd) != 0) {
+    return ErrorStatus() << "close failed: " << path << ": "
+                         << std::strerror(errno);
+  }
   return Status::Ok();
 }
 
@@ -181,6 +205,22 @@ Status FileSystem::MapReadOnly(const std::string& path, MappedFile* out) {
   return Status::Ok();
 }
 
+Status FileSystem::SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return ErrorStatus() << "cannot open directory " << dir
+                         << " for fsync: " << std::strerror(errno);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrorStatus() << "fsync directory " << dir << ": "
+                         << std::strerror(err);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
 FileSystem& DefaultFileSystem() {
   static FileSystem* fs = new FileSystem();
   return *fs;
@@ -281,6 +321,12 @@ Status InMemoryFileSystem::MapReadOnly(const std::string& path,
   return Status::Ok();
 }
 
+Status InMemoryFileSystem::SyncDir(const std::string& dir) {
+  // The in-process map is the durable state; there is nothing to sync.
+  (void)dir;
+  return Status::Ok();
+}
+
 Status AtomicWriteFile(FileSystem& fs, const std::string& path,
                        const std::string& data) {
   const std::string tmp = path + ".tmp";
@@ -294,7 +340,14 @@ Status AtomicWriteFile(FileSystem& fs, const std::string& path,
     if (fs.Exists(tmp)) fs.Remove(tmp);  // best effort
     return rename;
   }
-  return Status::Ok();
+  // The rename only becomes power-loss durable once the directory entry is
+  // synced; until then a crash may resurrect the old file (which is still a
+  // complete, valid file — atomicity is unaffected).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "."
+                          : slash == 0               ? "/"
+                                                     : path.substr(0, slash);
+  return fs.SyncDir(dir);
 }
 
 bool FaultInjectingFileSystem::NextOpFaults() {

@@ -22,10 +22,11 @@
 /// production implementation (`DefaultFileSystem`) forwards to the real OS.
 ///
 /// `AtomicWriteFile` is the one primitive that makes checkpointing
-/// crash-safe: the data is written to `<path>.tmp`, flushed, and renamed
-/// over `path`. POSIX rename is atomic, so a reader concurrently (or after a
-/// crash) sees either the complete old file or the complete new file, never
-/// a torn mixture.
+/// crash-safe: the data is written to `<path>.tmp`, fsynced, renamed over
+/// `path`, and the directory is fsynced. POSIX rename is atomic, so a reader
+/// concurrently (or after a crash) sees either the complete old file or the
+/// complete new file, never a torn mixture; the two fsyncs extend the
+/// guarantee from process crashes to power loss / kernel crashes.
 
 namespace kucnet {
 
@@ -73,7 +74,9 @@ class FileSystem {
  public:
   virtual ~FileSystem() = default;
 
-  /// Replaces `path` with `data` (non-atomically; see AtomicWriteFile).
+  /// Replaces `path` with `data` (non-atomically; see AtomicWriteFile). The
+  /// default implementation fsyncs before closing, so ok means the bytes are
+  /// on stable storage, not just in the page cache.
   virtual Status WriteFile(const std::string& path, const std::string& data);
 
   /// Reads all of `path` into `*out`.
@@ -107,6 +110,12 @@ class FileSystem {
   /// emulating filesystems return an aligned heap copy through the same
   /// seam (see MappedFile). An empty file maps to a valid empty view.
   virtual Status MapReadOnly(const std::string& path, MappedFile* out);
+
+  /// Durability barrier on a directory: after ok, previously completed
+  /// renames/creates inside `dir` survive power loss, not just process
+  /// death. Real fsync(2) of the directory in the default implementation;
+  /// a no-op in emulating filesystems (their state *is* the durable state).
+  virtual Status SyncDir(const std::string& dir);
 };
 
 /// The process-wide real filesystem.
@@ -131,6 +140,7 @@ class InMemoryFileSystem : public FileSystem {
   Status ReadFileRange(const std::string& path, uint64_t offset,
                        uint64_t length, std::string* out) override;
   Status MapReadOnly(const std::string& path, MappedFile* out) override;
+  Status SyncDir(const std::string& dir) override;
 
  private:
   std::mutex mu_;
@@ -142,9 +152,10 @@ inline FileSystem& FsOrDefault(FileSystem* fs) {
   return fs != nullptr ? *fs : DefaultFileSystem();
 }
 
-/// Crash-safe whole-file replacement: write `<path>.tmp`, flush, rename over
-/// `path`. On failure the previous contents of `path` are untouched and the
-/// temp file is best-effort removed.
+/// Crash-safe whole-file replacement: write and fsync `<path>.tmp`, rename
+/// over `path`, then fsync the containing directory so the rename itself
+/// survives power loss. On failure the previous contents of `path` are
+/// untouched and the temp file is best-effort removed.
 Status AtomicWriteFile(FileSystem& fs, const std::string& path,
                        const std::string& data);
 
@@ -218,6 +229,13 @@ class FaultInjectingFileSystem : public FileSystem {
   /// faulting map sees only the first half of the file — the torn-header /
   /// truncated-section case for container loads.
   Status MapReadOnly(const std::string& path, MappedFile* out) override;
+  /// Free (uncounted, never faults): a durability barrier mutates nothing
+  /// in the heap-backed base, and faulting it would model "ack lost but
+  /// data durable" — a state the exact-acked-prefix sweeps deliberately
+  /// exclude (crash coverage of the write and rename already models loss).
+  Status SyncDir(const std::string& dir) override {
+    return base_->SyncDir(dir);
+  }
 
  private:
   /// Advances the op counter; true if this operation must fail.

@@ -62,6 +62,20 @@ TEST(AtomicWriteFileTest, ReplacesContentAtomically) {
   EXPECT_FALSE(fs.Exists(path + ".tmp"));
 }
 
+TEST(FileSystemTest, SyncDirSucceedsOnRealDirectoriesAndFailsOnMissing) {
+  FileSystem& fs = DefaultFileSystem();
+  ASSERT_TRUE(fs.SyncDir(::testing::TempDir()).ok());
+  EXPECT_FALSE(fs.SyncDir(TempPath("no_such_dir_for_sync")).ok());
+  // AtomicWriteFile's final step is the directory sync; exercise the whole
+  // write + fsync + rename + dir-fsync chain on the real filesystem.
+  const std::string path = TempPath("atomic_synced.bin");
+  ASSERT_TRUE(AtomicWriteFile(fs, path, "payload").ok());
+  std::string back;
+  ASSERT_TRUE(fs.ReadFile(path, &back).ok());
+  EXPECT_EQ(back, "payload");
+  ASSERT_TRUE(fs.Remove(path).ok());
+}
+
 TEST(AtomicWriteFileTest, FailedWriteLeavesTargetIntact) {
   FileSystem& fs = DefaultFileSystem();
   FaultInjectingFileSystem faulty(&fs);

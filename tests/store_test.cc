@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "store/container.h"
 #include "store/web_scale.h"
 #include "util/fs.h"
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace kucnet {
@@ -154,6 +156,38 @@ TEST(CompactCkgTest, OutOfRangeEdgeIsRecoverableStatus) {
       << st.message();
 }
 
+// Same edge *count* on both passes but different content: without pass-2
+// re-validation this would index the row cursors out of range (or run a
+// row's writes into its neighbor's) — silent arena corruption instead of a
+// recoverable Status.
+TEST(CompactCkgTest, ContentDivergentSecondPassIsARecoverableStatus) {
+  // Case 1: pass 2 routes the edges to a different (valid) source whose
+  // pass-1 row is empty, overflowing that row's cursor.
+  CompactCkg out;
+  int pass = 0;
+  Status st = CompactCkg::TryAssemble(
+      2, 1, 1, 1,
+      [&pass](auto&& sink) {
+        ++pass;
+        const int64_t src = pass == 1 ? 0 : 2;
+        sink(src, 0, 1);
+        sink(src, 0, 1);
+      },
+      &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not deterministic"), std::string::npos)
+      << st.message();
+
+  // Case 2: pass 2 emits a source id far outside [0, n).
+  pass = 0;
+  st = CompactCkg::TryAssemble(
+      2, 1, 1, 1,
+      [&pass](auto&& sink) { sink(++pass == 1 ? 0 : 99, 0, 1); }, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not deterministic"), std::string::npos)
+      << st.message();
+}
+
 TEST(CompactCkgTest, NonDeterministicEmitStreamIsRejected) {
   CompactCkg out;
   int pass = 0;
@@ -262,6 +296,46 @@ TEST_F(ContainerTest, EveryFlippedByteFailsWithFileLineCauseOrIsPadding) {
   // alignment padding (at most 7 bytes per section boundary) may slip.
   EXPECT_GT(rejected, static_cast<int64_t>(image.size()) - 5 * 8);
   EXPECT_LT(padding, 5 * 8);
+}
+
+// A crafted section length near UINT64_MAX defeats naive `length + 8`
+// bounds arithmetic by wrapping to a small value, and the table checksum is
+// trivially recomputable (FNV, no secret), so the file passes every
+// integrity check on the way in. The bounds check must reject it with
+// subtraction-only comparisons before any section/footer byte is touched.
+TEST_F(ContainerTest, CraftedHugeSectionLengthWithValidChecksumsIsRejected) {
+  std::string image;
+  ASSERT_TRUE(fs_.ReadFile(kPath, &image).ok());
+  constexpr uint64_t kTableEntryBytes = 24;
+  constexpr uint64_t kTableSections = 4;
+  constexpr uint64_t kTableBytes = kTableSections * kTableEntryBytes;
+  uint64_t table_offset = 0;
+  std::memcpy(&table_offset, image.data() + 24, 8);
+  for (uint64_t s = 0; s < kTableSections; ++s) {
+    for (const uint64_t crafted :
+         {UINT64_MAX, UINT64_MAX - 7, uint64_t{1} << 63}) {
+      std::string corrupt = image;
+      std::memcpy(
+          corrupt.data() + table_offset + s * kTableEntryBytes + 16,
+          &crafted, 8);
+      const uint64_t footer = Fnv1a64(corrupt.data() + table_offset,
+                                      kTableBytes);
+      std::memcpy(corrupt.data() + table_offset + kTableBytes, &footer, 8);
+      InMemoryFileSystem corrupt_fs;
+      ASSERT_TRUE(corrupt_fs.WriteFile(kPath, corrupt).ok());
+      for (const bool use_mmap : {true, false}) {
+        StoreLoadOptions options;
+        options.use_mmap = use_mmap;
+        CompactCkg loaded;
+        const Status st =
+            LoadCompactCkg(corrupt_fs, kPath, options, &loaded, nullptr);
+        ASSERT_FALSE(st.ok()) << "section " << s << " length " << crafted
+                              << " mmap=" << use_mmap;
+        EXPECT_NE(st.message().find("container.cc:"), std::string::npos)
+            << st.message();
+      }
+    }
+  }
 }
 
 TEST_F(ContainerTest, TruncationAtEveryLengthIsRejectedWithFileLine) {
