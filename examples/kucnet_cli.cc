@@ -8,6 +8,7 @@
 //   kucnet_cli evaluate --data DIR --model KUCNet --ckpt FILE
 //   kucnet_cli serve    --data DIR [--ckpt FILE] --requests N --workers W
 //                       [--deadline_us N] [--top_n N] [--queue N]
+//                       [--batch_max_users N] [--batch_linger_us N]
 //                       [--shards N] [--retries N] [--hedge_us N]
 //                       [--tenant_quota N] [--tenant_window_us N]
 //                       [--warm_cache N]
@@ -26,9 +27,12 @@
 // (reported as `recovered`) and continues the stream after them.
 //
 // `serve` runs the deadline-aware serving layer (src/serve/) over the
-// dataset: requests flow through the bounded admission queue, degrade
-// through the fallback chain on deadline misses, and the command prints the
-// resulting tier mix, shed rate and latency percentiles. With --shards > 1
+// dataset: requests flow through the staged pipeline (bounded admission
+// queue -> extraction workers -> batch stage coalescing up to
+// --batch_max_users concurrent requests into one multi-user forward,
+// lingering --batch_linger_us for stragglers), degrade through the fallback
+// chain on deadline misses, and the command prints the resulting tier mix,
+// batching counters, shed rate and latency percentiles. With --shards > 1
 // it runs the sharded fleet instead (src/serve/fleet/): users partition
 // across replicas by consistent hashing, failed shards are retried on
 // siblings (--retries), slow answers can be hedged (--hedge_us > 0 enables
@@ -83,6 +87,7 @@ const char kUsage[] =
     "  evaluate --data DIR --model NAME [--ckpt FILE] [--k N] [--depth N]\n"
     "  serve    --data DIR [--ckpt FILE] [--k N] [--depth N] [--requests N]\n"
     "           [--workers W] [--deadline_us N] [--top_n N] [--queue N]\n"
+    "           [--batch_max_users N] [--batch_linger_us N]\n"
     "           [--shards N] [--retries N] [--hedge_us N] [--tenant_quota N]\n"
     "           [--tenant_window_us N] [--warm_cache N]\n"
     "  stream   --data DIR --wal DIR [--updates N] [--workers W]\n"
@@ -277,6 +282,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   // error, reported before the dataset is even loaded.
   int64_t requests, shards, retries, hedge_us, tenant_quota, tenant_window_us;
   int64_t workers, queue, deadline_us, top_n, warm_cache, sample_k, depth;
+  int64_t batch_max_users, batch_linger_us;
   const int64_t kMax = std::numeric_limits<int64_t>::max();
   if (!ParseIntFlag(flags, "requests", 200, 0, kMax, &requests) ||
       !ParseIntFlag(flags, "shards", 1, 1, 1024, &shards) ||
@@ -290,6 +296,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       !ParseIntFlag(flags, "deadline_us", 50'000, 1, kMax, &deadline_us) ||
       !ParseIntFlag(flags, "top_n", 20, 1, kMax, &top_n) ||
       !ParseIntFlag(flags, "warm_cache", 0, 0, kMax, &warm_cache) ||
+      !ParseIntFlag(flags, "batch_max_users", 8, 1, kMax, &batch_max_users) ||
+      !ParseIntFlag(flags, "batch_linger_us", 0, 0, kMax, &batch_linger_us) ||
       !ParseIntFlag(flags, "k", 30, 1, kMax, &sample_k) ||
       !ParseIntFlag(flags, "depth", 3, 1, 64, &depth)) {
     return 2;
@@ -320,6 +328,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   server_opts.default_deadline_micros = deadline_us;
   server_opts.default_top_n = top_n;
   server_opts.warm_cache_users = warm_cache;
+  server_opts.batch_max_users = batch_max_users;
+  server_opts.batch_linger_micros = batch_linger_us;
   if (server_opts.warm_cache_users > server_opts.cache.capacity) {
     server_opts.cache.capacity = server_opts.warm_cache_users;
   }
@@ -414,6 +424,12 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               static_cast<long long>(stats.shed),
               static_cast<long long>(stats.deadline_missed),
               static_cast<long long>(stats.degraded));
+  std::printf("batches %lld (multi-user %lld, batched requests %lld, "
+              "preempted %lld)\n",
+              static_cast<long long>(stats.forward_batches),
+              static_cast<long long>(stats.multi_user_batches),
+              static_cast<long long>(stats.batched_requests),
+              static_cast<long long>(stats.deadline_preempted));
   std::printf("tier mix:");
   for (int t = 0; t < kNumServeTiers; ++t) {
     std::printf("  %s %lld", ServeTierName(static_cast<ServeTier>(t)),
@@ -659,7 +675,8 @@ int Run(int argc, char** argv) {
       {"serve",
        {"data", "ckpt", "k", "depth", "requests", "workers", "deadline_us",
         "top_n", "queue", "shards", "retries", "hedge_us", "tenant_quota",
-        "tenant_window_us", "warm_cache", "metrics_out", "trace_out"}},
+        "tenant_window_us", "warm_cache", "batch_max_users",
+        "batch_linger_us", "metrics_out", "trace_out"}},
       {"stream",
        {"data", "wal", "updates", "workers", "warm_cache", "k", "depth",
         "metrics_out", "trace_out"}},

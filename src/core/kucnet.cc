@@ -215,7 +215,13 @@ KucnetForward Kucnet::Forward(int64_t user) const {
 
 Status Kucnet::TryForward(int64_t user, const ExecContext& ctx,
                           KucnetForward* out) const {
-  KUC_TRACE_SPAN("kucnet.forward");
+  KUC_RETURN_IF_ERROR(TryExtractGraph(user, ctx, out));
+  return TryForwardOnGraph(ctx, out);
+}
+
+Status Kucnet::TryExtractGraph(int64_t user, const ExecContext& ctx,
+                               KucnetForward* out) const {
+  KUC_TRACE_SPAN("kucnet.extract");
   KucnetForward& result = *out;
   result = KucnetForward();
   Rng rng(options_.seed ^ (0x9e37 + static_cast<uint64_t>(user)));
@@ -233,7 +239,13 @@ Status Kucnet::TryForward(int64_t user, const ExecContext& ctx,
     KUC_RETURN_IF_ERROR(
         builder_.TryBuild(user_node, nullptr, &rng, {}, ctx, &result.graph));
   }
+  return Status::Ok();
+}
 
+Status Kucnet::TryForwardOnGraph(const ExecContext& ctx,
+                                 KucnetForward* inout) const {
+  KUC_TRACE_SPAN("kucnet.forward");
+  KucnetForward& result = *inout;
   Tape tape;
   std::vector<std::vector<double>> attention;
   Var h_final;
@@ -268,6 +280,20 @@ Status Kucnet::TryForward(int64_t user, const ExecContext& ctx,
     prev_nodes = layer.nodes;
   }
   return Status::Ok();
+}
+
+void Kucnet::TryForwardMany(std::vector<KucnetForwardWork>* work,
+                            bool graphs_extracted) const {
+  if (work == nullptr || work->empty()) return;
+  KUC_TRACE_SPAN("kucnet.forward_many");
+  std::vector<KucnetForwardWork>& items = *work;
+  const ExecContext unbounded;
+  ParallelFor(static_cast<int64_t>(items.size()), [&](int64_t i) {
+    KucnetForwardWork& item = items[i];
+    const ExecContext& ctx = item.ctx != nullptr ? *item.ctx : unbounded;
+    item.status = graphs_extracted ? TryForwardOnGraph(ctx, item.out)
+                                   : TryForward(item.user, ctx, item.out);
+  });
 }
 
 std::vector<double> Kucnet::ScoreItems(int64_t user) const {

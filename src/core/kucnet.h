@@ -70,6 +70,15 @@ struct KucnetForward {
   std::vector<AttributedEdge> edges;       ///< all edges with attention weights
 };
 
+/// One unit of a batched forward (Kucnet::TryForwardMany): the user, the
+/// per-request cancellation context, and the caller-owned in/out slot.
+struct KucnetForwardWork {
+  int64_t user = 0;
+  const ExecContext* ctx = nullptr;  ///< null = unbounded (no deadline/fault)
+  KucnetForward* out = nullptr;      ///< owned by the caller, never null
+  Status status;                     ///< per-user result, set by the call
+};
+
 /// The KUCNet model (also covers the paper's ablation variants via options;
 /// see Sec. V-G and Table IX).
 class Kucnet : public RankModel {
@@ -105,6 +114,32 @@ class Kucnet : public RankModel {
   /// partial work is abandoned, never half-filled into `out`.
   Status TryForward(int64_t user, const ExecContext& ctx,
                     KucnetForward* out) const;
+
+  /// First half of TryForward: resets `*out` and builds the user's pruned
+  /// computation graph into `out->graph` (stages "ppr" and "subgraph"). The
+  /// serving pipeline runs this per-request so extraction overlaps with
+  /// other users' batched forwards.
+  Status TryExtractGraph(int64_t user, const ExecContext& ctx,
+                         KucnetForward* out) const;
+
+  /// Second half of TryForward: message passing, readout, and edge
+  /// attribution over the graph already in `inout->graph` (stage "forward"
+  /// before each layer). On cancellation `*inout` is reset — graph included
+  /// — and the checkpoint's status returned. TryForward is exactly
+  /// TryExtractGraph followed by TryForwardOnGraph; splitting a call never
+  /// changes the result bitwise.
+  Status TryForwardOnGraph(const ExecContext& ctx, KucnetForward* inout) const;
+
+  /// Batched full-tier forwards: runs every work item concurrently on the
+  /// global thread pool (the same batching path TrainEpoch uses for
+  /// training). When `graphs_extracted` is true each item's `out->graph`
+  /// was already built by TryExtractGraph and only the forward half runs;
+  /// otherwise each item runs the complete TryForward. Items are
+  /// independent (private tapes, per-user seeded RNGs), so results are
+  /// bitwise identical to issuing the same calls sequentially, at any
+  /// thread count — enforced by diff_fuzz (`serve` subsystem).
+  void TryForwardMany(std::vector<KucnetForwardWork>* work,
+                      bool graphs_extracted) const;
 
   /// Scores a single (user, item) pair on its *individual* U-I computation
   /// graph C_{u,i|L} — the naive KUCNet-UI costing of Fig. 6. Returns the

@@ -91,6 +91,7 @@ ShardRouter::ShardRouter(std::vector<Kucnet*> shard_models,
 
   const int num_shards = static_cast<int>(models_.size());
   draining_.assign(num_shards, false);
+  shard_inflight_.assign(num_shards, 0);
 
   // The consistent-hash ring. Virtual nodes smooth the partition; sorting by
   // (point, shard) makes the walk deterministic even on a point collision.
@@ -217,21 +218,26 @@ int ShardRouter::NextCandidate(const std::vector<int>& prefs, size_t* cursor,
   };
   while (*cursor < prefs.size()) {
     const int shard = prefs[(*cursor)++];
-    bool draining;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      draining = draining_[shard];
-    }
-    if (draining) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.draining_skips;
-      note("shard " + std::to_string(shard) + ": draining for swap");
-      continue;
+      if (draining_[shard]) {
+        ++stats_.draining_skips;
+        note("shard " + std::to_string(shard) + ": draining for swap");
+        continue;
+      }
+      // Reserve in the SAME critical section as the draining check:
+      // RollingSwap sets draining_ and then waits for this count to reach
+      // zero, so a request that passed the check can never be invisible to
+      // the drain loop (the check-then-route TOCTOU the PR 10 regression
+      // test exercises). Every accepted candidate is released by
+      // EndShardAttempt once its attempt completes.
+      ++shard_inflight_[shard];
     }
     if (!breakers_[shard]->AllowRequest()) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.breaker_rejections;
+        --shard_inflight_[shard];
       }
       obs::Count(ShardCounter(shard, "breaker_rejections"), 1);
       note("shard " + std::to_string(shard) + ": breaker open");
@@ -240,6 +246,11 @@ int ShardRouter::NextCandidate(const std::vector<int>& prefs, size_t* cursor,
     return shard;
   }
   return -1;
+}
+
+void ShardRouter::EndShardAttempt(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --shard_inflight_[shard];
 }
 
 ShardRouter::Attempt ShardRouter::AttemptShard(int shard,
@@ -407,6 +418,7 @@ FleetResponse ShardRouter::Route(const FleetRequest& fleet_request) {
     }
     ++out.attempts;
     Attempt attempt = AttemptShard(shard, request);
+    EndShardAttempt(shard);
     record_breaker(shard, attempt.healthy);
     if (!attempt.answered) {
       note(attempt.reason);
@@ -440,6 +452,7 @@ FleetResponse ShardRouter::Route(const FleetRequest& fleet_request) {
         KUC_OBS_COUNT("fleet.hedges", 1);
         ++out.attempts;
         Attempt hedge = AttemptShard(sibling, request);
+        EndShardAttempt(sibling);
         record_breaker(sibling, hedge.healthy);
         const bool won =
             hedge.answered &&
@@ -514,8 +527,22 @@ Status ShardRouter::RollingSwap(const std::string& checkpoint_path) {
     }
     observe(s, "draining");
     // Drain: the router stops offering shard s new work (NextCandidate skips
-    // draining shards); wait out whatever its queue already admitted.
-    while (servers_[s]->queue_depth() > 0) Wait(options_.drain_poll_micros);
+    // draining shards); wait out everything already routed *or in flight*.
+    // Polling queue_depth() alone counted only unstarted requests — a worker
+    // that had already popped one was still reading model parameters while
+    // TryLoadParameters below overwrote them. The router-side reservation
+    // (shard_inflight_) covers the gap between the draining check and the
+    // server's own accounting; Quiesced() covers queued + executing work
+    // inside the server.
+    for (;;) {
+      bool routed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        routed = shard_inflight_[s] > 0;
+      }
+      if (!routed && servers_[s]->Quiesced()) break;
+      Wait(options_.drain_poll_micros);
+    }
 
     const Status load =
         TryLoadParameters(models_[s]->Params(), checkpoint_path);

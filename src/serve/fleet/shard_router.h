@@ -234,9 +234,17 @@ class ShardRouter {
 
   /// Next shard in `prefs` from `start` whose breaker admits traffic and
   /// that is not draining; advances `*cursor` past it. Returns -1 when a
-  /// full scan finds none. Records skip counters.
+  /// full scan finds none. Records skip counters. A returned shard is
+  /// *reserved*: its `shard_inflight_` slot is incremented in the same
+  /// critical section as the draining check, so RollingSwap's drain can
+  /// never miss a request that passed the check but has not yet reached the
+  /// shard's server. Every non-negative return must be paired with exactly
+  /// one EndShardAttempt once the attempt completes.
   int NextCandidate(const std::vector<int>& prefs, size_t* cursor,
                     FleetResponse* out);
+
+  /// Releases the reservation NextCandidate took on `shard`.
+  void EndShardAttempt(int shard);
 
   /// The infallible cross-shard answer: fleet-precomputed popularity.
   void FleetFallback(const RecRequest& request, FleetResponse* out);
@@ -262,13 +270,19 @@ class ShardRouter {
   std::vector<std::vector<int64_t>> train_items_;
   std::vector<ScoredItem> popularity_;
 
-  mutable std::mutex mu_;  ///< guards stats_, tenants_, draining_, jitter_rng_
+  /// Guards stats_, tenants_, draining_, shard_inflight_, jitter_rng_.
+  mutable std::mutex mu_;
   struct TenantWindow {
     int64_t window_start = 0;
     int64_t admitted = 0;
   };
   std::unordered_map<int64_t, TenantWindow> tenants_;
   std::vector<bool> draining_;
+  /// Router-side attempts reserved against each shard (from NextCandidate's
+  /// draining check until the attempt returns). Covers the window before the
+  /// request reaches the shard server's own in-flight accounting, which is
+  /// exactly the window the old queue_depth()-only drain raced with.
+  std::vector<int64_t> shard_inflight_;
   Rng jitter_rng_;
   FleetStats stats_;
 };

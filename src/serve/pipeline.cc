@@ -1,0 +1,179 @@
+#include "serve/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace kucnet {
+
+namespace {
+
+/// Upper bound on one real-time nap inside the linger window. The window
+/// itself is measured on the Clock seam; this only bounds how long a running
+/// batcher takes to notice a FakeClock advance.
+constexpr int64_t kLingerPollMicros = 200;
+
+}  // namespace
+
+ServePipeline::ServePipeline(PipelineOptions options, const Clock* clock,
+                             PipelineStages stages)
+    : options_(std::move(options)), clock_(clock), stages_(std::move(stages)) {
+  KUC_CHECK(clock_ != nullptr);
+  KUC_CHECK_GT(options_.num_extract_workers, 0);
+  KUC_CHECK_GT(options_.admission_capacity, 0);
+  KUC_CHECK_GT(options_.batch_max_users, 0);
+  KUC_CHECK_GE(options_.batch_linger_micros, 0);
+  KUC_CHECK_GT(options_.batch_queue_capacity, 0);
+  KUC_CHECK(stages_.extract && stages_.forward && stages_.respond);
+  extract_workers_.reserve(options_.num_extract_workers);
+  for (int w = 0; w < options_.num_extract_workers; ++w) {
+    extract_workers_.emplace_back([this] { ExtractLoop(); });
+  }
+  batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+ServePipeline::~ServePipeline() { Shutdown(); }
+
+bool ServePipeline::TrySubmit(std::unique_ptr<ServeJob> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Once extraction is shutting down nobody will ever pop this job; reject
+    // rather than strand a promise.
+    if (extract_shutdown_) return false;
+    if (static_cast<int64_t>(admitted_.size()) >= options_.admission_capacity) {
+      return false;
+    }
+    admitted_.push_back(std::move(job));
+    KUC_OBS_GAUGE_SET("serve.queue_depth",
+                      static_cast<int64_t>(admitted_.size()));
+  }
+  admitted_cv_.notify_one();
+  return true;
+}
+
+int64_t ServePipeline::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(admitted_.size());
+}
+
+int64_t ServePipeline::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+bool ServePipeline::Quiesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_.empty() && in_flight_ == 0;
+}
+
+void ServePipeline::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    extract_shutdown_ = true;
+  }
+  admitted_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : extract_workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void ServePipeline::ExtractLoop() {
+  for (;;) {
+    std::unique_ptr<ServeJob> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      admitted_cv_.wait(
+          lock, [this] { return extract_shutdown_ || !admitted_.empty(); });
+      if (admitted_.empty()) return;  // shutting down, admission drained
+      job = std::move(admitted_.front());
+      admitted_.pop_front();
+      ++in_flight_;
+      KUC_OBS_GAUGE_SET("serve.queue_depth",
+                        static_cast<int64_t>(admitted_.size()));
+    }
+    stages_.extract(job.get());
+    if (job->forward_pending) {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Back-pressure: a full batch queue blocks extraction, which stops
+      // draining admission, which sheds. (During shutdown the bound is
+      // waived so draining can never deadlock; the batcher empties it.)
+      space_cv_.wait(lock, [this] {
+        return extract_shutdown_ ||
+               static_cast<int64_t>(ready_.size()) <
+                   options_.batch_queue_capacity;
+      });
+      ready_.push_back(std::move(job));
+      lock.unlock();
+      ready_cv_.notify_one();
+    } else {
+      // Pre-expired deadline or failed extraction: no forward to batch, so
+      // fallbacks + response run right here on the extraction worker.
+      stages_.respond(job.get());
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+  }
+}
+
+void ServePipeline::BatchLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<ServeJob>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock,
+                     [this] { return batch_shutdown_ || !ready_.empty(); });
+      if (ready_.empty()) {
+        if (batch_shutdown_) return;
+        continue;  // spurious wake
+      }
+      const auto take_ready = [&] {
+        while (!ready_.empty() && static_cast<int64_t>(batch.size()) <
+                                      options_.batch_max_users) {
+          batch.push_back(std::move(ready_.front()));
+          ready_.pop_front();
+        }
+      };
+      take_ready();
+      if (options_.batch_linger_micros > 0) {
+        // Linger for stragglers on the Clock seam: the window closes when
+        // the *seam* clock passes it (or the batch fills), so FakeClock
+        // tests decide exactly which requests share a batch.
+        const int64_t linger_until =
+            clock_->NowMicros() + options_.batch_linger_micros;
+        while (static_cast<int64_t>(batch.size()) < options_.batch_max_users &&
+               !batch_shutdown_) {
+          const int64_t remaining = linger_until - clock_->NowMicros();
+          if (remaining <= 0) break;
+          ready_cv_.wait_for(lock, std::chrono::microseconds(std::min<int64_t>(
+                                       remaining, kLingerPollMicros)));
+          take_ready();
+        }
+      }
+      space_cv_.notify_all();
+    }
+    if (options_.batch_observer) {
+      options_.batch_observer(static_cast<int64_t>(batch.size()));
+    }
+    std::vector<ServeJob*> jobs;
+    jobs.reserve(batch.size());
+    for (const auto& job : batch) jobs.push_back(job.get());
+    stages_.forward(jobs);
+    for (ServeJob* job : jobs) stages_.respond(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ -= static_cast<int64_t>(batch.size());
+    }
+  }
+}
+
+}  // namespace kucnet

@@ -1,0 +1,129 @@
+#ifndef KUCNET_SERVE_PIPELINE_H_
+#define KUCNET_SERVE_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/rec_server.h"
+#include "util/clock.h"
+
+/// \file
+/// The staged dataflow scheduler behind RecServer::Submit.
+///
+/// PR 3's server ran one-thread-per-request, so concurrent users never
+/// shared a forward pass. This pipeline restructures serving into explicit
+/// stages — in the spirit of a calculator-graph scheduler — with bounded
+/// queues and back-pressure between them:
+///
+///   Submit ─▶ [admission queue] ─▶ extraction workers ─▶ [batch queue]
+///                 (bounded:              (PPR + subgraph       (bounded:
+///              queue_capacity,            per request)      batch_queue_
+///               full = shed)                                  capacity)
+///                                                                │
+///             respond ◀─ rank/fallbacks ◀─ batched forward ◀────┘
+///            (promise)    (per request)    (one TryForwardMany of
+///                                           up to batch_max_users)
+///
+/// The batch stage coalesces every extracted request available the moment it
+/// wakes — up to `batch_max_users` — and may *linger* `batch_linger_micros`
+/// on the Clock seam for stragglers, so under a FakeClock tests decide
+/// exactly when a partial batch flushes. Back-pressure is physical: a full
+/// batch queue blocks extraction, extraction stops draining admission, and
+/// admission sheds with kOverloaded — overload degrades at the front door,
+/// never as unbounded memory in the middle.
+///
+/// The pipeline owns threads and queues only; what each stage *does* is
+/// injected by RecServer as `PipelineStages`, keeping the tier chain (full →
+/// cached → heuristic → popularity), deadlines, and cancellation semantics in
+/// one place whether a request arrives via Submit or ServeSync.
+
+namespace kucnet {
+
+/// Stage bodies the pipeline drives, bound by RecServer. `extract` runs
+/// per-request on an extraction worker; jobs it leaves `forward_pending` go
+/// to the batch stage, the rest (pre-expired deadline, extraction fault)
+/// respond directly from the extraction worker. `forward` runs one coalesced
+/// multi-user batch. `respond` ranks, runs the fallback tiers, finalizes
+/// stats, and fulfills the job's promise.
+struct PipelineStages {
+  std::function<void(ServeJob*)> extract;
+  std::function<void(const std::vector<ServeJob*>&)> forward;
+  std::function<void(ServeJob*)> respond;
+};
+
+/// Tuning of the staged pipeline (derived from RecServerOptions).
+struct PipelineOptions {
+  int num_extract_workers = 2;
+  int64_t admission_capacity = 64;
+  int64_t batch_max_users = 8;
+  int64_t batch_linger_micros = 0;
+  int64_t batch_queue_capacity = 16;
+  /// Test seam: called after each batch is assembled (outside pipeline
+  /// locks, before the forward) with the batch size. Deterministic tests use
+  /// it to advance a FakeClock mid-batch.
+  std::function<void(int64_t)> batch_observer;
+};
+
+/// Threads + bounded queues of the staged pipeline. Thread-safe.
+class ServePipeline {
+ public:
+  ServePipeline(PipelineOptions options, const Clock* clock,
+                PipelineStages stages);
+  ~ServePipeline();
+
+  ServePipeline(const ServePipeline&) = delete;
+  ServePipeline& operator=(const ServePipeline&) = delete;
+
+  /// Admission. False = rejected (queue at capacity, or shutting down);
+  /// never blocks. On success the pipeline owns the job and will fulfill its
+  /// promise.
+  bool TrySubmit(std::unique_ptr<ServeJob> job);
+
+  /// Admitted, unstarted requests right now.
+  int64_t queue_depth() const;
+
+  /// Requests popped from admission but not yet responded (extracting,
+  /// staged for batching, forwarding, or ranking).
+  int64_t in_flight() const;
+
+  /// True when nothing is admitted, staged, or in flight — the precondition
+  /// for mutating model parameters under this pipeline (see
+  /// RecServer::Quiesced and ShardRouter::RollingSwap).
+  bool Quiesced() const;
+
+  /// Stops admitting, drains every accepted request through all stages,
+  /// joins the threads. Idempotent.
+  void Shutdown();
+
+ private:
+  void ExtractLoop();
+  void BatchLoop();
+
+  const PipelineOptions options_;
+  const Clock* clock_;
+  const PipelineStages stages_;
+
+  mutable std::mutex mu_;
+  std::condition_variable admitted_cv_;  ///< extraction workers sleep here
+  std::condition_variable ready_cv_;     ///< the batcher sleeps here
+  std::condition_variable space_cv_;     ///< extraction back-pressure
+  std::deque<std::unique_ptr<ServeJob>> admitted_;
+  std::deque<std::unique_ptr<ServeJob>> ready_;
+  /// Popped from admission, response not yet delivered (includes `ready_`).
+  int64_t in_flight_ = 0;
+  bool extract_shutdown_ = false;
+  bool batch_shutdown_ = false;
+
+  std::vector<std::thread> extract_workers_;
+  std::thread batcher_;
+};
+
+}  // namespace kucnet
+
+#endif  // KUCNET_SERVE_PIPELINE_H_

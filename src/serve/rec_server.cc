@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "serve/pipeline.h"
 #include "util/finite.h"
 #include "util/logging.h"
 
@@ -16,6 +17,25 @@ namespace {
 /// (see ExecContext::Check, which reports the fault preferentially).
 bool IsInjectedFault(const Status& status) {
   return status.message().find("injected fault") != std::string::npos;
+}
+
+/// Brackets a caller-thread execution in the server's in-flight count, so
+/// Quiesced() covers ServeSync and inline Submit too.
+class ScopedInFlight {
+ public:
+  explicit ScopedInFlight(std::atomic<int64_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ScopedInFlight() { counter_->fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int64_t>* counter_;
+};
+
+std::future<RecResponse> ReadyResponse(RecResponse response) {
+  std::promise<RecResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
 }
 
 }  // namespace
@@ -45,6 +65,14 @@ void ServerStats::MergeFrom(const ServerStats& other) {
       obs::SaturatingAdd(nonfinite_scores, other.nonfinite_scores);
   cache_warmed = obs::SaturatingAdd(cache_warmed, other.cache_warmed);
   degraded = obs::SaturatingAdd(degraded, other.degraded);
+  no_ppr_user = obs::SaturatingAdd(no_ppr_user, other.no_ppr_user);
+  forward_batches = obs::SaturatingAdd(forward_batches, other.forward_batches);
+  batched_requests =
+      obs::SaturatingAdd(batched_requests, other.batched_requests);
+  multi_user_batches =
+      obs::SaturatingAdd(multi_user_batches, other.multi_user_batches);
+  deadline_preempted =
+      obs::SaturatingAdd(deadline_preempted, other.deadline_preempted);
   for (int t = 0; t < kNumServeTiers; ++t) {
     tier_count[t] = obs::SaturatingAdd(tier_count[t], other.tier_count[t]);
   }
@@ -71,6 +99,9 @@ RecServer::RecServer(const Kucnet* model, const Dataset* dataset,
   KUC_CHECK_GT(options_.queue_capacity, 0);
   KUC_CHECK_GT(options_.default_top_n, 0);
   KUC_CHECK_GT(options_.default_deadline_micros, 0);
+  KUC_CHECK_GT(options_.batch_max_users, 0);
+  KUC_CHECK_GE(options_.batch_linger_micros, 0);
+  KUC_CHECK_GE(options_.batch_queue_capacity, 0);
 
   // Precompute the infallible last tier: items by training popularity.
   std::vector<int64_t> counts(dataset->num_items, 0);
@@ -87,9 +118,24 @@ RecServer::RecServer(const Kucnet* model, const Dataset* dataset,
 
   if (options_.warm_cache_users > 0) WarmCache(options_.warm_cache_users);
 
-  workers_.reserve(options_.num_workers);
-  for (int w = 0; w < options_.num_workers; ++w) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  if (options_.num_workers > 0) {
+    PipelineOptions popts;
+    popts.num_extract_workers = options_.num_workers;
+    popts.admission_capacity = options_.queue_capacity;
+    popts.batch_max_users = options_.batch_max_users;
+    popts.batch_linger_micros = options_.batch_linger_micros;
+    popts.batch_queue_capacity = options_.batch_queue_capacity > 0
+                                     ? options_.batch_queue_capacity
+                                     : 2 * options_.batch_max_users;
+    popts.batch_observer = options_.batch_observer;
+    PipelineStages stages;
+    stages.extract = [this](ServeJob* job) { ExtractStage(job); };
+    stages.forward = [this](const std::vector<ServeJob*>& batch) {
+      ForwardStage(batch);
+    };
+    stages.respond = [this](ServeJob* job) { RespondStage(job); };
+    pipeline_ = std::make_unique<ServePipeline>(std::move(popts), clock_,
+                                                std::move(stages));
   }
 }
 
@@ -97,42 +143,51 @@ RecServer::~RecServer() { Shutdown(); }
 
 std::future<RecResponse> RecServer::Submit(const RecRequest& request) {
   const int64_t now = clock_->NowMicros();
-  std::unique_lock<std::mutex> lock(queue_mu_);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.submitted;
   }
   KUC_OBS_COUNT("serve.submitted", 1);
-  if (shutting_down_) {
-    std::promise<RecResponse> rejected;
-    RecResponse response;
-    response.status = ResponseStatus::kShutdown;
-    rejected.set_value(std::move(response));
-    return rejected.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      RecResponse response;
+      response.status = ResponseStatus::kShutdown;
+      return ReadyResponse(std::move(response));
+    }
   }
-  if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+  if (pipeline_ == nullptr) {
+    // Zero workers: serve inline on the calling thread. The pre-pipeline
+    // server enqueued a Pending here that no worker would ever pop, so the
+    // caller's future.get() hung until the destructor broke the promise.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.admitted;
+    }
+    KUC_OBS_COUNT("serve.admitted", 1);
+    return ReadyResponse(Handle(request, now));
+  }
+  auto job = std::make_unique<ServeJob>();
+  job->request = request;
+  job->submit_micros = now;
+  std::future<RecResponse> future = job->promise.get_future();
+  if (!pipeline_->TrySubmit(std::move(job))) {
     // Overload shedding: reject *now* with an explicit status. The caller
     // can retry with backoff; nothing ever blocks on a full queue.
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++stats_.shed;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.shed;
+    }
     KUC_OBS_COUNT("serve.shed", 1);
-    std::promise<RecResponse> rejected;
     RecResponse response;
     response.status = ResponseStatus::kOverloaded;
-    rejected.set_value(std::move(response));
-    return rejected.get_future();
+    return ReadyResponse(std::move(response));
   }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.admitted;
   }
   KUC_OBS_COUNT("serve.admitted", 1);
-  queue_.push_back(Pending{request, now, std::promise<RecResponse>()});
-  KUC_OBS_GAUGE_SET("serve.queue_depth",
-                    static_cast<int64_t>(queue_.size()));
-  std::future<RecResponse> future = queue_.back().promise.get_future();
-  lock.unlock();
-  queue_cv_.notify_one();
   return future;
 }
 
@@ -150,15 +205,10 @@ RecResponse RecServer::ServeSync(const RecRequest& request) {
 
 void RecServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (shutting_down_ && workers_.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
+  if (pipeline_ != nullptr) pipeline_->Shutdown();
 }
 
 ServerStats RecServer::stats() const {
@@ -209,25 +259,17 @@ void RecServer::InvalidateUsers(const std::vector<int64_t>& users) {
 }
 
 int64_t RecServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  return static_cast<int64_t>(queue_.size());
+  return pipeline_ != nullptr ? pipeline_->queue_depth() : 0;
 }
 
-void RecServer::WorkerLoop() {
-  for (;;) {
-    Pending pending;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down, queue drained
-      pending = std::move(queue_.front());
-      queue_.pop_front();
-      KUC_OBS_GAUGE_SET("serve.queue_depth",
-                        static_cast<int64_t>(queue_.size()));
-    }
-    pending.promise.set_value(Handle(pending.request, pending.submit_micros));
-  }
+int64_t RecServer::in_flight() const {
+  return sync_in_flight_.load(std::memory_order_acquire) +
+         (pipeline_ != nullptr ? pipeline_->in_flight() : 0);
+}
+
+bool RecServer::Quiesced() const {
+  if (sync_in_flight_.load(std::memory_order_acquire) > 0) return false;
+  return pipeline_ == nullptr || pipeline_->Quiesced();
 }
 
 bool RecServer::RankInto(int64_t user, const std::vector<double>& scores,
@@ -266,148 +308,168 @@ bool RecServer::RankInto(int64_t user, const std::vector<double>& scores,
   return !out->items.empty();
 }
 
-RecResponse RecServer::Handle(const RecRequest& request,
-                              int64_t submit_micros) {
-  KUC_TRACE_SPAN("serve.request");
-  const int64_t top_n =
-      request.top_n > 0 ? request.top_n : options_.default_top_n;
-  const int64_t budget = request.deadline_micros > 0
-                             ? request.deadline_micros
+void RecServer::NoteFailure(ServeJob* job, const char* tier,
+                            const Status& status) const {
+  if (IsInjectedFault(status)) {
+    ++job->fault_events;
+    obs::Count(std::string("serve.degrade.fault.") + tier, 1);
+  } else {
+    job->deadline_missed = true;
+    obs::Count(std::string("serve.degrade.deadline.") + tier, 1);
+  }
+  std::string& reason = job->response.degrade_reason;
+  if (!reason.empty()) reason += "; ";
+  reason += tier;
+  reason += ": ";
+  reason += status.message();
+}
+
+void RecServer::TimeStage(ServeJob* job, const char* stage,
+                          int64_t start_micros) const {
+  job->response.stage_micros.push_back(
+      {stage, clock_->NowMicros() - start_micros});
+}
+
+void RecServer::BeginJob(ServeJob* job) const {
+  job->top_n =
+      job->request.top_n > 0 ? job->request.top_n : options_.default_top_n;
+  const int64_t budget = job->request.deadline_micros > 0
+                             ? job->request.deadline_micros
                              : options_.default_deadline_micros;
-  // The deadline is anchored at *admission*: time spent queued counts
-  // against the request, so a long queue wait degrades rather than letting
-  // stale work burn worker time.
-  const Deadline deadline = Deadline::At(*clock_, submit_micros + budget);
-  const ExecContext full_ctx(deadline, options_.fault);
+  // The deadline is anchored at *admission*: time spent queued (or waiting
+  // in a batch) counts against the request, so a long wait degrades rather
+  // than letting stale work burn compute.
+  job->deadline = Deadline::At(*clock_, job->submit_micros + budget);
+  job->full_ctx = ExecContext(job->deadline, options_.fault);
   // Fallback tiers ARE the degradation path, so they run even once the
   // deadline has passed (each is orders of magnitude cheaper than the full
   // tier); only the fault seam can knock one out.
-  const ExecContext fallback_ctx(Deadline::Infinite(), options_.fault);
+  job->fallback_ctx = ExecContext(Deadline::Infinite(), options_.fault);
+}
 
-  RecResponse response;
-  bool request_deadline_missed = false;
-  int64_t request_fault_events = 0;
-  int64_t request_nonfinite = 0;
-  const auto note_failure = [&](const char* tier, const Status& status) {
-    if (IsInjectedFault(status)) {
-      ++request_fault_events;
-      obs::Count(std::string("serve.degrade.fault.") + tier, 1);
-    } else {
-      request_deadline_missed = true;
-      obs::Count(std::string("serve.degrade.deadline.") + tier, 1);
-    }
-    if (!response.degrade_reason.empty()) response.degrade_reason += "; ";
-    response.degrade_reason += tier;
-    response.degrade_reason += ": ";
-    response.degrade_reason += status.message();
-  };
-  const auto time_stage = [&](const char* stage, int64_t start_micros) {
-    response.stage_micros.push_back(
-        {stage, clock_->NowMicros() - start_micros});
-  };
-
-  bool served = false;
-
-  // ---- Tier 1: full KUCNet forward -----------------------------------------
-  {
-    KUC_TRACE_SPAN("serve.full");
-    const int64_t t0 = clock_->NowMicros();
-    if (deadline.Expired()) {
-      note_failure("full", ErrorStatus()
-                               << "deadline expired before execution "
-                                  "(queued past the latency budget)");
-      time_stage("full", t0);
-    } else {
-      // Snapshot the user's cache generation *before* the forward pass: if
-      // the model is hot-swapped (or a streaming update touches this user)
-      // while this pass runs, the deposit below is discarded instead of
-      // planting stale scores in a fresh cache.
-      const int64_t cache_generation = cache_.generation(request.user);
-      KucnetForward forward;
-      const Status status = model_->TryForward(request.user, full_ctx, &forward);
-      time_stage("full", t0);
-      if (!status.ok()) {
-        note_failure("full", status);
-      } else if (const int64_t bad = FirstNonFinite(forward.item_scores);
-                 bad >= 0) {
-        // A mid-divergence checkpoint produces NaN/Inf scores. Serving them
-        // would poison the ranking; caching them would keep poisoning every
-        // degraded request until max_age expiry. Reject the output here and
-        // fall through the degrade chain (cached → PPR → popularity).
-        ++request_nonfinite;
-        KUC_OBS_COUNT("serve.degrade.nonfinite", 1);
-        if (!response.degrade_reason.empty()) response.degrade_reason += "; ";
-        response.degrade_reason += "full: non-finite score at item ";
-        response.degrade_reason += std::to_string(bad);
-      } else {
-        // Deposit for future degraded requests *before* ranking, so even a
-        // ranking-size-zero catalogue edge case keeps the cache warm.
-        cache_.Put(request.user, forward.item_scores, cache_generation);
-        served = RankInto(request.user, forward.item_scores, top_n, &response);
-        if (served) response.tier = ServeTier::kFull;
-      }
-    }
+bool RecServer::StartFullTier(ServeJob* job) {
+  job->full_t0 = clock_->NowMicros();
+  if (job->deadline.Expired()) {
+    job->full_pre_expired = true;
+    NoteFailure(job, "full",
+                ErrorStatus() << "deadline expired before execution "
+                                 "(queued past the latency budget)");
+    TimeStage(job, "full", job->full_t0);
+    return false;
   }
+  // Snapshot the user's cache generation *before* the forward pass: if the
+  // model is hot-swapped (or a streaming update touches this user) while
+  // this pass runs, the deposit in FinishFullTier is discarded instead of
+  // planting stale scores in a fresh cache.
+  job->cache_generation = cache_.generation(job->request.user);
+  job->full_status =
+      model_->TryExtractGraph(job->request.user, job->full_ctx, &job->forward);
+  job->forward_pending = job->full_status.ok();
+  return job->forward_pending;
+}
+
+void RecServer::FinishFullTier(ServeJob* job) {
+  if (job->full_pre_expired) return;  // already noted and timed
+  TimeStage(job, "full", job->full_t0);
+  if (!job->full_status.ok()) {
+    NoteFailure(job, "full", job->full_status);
+  } else if (const int64_t bad = FirstNonFinite(job->forward.item_scores);
+             bad >= 0) {
+    // A mid-divergence checkpoint produces NaN/Inf scores. Serving them
+    // would poison the ranking; caching them would keep poisoning every
+    // degraded request until max_age expiry. Reject the output here and
+    // fall through the degrade chain (cached → PPR → popularity).
+    ++job->nonfinite;
+    KUC_OBS_COUNT("serve.degrade.nonfinite", 1);
+    std::string& reason = job->response.degrade_reason;
+    if (!reason.empty()) reason += "; ";
+    reason += "full: non-finite score at item ";
+    reason += std::to_string(bad);
+  } else {
+    // Deposit for future degraded requests *before* ranking, so even a
+    // ranking-size-zero catalogue edge case keeps the cache warm.
+    cache_.Put(job->request.user, job->forward.item_scores,
+               job->cache_generation);
+    job->served = RankInto(job->request.user, job->forward.item_scores,
+                           job->top_n, &job->response);
+    if (job->served) job->response.tier = ServeTier::kFull;
+  }
+}
+
+void RecServer::RunFallbackTiers(ServeJob* job) {
+  const RecRequest& request = job->request;
 
   // ---- Tier 2: cached scores (staleness-bounded LRU) -----------------------
-  if (!served) {
+  if (!job->served) {
     KUC_TRACE_SPAN("serve.cache");
     const int64_t t0 = clock_->NowMicros();
-    const Status status = fallback_ctx.Check("cache");
+    const Status status = job->fallback_ctx.Check("cache");
     if (status.ok()) {
       std::vector<double> scores;
       int64_t age = -1;
       if (cache_.Get(request.user, &scores, &age) &&
-          RankInto(request.user, scores, top_n, &response)) {
-        served = true;
-        response.tier = ServeTier::kCached;
-        response.cache_age_micros = age;
+          RankInto(request.user, scores, job->top_n, &job->response)) {
+        job->served = true;
+        job->response.tier = ServeTier::kCached;
+        job->response.cache_age_micros = age;
       }
     } else {
-      note_failure("cache", status);
+      NoteFailure(job, "cache", status);
     }
-    time_stage("cache", t0);
+    TimeStage(job, "cache", t0);
   }
 
   // ---- Tier 3: PPR heuristic (PprRec ranking) ------------------------------
-  if (!served) {
+  if (!job->served) {
     KUC_TRACE_SPAN("serve.heuristic");
     const int64_t t0 = clock_->NowMicros();
-    const Status status = fallback_ctx.Check("heuristic");
+    const Status status = job->fallback_ctx.Check("heuristic");
     if (status.ok() && request.user >= 0 &&
         request.user < ppr_->num_users()) {
       std::vector<double> scores(dataset_->num_items, 0.0);
       for (int64_t item = 0; item < dataset_->num_items; ++item) {
         scores[item] = ppr_->Score(request.user, ckg_.ItemNode(item));
       }
-      if (RankInto(request.user, scores, top_n, &response)) {
-        served = true;
-        response.tier = ServeTier::kHeuristic;
+      if (RankInto(request.user, scores, job->top_n, &job->response)) {
+        job->served = true;
+        job->response.tier = ServeTier::kHeuristic;
       }
     } else if (!status.ok()) {
-      note_failure("heuristic", status);
+      NoteFailure(job, "heuristic", status);
+    } else {
+      // The user lies outside the PPR table (streaming can add users past
+      // it). This skip used to be silent — no reason, no counter — so the
+      // drop to popularity was invisible in both the response and the stats.
+      ++job->no_ppr_user;
+      KUC_OBS_COUNT("serve.degrade.no_ppr_user", 1);
+      std::string& reason = job->response.degrade_reason;
+      if (!reason.empty()) reason += "; ";
+      reason += "heuristic: user ";
+      reason += std::to_string(request.user);
+      reason += " outside the PPR table";
     }
-    time_stage("heuristic", t0);
+    TimeStage(job, "heuristic", t0);
   }
 
   // ---- Tier 4: global popularity (infallible) ------------------------------
-  if (!served) {
+  if (!job->served) {
     KUC_TRACE_SPAN("serve.popularity");
     const int64_t t0 = clock_->NowMicros();
     // The checkpoint still fires (tests can arm it and see it counted), but
     // the precomputed ranking is returned regardless: the last tier never
     // fails, so no admitted request ever gets an empty response.
-    const Status status = fallback_ctx.Check("popularity");
-    if (!status.ok()) note_failure("popularity", status);
+    const Status status = job->fallback_ctx.Check("popularity");
+    if (!status.ok()) NoteFailure(job, "popularity", status);
     const std::vector<int64_t>* exclude =
         options_.exclude_train_items &&
                 request.user >= 0 &&
                 request.user < static_cast<int64_t>(train_items_.size())
             ? &train_items_[request.user]
             : nullptr;
+    RecResponse& response = job->response;
     response.items.clear();
     for (const ScoredItem& candidate : popularity_) {
-      if (static_cast<int64_t>(response.items.size()) >= top_n) break;
+      if (static_cast<int64_t>(response.items.size()) >= job->top_n) break;
       if (exclude != nullptr &&
           std::binary_search(exclude->begin(), exclude->end(),
                              candidate.item)) {
@@ -417,37 +479,149 @@ RecResponse RecServer::Handle(const RecRequest& request,
     }
     if (response.items.empty()) {
       for (const ScoredItem& candidate : popularity_) {
-        if (static_cast<int64_t>(response.items.size()) >= top_n) break;
+        if (static_cast<int64_t>(response.items.size()) >= job->top_n) break;
         response.items.push_back(candidate);
       }
     }
     response.tier = ServeTier::kPopularity;
-    time_stage("popularity", t0);
+    TimeStage(job, "popularity", t0);
   }
+}
 
+RecResponse RecServer::FinalizeJob(ServeJob* job) {
+  RecResponse& response = job->response;
   response.status = ResponseStatus::kOk;
   response.degraded = response.tier != ServeTier::kFull;
-  response.total_micros = clock_->NowMicros() - submit_micros;
+  response.total_micros = clock_->NowMicros() - job->submit_micros;
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.completed;
     ++stats_.tier_count[static_cast<int>(response.tier)];
     if (response.degraded) ++stats_.degraded;
-    if (request_deadline_missed) ++stats_.deadline_missed;
-    stats_.fault_events += request_fault_events;
-    stats_.nonfinite_scores += request_nonfinite;
+    if (job->deadline_missed) ++stats_.deadline_missed;
+    if (job->deadline_preempted) ++stats_.deadline_preempted;
+    stats_.fault_events += job->fault_events;
+    stats_.nonfinite_scores += job->nonfinite;
+    stats_.no_ppr_user += job->no_ppr_user;
     stats_.latency.Record(response.total_micros);
   }
   KUC_OBS_COUNT("serve.completed", 1);
   if (response.degraded) KUC_OBS_COUNT("serve.degraded", 1);
-  if (request_deadline_missed) KUC_OBS_COUNT("serve.deadline_missed", 1);
-  if (request_fault_events > 0) {
-    KUC_OBS_COUNT("serve.fault_events", request_fault_events);
+  if (job->deadline_missed) KUC_OBS_COUNT("serve.deadline_missed", 1);
+  if (job->fault_events > 0) {
+    KUC_OBS_COUNT("serve.fault_events", job->fault_events);
   }
   obs::Count(std::string("serve.tier.") + ServeTierName(response.tier), 1);
   KUC_OBS_HISTOGRAM("serve.latency_micros", response.total_micros);
-  return response;
+  return std::move(response);
+}
+
+RecResponse RecServer::Handle(const RecRequest& request,
+                              int64_t submit_micros) {
+  KUC_TRACE_SPAN("serve.request");
+  ScopedInFlight in_flight(&sync_in_flight_);
+  ServeJob job;
+  job.request = request;
+  job.submit_micros = submit_micros;
+  BeginJob(&job);
+
+  // ---- Tier 1: full KUCNet forward -----------------------------------------
+  {
+    KUC_TRACE_SPAN("serve.full");
+    if (StartFullTier(&job)) {
+      job.full_status = model_->TryForwardOnGraph(job.full_ctx, &job.forward);
+      job.forward_pending = false;
+    }
+    FinishFullTier(&job);
+  }
+
+  RunFallbackTiers(&job);
+  return FinalizeJob(&job);
+}
+
+void RecServer::ExtractStage(ServeJob* job) {
+  KUC_TRACE_SPAN("serve.extract");
+  BeginJob(job);
+  StartFullTier(job);
+}
+
+void RecServer::ForwardStage(const std::vector<ServeJob*>& batch) {
+  if (batch.empty()) return;
+  KUC_TRACE_SPAN("serve.batch_forward");
+  // Predictive batch admission: a job whose remaining deadline budget is
+  // below the recent whole-batch forward cost cannot produce a timely full
+  // answer — running it anyway would blow past its deadline *inside* the
+  // batch and deliver a late response. Degrade it now (the fallback chain is
+  // orders of magnitude cheaper) so every response, full or degraded, lands
+  // near the deadline at worst. The EWMA starts at 0 (guard off) and stays 0
+  // under a frozen FakeClock, so deterministic tests never hit this path.
+  const int64_t predicted = batch_forward_ewma_micros_.load(
+      std::memory_order_relaxed);
+  std::vector<ServeJob*> admitted;
+  admitted.reserve(batch.size());
+  for (ServeJob* job : batch) {
+    if (predicted > 0 && job->deadline.RemainingMicros() < predicted) {
+      job->deadline_preempted = true;
+      job->full_status = ErrorStatus()
+                         << "predicted batch forward (~" << predicted
+                         << "us) exceeds the remaining deadline budget";
+      job->forward_pending = false;
+      KUC_OBS_COUNT("serve.degrade.preempted", 1);
+      continue;
+    }
+    admitted.push_back(job);
+  }
+  if (admitted.empty()) {
+    // The guard preempted the whole batch, so no forward runs and nothing
+    // re-measures the estimate. Without decay a single anomalously slow
+    // batch (page faults, a scheduling stall) would latch the guard shut
+    // forever once deadlines are tighter than the stale estimate. Losing a
+    // quarter of the estimate per all-preempted batch lets the full tier
+    // probe again within a few requests.
+    batch_forward_ewma_micros_.store(predicted - predicted / 4,
+                                     std::memory_order_relaxed);
+    return;
+  }
+  std::vector<KucnetForwardWork> work;
+  work.reserve(admitted.size());
+  for (ServeJob* job : admitted) {
+    work.push_back({job->request.user, &job->full_ctx, &job->forward,
+                    Status::Ok()});
+  }
+  // One coalesced multi-user forward on the global pool — the PR 1 batching
+  // path, bitwise identical to running the jobs sequentially. Each job keeps
+  // its own deadline context, so one mid-batch expiry degrades that job at
+  // its next checkpoint without poisoning its batchmates.
+  const int64_t t0 = clock_->NowMicros();
+  model_->TryForwardMany(&work, /*graphs_extracted=*/true);
+  const int64_t elapsed = clock_->NowMicros() - t0;
+  const int64_t prev = batch_forward_ewma_micros_.load(
+      std::memory_order_relaxed);
+  batch_forward_ewma_micros_.store(
+      prev == 0 ? elapsed : prev + (elapsed - prev) / 4,
+      std::memory_order_relaxed);
+  for (size_t i = 0; i < admitted.size(); ++i) {
+    admitted[i]->full_status = std::move(work[i].status);
+    admitted[i]->forward_pending = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.forward_batches;
+    stats_.batched_requests += static_cast<int64_t>(admitted.size());
+    if (admitted.size() > 1) ++stats_.multi_user_batches;
+  }
+  KUC_OBS_COUNT("serve.batch.forwards", 1);
+  KUC_OBS_COUNT("serve.batch.requests", static_cast<int64_t>(admitted.size()));
+  KUC_OBS_GAUGE_SET("serve.batch.last_size",
+                    static_cast<int64_t>(admitted.size()));
+}
+
+void RecServer::RespondStage(ServeJob* job) {
+  KUC_TRACE_SPAN("serve.respond");
+  FinishFullTier(job);
+  RunFallbackTiers(job);
+  job->promise.set_value(FinalizeJob(job));
 }
 
 }  // namespace kucnet

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -691,6 +693,131 @@ void ServeCase(ServeFuzzContext& ctx, uint64_t case_seed, CaseResult& result) {
   }
 }
 
+/// The PR 10 batching seams against the sequential oracle:
+/// (1) `Kucnet::TryForwardMany` must be bitwise identical to N sequential
+///     `TryForward` calls, in both modes (whole forward, and forward-only on
+///     pre-extracted graphs);
+/// (2) a pipelined server with randomized worker count, batch_max_users and
+///     linger window must produce bitwise the same full-tier responses as
+///     the synchronous replay — batching is a scheduling decision, never a
+///     numeric one.
+void BatchedServeCase(ServeFuzzContext& ctx, uint64_t case_seed,
+                      CaseResult& result) {
+  Rng rng(case_seed ^ 0xba7c4ed);
+
+  // --- (1) TryForwardMany ≡ sequential TryForward -------------------------
+  const int64_t n = 2 + rng.UniformInt(3);
+  std::vector<int64_t> users(n);
+  for (int64_t i = 0; i < n; ++i) {
+    users[i] = rng.UniformInt(ctx.dataset.num_users);
+  }
+  std::vector<KucnetForward> sequential(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const Status status =
+        ctx.model->TryForward(users[i], ExecContext(), &sequential[i]);
+    if (!status.ok()) {
+      result.Fail() << "sequential TryForward failed: " << status.message();
+      return;
+    }
+  }
+  const bool pre_extract = rng.Bernoulli(0.5);
+  std::vector<KucnetForward> batched(n);
+  std::vector<KucnetForwardWork> work(n);
+  for (int64_t i = 0; i < n; ++i) {
+    work[i].user = users[i];
+    work[i].out = &batched[i];
+    if (pre_extract) {
+      const Status status =
+          ctx.model->TryExtractGraph(users[i], ExecContext(), &batched[i]);
+      if (!status.ok()) {
+        result.Fail() << "TryExtractGraph failed: " << status.message();
+        return;
+      }
+    }
+  }
+  ctx.model->TryForwardMany(&work, pre_extract);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!work[i].status.ok()) {
+      result.Fail() << "TryForwardMany item " << i
+                    << " failed: " << work[i].status.message();
+      return;
+    }
+    const auto& got = batched[i].item_scores;
+    const auto& want = sequential[i].item_scores;
+    if (got.size() != want.size()) {
+      result.Fail() << "forward_many score count mismatch for user "
+                    << users[i];
+      return;
+    }
+    for (size_t s = 0; s < want.size(); ++s) {
+      if (UlpDistance(got[s], want[s]) != 0) {
+        result.Fail() << "forward_many score " << s << " for user "
+                      << users[i] << " (pre_extract=" << pre_extract
+                      << "): batched=" << got[s] << " sequential=" << want[s];
+        return;
+      }
+    }
+  }
+
+  // --- (2) pipelined server ≡ sequential replay ----------------------------
+  FakeClock clock;
+  RecServerOptions opts;
+  opts.num_workers = 1 + static_cast<int>(rng.UniformInt(3));
+  opts.batch_max_users = 1 + rng.UniformInt(8);
+  opts.batch_linger_micros = rng.Bernoulli(0.5) ? 0 : 1'000;
+  opts.default_deadline_micros = 1'000'000'000;  // nothing expires mid-case
+  opts.clock = &clock;
+  opts.cache.capacity = 4096;
+  RecServer server(ctx.model.get(), &ctx.dataset, &ctx.ckg, &ctx.ppr, opts);
+
+  const int64_t requests = 1 + rng.UniformInt(8);
+  std::vector<int64_t> req_users(requests), req_top_n(requests);
+  std::vector<std::future<RecResponse>> futures;
+  for (int64_t r = 0; r < requests; ++r) {
+    req_users[r] = rng.UniformInt(ctx.dataset.num_users);
+    req_top_n[r] = 1 + rng.UniformInt(30);
+    futures.push_back(server.Submit({req_users[r], req_top_n[r], 0}));
+  }
+  for (int64_t r = 0; r < requests; ++r) {
+    // A lingering partial batch waits on the Clock seam; the batch stage
+    // polls the FakeClock, so advancing past the window releases it.
+    while (futures[r].wait_for(std::chrono::milliseconds(2)) !=
+           std::future_status::ready) {
+      clock.AdvanceMicros(2'000);
+    }
+    const RecResponse response = futures[r].get();
+    if (response.status != ResponseStatus::kOk ||
+        response.tier != ServeTier::kFull) {
+      result.Fail() << "pipelined request " << r << " (user " << req_users[r]
+                    << ") not served from the full tier";
+      return;
+    }
+    const std::vector<double>& scores = ctx.FullScores(req_users[r]);
+    const std::vector<int64_t> expected =
+        ReplayRank(ctx.train_items, req_users[r], scores, req_top_n[r]);
+    if (response.items.size() != expected.size()) {
+      result.Fail() << "pipelined item count for user " << req_users[r]
+                    << ": got " << response.items.size() << " expected "
+                    << expected.size();
+      return;
+    }
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (response.items[i].item != expected[i] ||
+          UlpDistance(response.items[i].score, scores[expected[i]]) != 0) {
+        result.Fail() << "pipelined item " << i << " for user "
+                      << req_users[r] << " (workers=" << opts.num_workers
+                      << " batch_max=" << opts.batch_max_users
+                      << " linger=" << opts.batch_linger_micros
+                      << "): got (" << response.items[i].item << ","
+                      << response.items[i].score << ") expected ("
+                      << expected[i] << "," << scores[expected[i]] << ")";
+        return;
+      }
+    }
+  }
+  server.Shutdown();
+}
+
 // ---- Fleet -------------------------------------------------------------------
 
 /// Shared corpus for the fleet sweep: one dataset and three identically
@@ -1339,6 +1466,12 @@ FuzzReport FuzzServe(const FuzzOptions& options) {
   return RunCases("serve", options,
                   [&ctx](uint64_t seed, CaseResult& result) {
                     ServeCase(ctx, seed, result);
+                    // Every 4th case also differentials the PR 10 batching
+                    // seams (spinning up a pipelined server is ~10x the cost
+                    // of a sequential replay).
+                    if (!result.failed() && seed % 4 == 0) {
+                      BatchedServeCase(ctx, seed, result);
+                    }
                   });
 }
 

@@ -4,23 +4,52 @@ namespace kucnet {
 
 void FaultInjector::Arm(const std::string& stage, int64_t fire_at) {
   std::lock_guard<std::mutex> lock(mu_);
-  stages_[stage] = StageState{fire_at, 0};
+  StageState& state = stages_[stage];
+  state.fire_at = fire_at;
+  state.hit_count = 0;
+}
+
+void FaultInjector::ArmStall(const std::string& stage, int64_t fire_at,
+                             std::function<void()> stall_fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageState& state = stages_[stage];
+  state.stall_at = fire_at;
+  state.stall_fn = std::move(stall_fn);
+  state.hit_count = 0;
 }
 
 void FaultInjector::DisarmAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [stage, state] : stages_) state.fire_at = 0;
+  for (auto& [stage, state] : stages_) {
+    state.fire_at = 0;
+    state.stall_at = 0;
+    state.stall_fn = nullptr;
+  }
 }
 
 bool FaultInjector::Fire(const std::string& stage) {
-  std::lock_guard<std::mutex> lock(mu_);
-  StageState& state = stages_[stage];
-  ++state.hit_count;
-  if (state.fire_at > 0 && state.hit_count == state.fire_at) {
-    ++faults_fired_;
-    return true;
+  std::function<void()> stall;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    StageState& state = stages_[stage];
+    ++state.hit_count;
+    if (state.fire_at > 0 && state.hit_count == state.fire_at) {
+      ++faults_fired_;
+      fired = true;
+    }
+    if (state.stall_at > 0 && state.hit_count == state.stall_at) {
+      // One-shot: take the callable out so re-entrant checkpoints (or the
+      // next request) never stall again on it.
+      stall = std::move(state.stall_fn);
+      state.stall_at = 0;
+      state.stall_fn = nullptr;
+    }
   }
-  return false;
+  // The stall runs unlocked: it may block for a long time (that is the
+  // point), and it must not deadlock other stages' checkpoints.
+  if (stall) stall();
+  return fired;
 }
 
 int64_t FaultInjector::hits(const std::string& stage) const {

@@ -2,6 +2,7 @@
 #define KUCNET_UTIL_FAULT_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -38,10 +39,23 @@ class FaultInjector {
   /// Resets that stage's hit counter. Multiple stages may be armed at once.
   void Arm(const std::string& stage, int64_t fire_at = 1);
 
-  /// Disarms every stage (hit counters keep counting).
+  /// Arms a one-shot *stall* on `stage`: its `fire_at`-th checkpoint hit
+  /// from now (1-based) invokes `stall_fn` — outside the injector's lock,
+  /// before the checkpoint resolves normally, reporting no fault. This
+  /// models a slow stage rather than a failed one: tests block inside
+  /// `stall_fn` to hold a request at an exact execution point while
+  /// asserting on concurrent behavior (e.g. that RollingSwap waits for
+  /// in-flight requests, not just queued ones). Resets the stage's hit
+  /// counter, like Arm.
+  void ArmStall(const std::string& stage, int64_t fire_at,
+                std::function<void()> stall_fn);
+
+  /// Disarms every stage, faults and stalls (hit counters keep counting).
   void DisarmAll();
 
-  /// Counts a checkpoint hit on `stage`; true iff an armed fault fires.
+  /// Counts a checkpoint hit on `stage`; true iff an armed fault fires. An
+  /// armed stall on this hit runs `stall_fn` first (no fault reported
+  /// unless one is independently armed on the same hit).
   bool Fire(const std::string& stage);
 
   /// Checkpoint hits observed on `stage` since construction or the last
@@ -53,8 +67,10 @@ class FaultInjector {
 
  private:
   struct StageState {
-    int64_t fire_at = 0;  ///< 0 = disarmed
+    int64_t fire_at = 0;   ///< 0 = disarmed
     int64_t hit_count = 0;
+    int64_t stall_at = 0;  ///< 0 = no stall armed
+    std::function<void()> stall_fn;
   };
 
   mutable std::mutex mu_;

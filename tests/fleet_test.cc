@@ -1,8 +1,12 @@
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -581,6 +585,84 @@ TEST(ShardRouterTest, StreamingUpdatesInvalidatePerUserAcrossShardsDuringSwap) {
   // The fleet answers for a touched user after all of it.
   EXPECT_EQ(fleet.Route(1).response.status, ResponseStatus::kOk);
   EXPECT_EQ(stream->stats().applied, 2);
+}
+
+// The in-flight race the drain loop must close: a request that passed the
+// draining check (or that a worker already popped off the queue) is still
+// reading model parameters inside the forward pass while queue_depth() is
+// already 0. The old drain loop polled only queue_depth(), so RollingSwap
+// would hot-load new weights UNDER the executing request — a data race TSan
+// flags and a correctness bug (scores from half-old, half-new weights).
+// This test pins a request at its "forward" checkpoint with a one-shot
+// stall, starts a swap on another thread, and asserts the swap cannot
+// report the home shard "swapped" until the stalled request was released.
+TEST(ShardRouterTest, RollingSwapWaitsForInFlightRequestNotJustQueue) {
+  // Real clock, real worker threads: the TSan-relevant configuration.
+  FaultInjector stage_faults;
+  ShardRouterOptions options;
+  options.server.num_workers = 1;
+  options.server.default_deadline_micros = 60'000'000;
+  options.stage_fault = &stage_faults;
+  FleetFixture fleet(2, options);
+
+  const int64_t user = 3;
+  const int home = fleet.router->ShardForUser(user);
+
+  // Same-weights checkpoint: the test is about the drain ordering, not the
+  // scores.
+  const std::string ckpt = ::testing::TempDir() + "/fleet_inflight.ckpt";
+  ASSERT_TRUE(TrySaveParameters(fleet.models[0]->Params(), ckpt).ok());
+
+  // One-shot stall: the first "forward" checkpoint (our routed request —
+  // cache warming runs fault-free) parks the shard worker mid-forward,
+  // after the queue already handed the job out.
+  std::promise<void> entered_promise;
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  std::atomic<bool> released{false};
+  stage_faults.ArmStall("forward", 1, [&] {
+    entered_promise.set_value();
+    release.wait();
+  });
+
+  // The fixed drain must not let the home shard reach "swapped" while the
+  // request is still parked inside the model.
+  std::atomic<int64_t> home_swapped_after_release{0};
+  ShardRouterOptions observed = options;
+  observed.swap_observer = [&](int shard, const char* phase) {
+    if (shard == home && std::string(phase) == "swapped") {
+      EXPECT_TRUE(released.load()) << "swap overtook an in-flight request";
+      ++home_swapped_after_release;
+    }
+  };
+  fleet.router = nullptr;
+  std::vector<Kucnet*> raw;
+  for (auto& m : fleet.models) raw.push_back(m.get());
+  fleet.router = std::make_unique<ShardRouter>(raw, &fleet.dataset, &fleet.ckg,
+                                               &fleet.ppr, observed);
+
+  FleetResponse routed;
+  std::thread requester([&] { routed = fleet.Route(user); });
+  entered_promise.get_future().wait();  // the request is now mid-forward
+
+  Status swap_status;
+  std::thread swapper(
+      [&] { swap_status = fleet.router->RollingSwap(ckpt); });
+  // Give a buggy drain ample real time to blow through queue_depth()==0 and
+  // swap under the stalled request before we let it go.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  released.store(true);
+  release_promise.set_value();
+
+  requester.join();
+  swapper.join();
+
+  ASSERT_TRUE(swap_status.ok()) << swap_status.message();
+  EXPECT_EQ(home_swapped_after_release.load(), 1);
+  EXPECT_EQ(routed.response.status, ResponseStatus::kOk);
+  EXPECT_EQ(routed.response.tier, ServeTier::kFull);
+  EXPECT_EQ(routed.shard, home);
+  EXPECT_EQ(fleet.router->stats().swaps, 2);
 }
 
 // ---- Asynchronous shards -----------------------------------------------------

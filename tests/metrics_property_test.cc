@@ -119,6 +119,11 @@ ServerStats RandomStats(Rng& rng) {
   stats.nonfinite_scores = rng.UniformInt(10);
   stats.cache_warmed = rng.UniformInt(100);
   stats.degraded = rng.UniformInt(500);
+  stats.no_ppr_user = rng.UniformInt(20);
+  stats.forward_batches = rng.UniformInt(200);
+  stats.batched_requests = rng.UniformInt(1000);
+  stats.multi_user_batches = rng.UniformInt(100);
+  stats.deadline_preempted = rng.UniformInt(50);
   for (int t = 0; t < kNumServeTiers; ++t) {
     stats.tier_count[t] = rng.UniformInt(300);
   }
@@ -163,6 +168,13 @@ TEST(ServerStatsMergeTest, MergeIsComponentwiseAdditionAndCommutes) {
     EXPECT_EQ(ab.submitted, a.submitted + b.submitted);
     EXPECT_EQ(ab.completed, a.completed + b.completed);
     EXPECT_EQ(ab.cache_warmed, a.cache_warmed + b.cache_warmed);
+    EXPECT_EQ(ab.no_ppr_user, a.no_ppr_user + b.no_ppr_user);
+    EXPECT_EQ(ab.forward_batches, a.forward_batches + b.forward_batches);
+    EXPECT_EQ(ab.batched_requests, a.batched_requests + b.batched_requests);
+    EXPECT_EQ(ab.multi_user_batches,
+              a.multi_user_batches + b.multi_user_batches);
+    EXPECT_EQ(ab.deadline_preempted,
+              a.deadline_preempted + b.deadline_preempted);
     for (int t = 0; t < kNumServeTiers; ++t) {
       EXPECT_EQ(ab.tier_count[t], a.tier_count[t] + b.tier_count[t]);
     }
@@ -182,6 +194,7 @@ TEST(ServerStatsMergeTest, SaturatesInsteadOfWrapping) {
   saturated.submitted = kInt64Max;
   saturated.completed = kInt64Max - 1;
   saturated.tier_count[0] = kInt64Max;
+  saturated.batched_requests = kInt64Max;
   Rng rng(79);
   for (int round = 0; round < 5; ++round) {
     saturated.MergeFrom(RandomStats(rng));
@@ -189,6 +202,7 @@ TEST(ServerStatsMergeTest, SaturatesInsteadOfWrapping) {
   EXPECT_EQ(saturated.submitted, kInt64Max);
   EXPECT_GE(saturated.completed, kInt64Max - 1);
   EXPECT_EQ(saturated.tier_count[0], kInt64Max);
+  EXPECT_EQ(saturated.batched_requests, kInt64Max);
 }
 
 TEST(ServerStatsMergeTest, SaturatedHistogramBucketsStaySaturated) {

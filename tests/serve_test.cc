@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -156,19 +157,56 @@ TEST(ScoreCacheTest, CapacityOneChurn) {
 // ---- Admission / shedding ----------------------------------------------------
 
 TEST(RecServerTest, ShedsWhenQueueFullWithoutBlocking) {
+  // Wedge the single extraction worker inside its first request (stall at
+  // the "ppr" checkpoint) so the admission queue fills deterministically.
+  FaultInjector fault;
+  std::promise<void> stalled;
+  std::promise<void> release;
+  std::shared_future<void> release_signal = release.get_future().share();
+  fault.ArmStall("ppr", 1, [&] {
+    stalled.set_value();
+    release_signal.wait();
+  });
   RecServerOptions opts;
-  opts.num_workers = 0;  // nobody drains: the queue fills deterministically
+  opts.num_workers = 1;
   opts.queue_capacity = 2;
+  opts.default_deadline_micros = 60'000'000;  // the stall must not expire it
+  opts.fault = &fault;
   ServeFixture f(opts);
-  auto f1 = f.server->Submit({0});
+  auto f1 = f.server->Submit({0});  // popped by the worker, stalls in "ppr"
+  stalled.get_future().wait();
   auto f2 = f.server->Submit({1});
-  auto f3 = f.server->Submit({2});  // queue full: must be rejected instantly
-  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)), std::future_status::ready);
-  EXPECT_EQ(f3.get().status, ResponseStatus::kOverloaded);
+  auto f3 = f.server->Submit({2});
+  auto f4 = f.server->Submit({3});  // queue full: must be rejected instantly
+  ASSERT_EQ(f4.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f4.get().status, ResponseStatus::kOverloaded);
+  release.set_value();
+  EXPECT_EQ(f1.get().status, ResponseStatus::kOk);
+  EXPECT_EQ(f2.get().status, ResponseStatus::kOk);
+  EXPECT_EQ(f3.get().status, ResponseStatus::kOk);
   const ServerStats stats = f.server->stats();
-  EXPECT_EQ(stats.submitted, 3);
-  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.submitted, 4);
+  EXPECT_EQ(stats.admitted, 3);
   EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST(RecServerTest, ZeroWorkerSubmitServesInline) {
+  // Regression: with num_workers == 0 Submit used to enqueue a request no
+  // worker would ever pop, hanging the caller's future.get() until the
+  // destructor broke the promise. It must serve inline instead.
+  ServeFixture f(SyncOptions());
+  std::future<RecResponse> future = f.server->Submit({0});
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const RecResponse response = future.get();
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_FALSE(response.items.empty());
+  const ServerStats stats = f.server->stats();
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.shed, 0);
 }
 
 TEST(RecServerTest, WorkersServeSubmittedRequests) {
@@ -362,6 +400,53 @@ TEST(RecServerFaultSweepTest, CachedTierAnswersWhenWarm) {
   EXPECT_EQ(response.tier, ServeTier::kCached);
   EXPECT_FALSE(response.items.empty());
   EXPECT_EQ(f.server->stats().fault_events, injector.faults_fired());
+}
+
+// A user past the end of the PPR table (streaming can add users after the
+// preprocessing ran) used to skip the heuristic tier *silently*: no
+// degrade_reason, no counter — the drop to popularity was indistinguishable
+// from a heuristic failure. The skip must now be attributed.
+TEST(RecServerFaultSweepTest, UserOutsidePprTableSkipsHeuristicWithReason) {
+  FakeClock clock;
+  FaultInjector injector;
+  Dataset dataset = TinyDataset();
+  Ckg ckg = dataset.BuildCkg();
+  const PprTable full = PprTable::Compute(ckg);
+  // Truncate the table by one user, modeling a user streamed in after PPR
+  // preprocessing.
+  std::vector<std::unordered_map<int64_t, real_t>> vectors;
+  for (int64_t u = 0; u + 1 < full.num_users(); ++u) {
+    vectors.push_back(full.Vector(u));
+  }
+  PprTable truncated = PprTable::FromVectors(std::move(vectors));
+  Kucnet model(&dataset, &ckg, &truncated, SmallModelOptions());
+  RecServer server(&model, &dataset, &ckg, &truncated,
+                   SyncOptions(&clock, &injector));
+
+  const int64_t user = truncated.num_users();  // first user past the table
+  // Kill the full tier at its very first checkpoint — safely before the PPR
+  // ScoreFn would index the truncated table — so the request walks the
+  // degrade chain: cache (cold) → heuristic (skipped) → popularity.
+  injector.Arm("ppr", 1);
+  RecRequest request;
+  request.user = user;
+  const RecResponse got = server.ServeSync(request);
+  EXPECT_EQ(got.status, ResponseStatus::kOk);
+  EXPECT_EQ(got.tier, ServeTier::kPopularity);
+  EXPECT_FALSE(got.items.empty());
+  EXPECT_NE(got.degrade_reason.find("outside the PPR table"),
+            std::string::npos)
+      << got.degrade_reason;
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.no_ppr_user, 1);
+  EXPECT_EQ(stats.tier_count[static_cast<int>(ServeTier::kPopularity)], 1);
+
+  // An in-table user on the same degraded path is NOT counted.
+  injector.Arm("ppr", 1);
+  RecRequest in_table;
+  in_table.user = 0;
+  EXPECT_EQ(server.ServeSync(in_table).tier, ServeTier::kHeuristic);
+  EXPECT_EQ(server.stats().no_ppr_user, 1);
 }
 
 TEST(RecServerFaultSweepTest, TransientFaultRecoversNextRequest) {
